@@ -1,0 +1,120 @@
+//! Input-based profiling with guardbanding (paper Fig 4, "GB input-based").
+//!
+//! The application is measured over `n` randomly generated input sets; the
+//! observed peak power and normalized peak energy are multiplied by the
+//! 4/3 guardband of prior studies. The guardband is required because
+//! profiling cannot cover all inputs — the paper shows input-induced peak
+//! variation above 25 %, so an unguarded profile under-provisions.
+
+use crate::GUARDBAND;
+use rand::RngExt;
+use xbound_benchsuite::Benchmark;
+use xbound_core::{AnalysisError, UlpSystem};
+
+/// One profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStat {
+    /// Inputs used.
+    pub inputs: Vec<u16>,
+    /// Measured peak power, milliwatts.
+    pub peak_mw: f64,
+    /// Measured average power, milliwatts.
+    pub avg_mw: f64,
+    /// Runtime, cycles.
+    pub cycles: u64,
+    /// Normalized peak energy, joules per cycle.
+    pub npe_j_per_cycle: f64,
+}
+
+/// Aggregate result of a profiling campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilingResult {
+    /// Per-run statistics.
+    pub runs: Vec<RunStat>,
+    /// Highest observed peak power, milliwatts.
+    pub observed_peak_mw: f64,
+    /// Lowest observed peak power (for the Fig 7a error bars).
+    pub min_peak_mw: f64,
+    /// Guardbanded peak power (×4/3), milliwatts.
+    pub gb_peak_mw: f64,
+    /// Highest observed NPE, joules per cycle.
+    pub observed_npe: f64,
+    /// Lowest observed NPE.
+    pub min_npe: f64,
+    /// Guardbanded NPE (×4/3).
+    pub gb_npe: f64,
+}
+
+/// Profiles `bench` over `n` random input sets.
+///
+/// # Errors
+///
+/// Propagates assembler/simulator errors ([`AnalysisError`] also covers a
+/// run that fails to halt within the benchmark's cycle budget).
+pub fn profile<R: RngExt>(
+    system: &UlpSystem,
+    bench: &Benchmark,
+    n: usize,
+    rng: &mut R,
+) -> Result<ProfilingResult, AnalysisError> {
+    let program = bench.program().expect("benchmark sources assemble");
+    let mut runs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let inputs = bench.gen_inputs(rng);
+        let (_, trace) =
+            system.profile_concrete(&program, &inputs, bench.max_concrete_cycles())?;
+        runs.push(RunStat {
+            inputs,
+            peak_mw: trace.peak_mw(),
+            avg_mw: trace.avg_mw(),
+            cycles: trace.cycles() as u64,
+            npe_j_per_cycle: trace.energy_per_cycle_j(),
+        });
+    }
+    let observed_peak_mw = runs.iter().map(|r| r.peak_mw).fold(0.0, f64::max);
+    let min_peak_mw = runs
+        .iter()
+        .map(|r| r.peak_mw)
+        .fold(f64::INFINITY, f64::min);
+    let observed_npe = runs
+        .iter()
+        .map(|r| r.npe_j_per_cycle)
+        .fold(0.0, f64::max);
+    let min_npe = runs
+        .iter()
+        .map(|r| r.npe_j_per_cycle)
+        .fold(f64::INFINITY, f64::min);
+    Ok(ProfilingResult {
+        runs,
+        observed_peak_mw,
+        min_peak_mw,
+        gb_peak_mw: observed_peak_mw * GUARDBAND,
+        observed_npe,
+        min_npe,
+        gb_npe: observed_npe * GUARDBAND,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiling_produces_guardbanded_bounds() {
+        let sys = UlpSystem::openmsp430_class().unwrap();
+        let bench = xbound_benchsuite::by_name("intAVG").unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let result = profile(&sys, bench, 3, &mut rng).unwrap();
+        assert_eq!(result.runs.len(), 3);
+        assert!(result.observed_peak_mw > 0.0);
+        assert!((result.gb_peak_mw / result.observed_peak_mw - GUARDBAND).abs() < 1e-12);
+        assert!(result.gb_npe >= result.observed_npe);
+        assert!(result.min_peak_mw <= result.observed_peak_mw);
+        for r in &result.runs {
+            assert!(r.avg_mw <= r.peak_mw);
+            assert!(r.cycles > 10);
+        }
+    }
+}

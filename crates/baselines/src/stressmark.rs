@@ -1,0 +1,346 @@
+//! GA-generated stressmarks (paper Fig 4, "stressmark"; method of Kim et
+//! al.'s AUDIT, adapted to target peak instantaneous power and average
+//! power on the ULP core).
+//!
+//! A genome is a short sequence of instruction genes drawn from a catalog
+//! covering the core's power-relevant behaviors (ALU traffic, bus traffic,
+//! stack traffic, hardware-multiplier traffic). The phenotype is an
+//! endless loop executing the sequence; fitness is the measured peak (or
+//! average) power over a fixed window. Tournament selection, single-point
+//! crossover, per-gene mutation, and elitism evolve the population.
+
+use crate::measure_cycles;
+use rand::RngExt;
+use xbound_core::{AnalysisError, UlpSystem};
+use xbound_msp430::assemble;
+
+/// What the GA maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressTarget {
+    /// Peak instantaneous power.
+    PeakPower,
+    /// Average (sustained) power.
+    AveragePower,
+}
+
+/// GA parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Genes (instructions) per individual.
+    pub genome_len: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals preserved unchanged per generation.
+    pub elitism: usize,
+    /// Cycles measured per fitness evaluation.
+    pub eval_cycles: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> GaConfig {
+        GaConfig {
+            population: 16,
+            generations: 10,
+            genome_len: 12,
+            mutation_rate: 0.15,
+            elitism: 2,
+            eval_cycles: 400,
+        }
+    }
+}
+
+/// One instruction gene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gene {
+    AluRR { op: u8, rs: u8, rd: u8 },
+    AluImm { op: u8, imm: u16, rd: u8 },
+    LoadAbs { word: u8, rd: u8 },
+    StoreAbs { rs: u8, word: u8 },
+    Push { rs: u8 },
+    PopTo { rd: u8 },
+    MpyOp1 { rs: u8 },
+    MpyOp2 { rs: u8 },
+    MpyRead { rd: u8 },
+    Swpb { rd: u8 },
+    Nop,
+}
+
+const ALU_OPS: [&str; 6] = ["add", "sub", "xor", "and", "bis", "bic"];
+
+fn reg_name(r: u8) -> String {
+    format!("r{}", 4 + (r % 10)) // r4..r13
+}
+
+impl Gene {
+    fn random<R: RngExt>(rng: &mut R) -> Gene {
+        match rng.random_range(0..11u32) {
+            0 => Gene::AluRR {
+                op: rng.random_range(0..ALU_OPS.len() as u8),
+                rs: rng.random_range(0..10),
+                rd: rng.random_range(0..10),
+            },
+            1 => Gene::AluImm {
+                op: rng.random_range(0..ALU_OPS.len() as u8),
+                imm: rng.random_range(0..=u16::MAX),
+                rd: rng.random_range(0..10),
+            },
+            2 => Gene::LoadAbs {
+                word: rng.random_range(0..16),
+                rd: rng.random_range(0..10),
+            },
+            3 => Gene::StoreAbs {
+                rs: rng.random_range(0..10),
+                word: rng.random_range(0..16),
+            },
+            4 => Gene::Push {
+                rs: rng.random_range(0..10),
+            },
+            5 => Gene::PopTo {
+                rd: rng.random_range(0..10),
+            },
+            6 => Gene::MpyOp1 {
+                rs: rng.random_range(0..10),
+            },
+            7 => Gene::MpyOp2 {
+                rs: rng.random_range(0..10),
+            },
+            8 => Gene::MpyRead {
+                rd: rng.random_range(0..10),
+            },
+            9 => Gene::Swpb {
+                rd: rng.random_range(0..10),
+            },
+            _ => Gene::Nop,
+        }
+    }
+
+    fn emit(&self, out: &mut String, stack_depth: &mut i32) {
+        match *self {
+            Gene::AluRR { op, rs, rd } => {
+                let op = ALU_OPS[(op as usize) % ALU_OPS.len()];
+                out.push_str(&format!("    {op} {}, {}\n", reg_name(rs), reg_name(rd)));
+            }
+            Gene::AluImm { op, imm, rd } => {
+                let op = ALU_OPS[(op as usize) % ALU_OPS.len()];
+                out.push_str(&format!("    {op} #{imm}, {}\n", reg_name(rd)));
+            }
+            Gene::LoadAbs { word, rd } => {
+                let addr = 0x0200 + 2 * (word as u16);
+                out.push_str(&format!("    mov &0x{addr:04x}, {}\n", reg_name(rd)));
+            }
+            Gene::StoreAbs { rs, word } => {
+                let addr = 0x0200 + 2 * (word as u16);
+                out.push_str(&format!("    mov {}, &0x{addr:04x}\n", reg_name(rs)));
+            }
+            Gene::Push { rs } => {
+                out.push_str(&format!("    push {}\n", reg_name(rs)));
+                *stack_depth += 1;
+            }
+            Gene::PopTo { rd } => {
+                if *stack_depth > 0 {
+                    out.push_str(&format!("    pop {}\n", reg_name(rd)));
+                    *stack_depth -= 1;
+                } else {
+                    out.push_str("    nop\n");
+                }
+            }
+            Gene::MpyOp1 { rs } => {
+                out.push_str(&format!("    mov {}, &0x0130\n", reg_name(rs)));
+            }
+            Gene::MpyOp2 { rs } => {
+                out.push_str(&format!("    mov {}, &0x0138\n", reg_name(rs)));
+            }
+            Gene::MpyRead { rd } => {
+                out.push_str(&format!("    mov &0x013A, {}\n", reg_name(rd)));
+            }
+            Gene::Swpb { rd } => {
+                out.push_str(&format!("    swpb {}\n", reg_name(rd)));
+            }
+            Gene::Nop => out.push_str("    nop\n"),
+        }
+    }
+}
+
+/// Renders a genome to an endless-loop stressmark.
+fn render(genome: &[Gene]) -> String {
+    let mut s = String::from(
+        "        .org 0xF000\nmain:\n    mov #0x0A00, sp\n    mov #0xAAAA, r4\n    mov #0x5555, r5\n    mov #0xFFFF, r6\n    mov #0x0F0F, r7\n    mov #0xF0F0, r8\n    mov #0x3C3C, r9\n    mov #0xC3C3, r10\n    mov #0x00FF, r11\n    mov #0xFF00, r12\n    mov #0, r13\nloop:\n",
+    );
+    let mut depth = 0i32;
+    for g in genome {
+        g.emit(&mut s, &mut depth);
+    }
+    for _ in 0..depth {
+        s.push_str("    pop r4\n"); // re-balance the stack each iteration
+    }
+    s.push_str("    jmp loop\n");
+    s
+}
+
+/// Result of one GA run.
+#[derive(Debug, Clone)]
+pub struct StressmarkResult {
+    /// The best stressmark found, as assembly source.
+    pub source: String,
+    /// Its measured peak power, milliwatts.
+    pub peak_mw: f64,
+    /// Its measured average power, milliwatts.
+    pub avg_mw: f64,
+    /// Best fitness per generation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// Evolves a stressmark against `system`.
+///
+/// # Errors
+///
+/// Propagates simulator errors from fitness evaluation.
+pub fn evolve<R: RngExt>(
+    system: &UlpSystem,
+    target: StressTarget,
+    config: &GaConfig,
+    rng: &mut R,
+) -> Result<StressmarkResult, AnalysisError> {
+    let mut population: Vec<Vec<Gene>> = (0..config.population)
+        .map(|_| (0..config.genome_len).map(|_| Gene::random(rng)).collect())
+        .collect();
+    // Seed two individuals with a multiplier-pounding pattern (operands
+    // alternating all-ones / all-zeros flip the whole array each trigger),
+    // the strongest known power virus on this core — the GA refines it.
+    let pound: Vec<Gene> = (0..config.genome_len)
+        .map(|i| match i % 6 {
+            0 => Gene::MpyOp1 { rs: 2 },  // r6 = 0xFFFF
+            1 => Gene::MpyOp2 { rs: 2 },
+            2 => Gene::MpyRead { rd: 0 },
+            3 => Gene::MpyOp1 { rs: 9 },  // r13 = 0
+            4 => Gene::MpyOp2 { rs: 9 },
+            _ => Gene::AluRR { op: 2, rs: 2, rd: 1 }, // xor r6, r5
+        })
+        .collect();
+    if config.population >= 2 {
+        population[0] = pound.clone();
+        let mut alt = pound;
+        alt.rotate_left(3);
+        population[1] = alt;
+    }
+
+    let fitness_of = |genome: &[Gene],
+                      system: &UlpSystem|
+     -> Result<(f64, f64), AnalysisError> {
+        let src = render(genome);
+        let program = assemble(&src).expect("rendered stressmark assembles");
+        let (_, trace) = measure_cycles(system, &program, &[], config.eval_cycles)?;
+        Ok((trace.peak_mw(), trace.avg_mw()))
+    };
+
+    let mut history = Vec::with_capacity(config.generations);
+    let mut scored: Vec<(f64, f64, Vec<Gene>)> = Vec::new();
+    for _gen in 0..config.generations {
+        scored.clear();
+        for genome in &population {
+            let (peak, avg) = fitness_of(genome, system)?;
+            let fit = match target {
+                StressTarget::PeakPower => peak,
+                StressTarget::AveragePower => avg,
+            };
+            scored.push((fit, peak, genome.clone()));
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+        history.push(scored[0].0);
+        // Next generation: elitism + tournament/crossover/mutation.
+        let mut next: Vec<Vec<Gene>> = scored
+            .iter()
+            .take(config.elitism)
+            .map(|(_, _, g)| g.clone())
+            .collect();
+        while next.len() < config.population {
+            let pick = |rng: &mut R, scored: &[(f64, f64, Vec<Gene>)]| -> Vec<Gene> {
+                let a = rng.random_range(0..scored.len());
+                let b = rng.random_range(0..scored.len());
+                scored[a.min(b)].2.clone() // sorted: lower index = fitter
+            };
+            let pa = pick(rng, &scored);
+            let pb = pick(rng, &scored);
+            let cut = rng.random_range(1..config.genome_len.max(2));
+            let mut child: Vec<Gene> = pa[..cut.min(pa.len())].to_vec();
+            child.extend_from_slice(&pb[cut.min(pb.len())..]);
+            child.truncate(config.genome_len);
+            while child.len() < config.genome_len {
+                child.push(Gene::random(rng));
+            }
+            for g in child.iter_mut() {
+                if rng.random_range(0.0..1.0) < config.mutation_rate {
+                    *g = Gene::random(rng);
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+    }
+    // Final scoring pass to pick the champion.
+    let mut best: Option<(f64, f64, Vec<Gene>)> = None;
+    for genome in &population {
+        let (peak, avg) = fitness_of(genome, system)?;
+        let fit = match target {
+            StressTarget::PeakPower => peak,
+            StressTarget::AveragePower => avg,
+        };
+        if best.as_ref().map(|(f, _, _)| fit > *f).unwrap_or(true) {
+            best = Some((fit, if target == StressTarget::PeakPower { avg } else { peak }, genome.clone()));
+        }
+    }
+    let (fit, other, genome) = best.expect("non-empty population");
+    let (peak_mw, avg_mw) = match target {
+        StressTarget::PeakPower => (fit, other),
+        StressTarget::AveragePower => (other, fit),
+    };
+    Ok(StressmarkResult {
+        source: render(&genome),
+        peak_mw,
+        avg_mw,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rendered_genomes_assemble() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let genome: Vec<Gene> = (0..10).map(|_| Gene::random(&mut rng)).collect();
+            let src = render(&genome);
+            assemble(&src).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        }
+    }
+
+    #[test]
+    fn ga_improves_or_holds_fitness() {
+        let sys = UlpSystem::openmsp430_class().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = GaConfig {
+            population: 6,
+            generations: 3,
+            genome_len: 8,
+            eval_cycles: 150,
+            ..GaConfig::default()
+        };
+        let result = evolve(&sys, StressTarget::PeakPower, &cfg, &mut rng).unwrap();
+        assert!(result.peak_mw > 0.0);
+        assert!(result.avg_mw > 0.0);
+        assert_eq!(result.history.len(), 3);
+        // Elitism guarantees monotone best-of-generation fitness.
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "elitism keeps the champion");
+        }
+        assert!(result.source.contains("jmp loop"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the co-analysis pipeline (the tool-runtime
+//! numbers behind the paper's "2 hours for the most complex benchmark"
+//! remark — this Rust implementation analyzes each benchmark in well under
+//! a second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbound_core::peak_power::compute_peak_power;
+use xbound_core::{CoAnalysis, ExploreConfig, SymbolicExplorer, UlpSystem};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let sys = UlpSystem::openmsp430_class().expect("builds");
+    let mut g = c.benchmark_group("algorithm1_symbolic_exploration");
+    g.sample_size(10);
+    for name in ["mult", "tHold", "binSearch"] {
+        let bench = xbound_benchsuite::by_name(name).expect("exists");
+        let program = bench.program().expect("assembles");
+        let cfg = ExploreConfig {
+            widen_threshold: bench.widen_threshold(),
+            ..ExploreConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| {
+                let explorer = SymbolicExplorer::new(sys.cpu(), cfg);
+                explorer.explore(p).expect("explores")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let sys = UlpSystem::openmsp430_class().expect("builds");
+    let bench = xbound_benchsuite::by_name("mult").expect("exists");
+    let program = bench.program().expect("assembles");
+    let explorer = SymbolicExplorer::new(sys.cpu(), ExploreConfig::default());
+    let (tree, _) = explorer.explore(&program).expect("explores");
+    let mut g = c.benchmark_group("algorithm2_peak_power");
+    g.sample_size(10);
+    g.bench_function("mult_even_odd_assignment", |b| {
+        b.iter(|| compute_peak_power(sys.cpu().netlist(), sys.library(), sys.clock_hz(), &tree));
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let sys = UlpSystem::openmsp430_class().expect("builds");
+    let bench = xbound_benchsuite::by_name("intAVG").expect("exists");
+    let program = bench.program().expect("assembles");
+    let mut g = c.benchmark_group("end_to_end_co_analysis");
+    g.sample_size(10);
+    g.bench_function("intAVG_full_pipeline", |b| {
+        b.iter(|| {
+            CoAnalysis::new(&sys)
+                .energy_rounds(bench.energy_rounds())
+                .run(&program)
+                .expect("analyzes")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_algorithm2, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the substrates: gate-level simulation
+//! throughput, power analysis, the assembler, and the Liberty parser.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xbound_cells::CellLibrary;
+use xbound_cpu::Cpu;
+use xbound_msp430::assemble;
+use xbound_power::PowerAnalyzer;
+
+fn bench_gate_sim(c: &mut Criterion) {
+    let cpu = Cpu::build().expect("builds");
+    let bench = xbound_benchsuite::by_name("tea8").expect("exists");
+    let program = bench.program().expect("assembles");
+    let mut g = c.benchmark_group("gate_level_simulation");
+    g.sample_size(10);
+    let cycles = 500u64;
+    g.throughput(Throughput::Elements(cycles * cpu.netlist().gate_count() as u64));
+    g.bench_function("tea8_500_cycles", |b| {
+        b.iter(|| {
+            let mut sim = cpu.new_sim();
+            Cpu::load_program(&mut sim, &program, true);
+            for _ in 0..cycles {
+                sim.step();
+            }
+            sim.cycle()
+        });
+    });
+    g.finish();
+}
+
+fn bench_power_analysis(c: &mut Criterion) {
+    let cpu = Cpu::build().expect("builds");
+    let bench = xbound_benchsuite::by_name("intAVG").expect("exists");
+    let program = bench.program().expect("assembles");
+    let mut sim = cpu.new_sim();
+    Cpu::load_program(&mut sim, &program, true);
+    let mut frames = Vec::new();
+    for _ in 0..200 {
+        frames.push(sim.eval().expect("settles").clone());
+        sim.commit();
+    }
+    let lib = CellLibrary::ulp65();
+    let mut g = c.benchmark_group("power_analysis");
+    g.throughput(Throughput::Elements(frames.len() as u64));
+    g.bench_function("activity_based_200_cycles", |b| {
+        let analyzer = PowerAnalyzer::new(cpu.netlist(), &lib, 100.0e6);
+        b.iter(|| analyzer.analyze(&frames));
+    });
+    g.finish();
+}
+
+fn bench_assembler_and_liberty(c: &mut Criterion) {
+    let src = xbound_benchsuite::by_name("tea8").expect("exists").source();
+    c.bench_function("assemble_tea8", |b| {
+        b.iter(|| assemble(src).expect("assembles"));
+    });
+    c.bench_function("parse_liberty_ulp65", |b| {
+        b.iter(|| xbound_cells::liberty::parse(xbound_cells::ULP65_LIB).expect("parses"));
+    });
+}
+
+fn bench_cpu_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_construction");
+    g.sample_size(10);
+    g.bench_function("build_gate_level_core", |b| {
+        b.iter(|| Cpu::build().expect("builds"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_sim,
+    bench_power_analysis,
+    bench_assembler_and_liberty,
+    bench_cpu_construction
+);
+criterion_main!(benches);

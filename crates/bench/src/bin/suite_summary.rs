@@ -1,0 +1,39 @@
+//! Runs the X-based co-analysis over the whole benchmark suite and prints
+//! one summary line per benchmark (peak bound, NPE, tree statistics,
+//! analysis runtime) — a quick health check of the full pipeline.
+//!
+//! ```text
+//! cargo run --release -p xbound-bench --bin suite_summary
+//! ```
+use std::time::Instant;
+use xbound_core::{CoAnalysis, ExploreConfig, UlpSystem};
+
+fn main() {
+    let sys = UlpSystem::openmsp430_class().unwrap();
+    println!("gates: {}", sys.cpu().netlist().gate_count());
+    for b in xbound_benchsuite::all() {
+        let t0 = Instant::now();
+        let program = b.program().unwrap();
+        let r = CoAnalysis::new(&sys)
+            .config(ExploreConfig {
+                widen_threshold: b.widen_threshold(),
+                max_total_cycles: 5_000_000,
+                ..ExploreConfig::default()
+            })
+            .energy_rounds(b.energy_rounds())
+            .run(&program);
+        match r {
+            Ok(a) => {
+                let s = a.stats();
+                let e = a.peak_energy();
+                println!(
+                    "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={} [{:.2?}]",
+                    b.name(), a.peak_power().peak_mw, e.npe_j_per_cycle,
+                    a.tree().segments().len(), s.cycles, s.forks, s.merges, s.widenings,
+                    e.converged, t0.elapsed()
+                );
+            }
+            Err(e) => println!("{:10} ERROR: {e} [{:.2?}]", b.name(), t0.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The benchmark suite of the paper's Table 3 / Table 4.1.
+//!
+//! Fourteen ULP applications in MSP430 assembly:
+//!
+//! * **Embedded Sensor Benchmarks**: `mult`, `binSearch`, `tea8`,
+//!   `intFilt`, `tHold`, `div`, `inSort`, `rle`, `intAVG`;
+//! * **EEMBC-style embedded kernels**: `autoCorr`, `FFT`, `ConvEn`,
+//!   `Viterbi`;
+//! * **Control systems**: `PI` (proportional-integral controller).
+//!
+//! Each [`Benchmark`] carries its source, an input generator producing the
+//! values the harness writes into the input-port region, and the
+//! value-iteration budget that acts as the loop-iteration bound for peak
+//! energy (paper §3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_benchsuite::{all, by_name};
+//!
+//! assert_eq!(all().len(), 14);
+//! let mult = by_name("mult").expect("mult exists");
+//! let program = mult.program()?;
+//! assert!(!program.is_empty());
+//! # Ok::<(), xbound_msp430::AsmError>(())
+//! ```
+
+use rand::RngExt;
+use xbound_msp430::{assemble, AsmError, Program};
+
+/// Benchmark category (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Embedded sensor benchmarks.
+    Sensor,
+    /// EEMBC-style embedded kernels.
+    Eembc,
+    /// Control systems.
+    Control,
+}
+
+/// How inputs are generated for profiling runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputKind {
+    /// Uniform words in `[lo, hi]`.
+    Uniform { n: usize, lo: u16, hi: u16 },
+    /// Values clustered around a threshold (for `tHold`).
+    Threshold { n: usize, center: u16, spread: u16 },
+    /// Run-length-friendly data: repeats the previous value half the time.
+    Runs { n: usize, lo: u16, hi: u16 },
+    /// Dividend/divisor pair (divisor non-zero).
+    DivPair,
+}
+
+/// One benchmark application.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    category: Category,
+    source: &'static str,
+    inputs: InputKind,
+    energy_rounds: u64,
+    max_concrete_cycles: u64,
+    uses_multiplier: bool,
+    widen_threshold: u32,
+}
+
+impl Benchmark {
+    /// Benchmark name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Suite category.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// The assembly source.
+    pub fn source(&self) -> &'static str {
+        self.source
+    }
+
+    /// `true` if the kernel exercises the hardware multiplier.
+    pub fn uses_multiplier(&self) -> bool {
+        self.uses_multiplier
+    }
+
+    /// Value-iteration budget for the peak-energy computation — stands in
+    /// for the loop-iteration bound of paper §3.3.
+    pub fn energy_rounds(&self) -> u64 {
+        self.energy_rounds
+    }
+
+    /// Cycle budget for concrete profiling runs.
+    pub fn max_concrete_cycles(&self) -> u64 {
+        self.max_concrete_cycles
+    }
+
+    /// Widening threshold tuned for this benchmark's control structure
+    /// (higher = more exact exploration before the Ch. 6 heuristic merges
+    /// states; tightens the bound for fork-heavy kernels).
+    pub fn widen_threshold(&self) -> u32 {
+        self.widen_threshold
+    }
+
+    /// Deterministic extremal input sets included in profiling campaigns
+    /// (profiling is free to choose adversarial inputs; these exercise the
+    /// datapath corners random sampling misses).
+    pub fn stress_inputs(&self) -> Vec<Vec<u16>> {
+        match self.inputs {
+            InputKind::Uniform { n, lo, hi } => vec![
+                vec![hi; n],
+                vec![lo; n],
+                (0..n).map(|i| if i % 2 == 0 { hi } else { lo }).collect(),
+                // Pair-alternating: flips both operands of pair-consuming
+                // kernels (e.g. the multiplier operands of `mult`).
+                (0..n).map(|i| if (i / 2) % 2 == 0 { hi } else { lo }).collect(),
+            ],
+            InputKind::Threshold { n, center, spread } => vec![
+                vec![center + spread; n],
+                vec![center.saturating_sub(spread); n],
+                (0..n)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            center + spread
+                        } else {
+                            center.saturating_sub(spread)
+                        }
+                    })
+                    .collect(),
+            ],
+            InputKind::Runs { n, lo, hi } => vec![
+                vec![hi; n],
+                (0..n).map(|i| if i % 2 == 0 { hi } else { lo }).collect(),
+            ],
+            InputKind::DivPair => vec![vec![0xFFFF, 1], vec![0xFFFF, 3], vec![0x8000, 0x7FFF]],
+        }
+    }
+
+    /// Assembles the benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (the embedded sources are tested, so an
+    /// error indicates local modification).
+    pub fn program(&self) -> Result<Program, AsmError> {
+        assemble(self.source)
+    }
+
+    /// Generates one input set for profiling.
+    pub fn gen_inputs<R: RngExt>(&self, rng: &mut R) -> Vec<u16> {
+        match self.inputs {
+            InputKind::Uniform { n, lo, hi } => {
+                (0..n).map(|_| rng.random_range(lo..=hi)).collect()
+            }
+            InputKind::Threshold { n, center, spread } => (0..n)
+                .map(|_| {
+                    let lo = center.saturating_sub(spread);
+                    rng.random_range(lo..=center + spread)
+                })
+                .collect(),
+            InputKind::Runs { n, lo, hi } => {
+                let mut out: Vec<u16> = Vec::with_capacity(n);
+                for i in 0..n {
+                    if i > 0 && rng.random_range(0..2) == 0 {
+                        out.push(out[i - 1]);
+                    } else {
+                        out.push(rng.random_range(lo..=hi));
+                    }
+                }
+                out
+            }
+            InputKind::DivPair => {
+                vec![rng.random_range(0..=u16::MAX), rng.random_range(1..=999)]
+            }
+        }
+    }
+}
+
+/// All 14 benchmarks, in the paper's Fig 15/16 order.
+pub fn all() -> &'static [Benchmark] {
+    &SUITE
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    SUITE
+        .iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+static SUITE: [Benchmark; 14] = [
+    Benchmark {
+        name: "autoCorr",
+        description: "autocorrelation at lags 0..2 with signed multiplies",
+        category: Category::Eembc,
+        source: include_str!("../asm/autocorr.s"),
+        inputs: InputKind::Uniform {
+            n: 8,
+            lo: 0,
+            hi: 0x03FF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: true,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "binSearch",
+        description: "binary search for an input key in a sorted ROM table",
+        category: Category::Sensor,
+        source: include_str!("../asm/binsearch.s"),
+        inputs: InputKind::Uniform { n: 1, lo: 0, hi: 99 },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 16,
+    },
+    Benchmark {
+        name: "FFT",
+        description: "4-point DIT butterfly network with a Q15 twiddle multiply",
+        category: Category::Eembc,
+        source: include_str!("../asm/fft.s"),
+        inputs: InputKind::Uniform {
+            n: 4,
+            lo: 0,
+            hi: 0x0FFF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: true,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "intFilt",
+        description: "4-tap integer FIR filter over a sliding window",
+        category: Category::Sensor,
+        source: include_str!("../asm/intfilt.s"),
+        inputs: InputKind::Uniform {
+            n: 8,
+            lo: 0,
+            hi: 0x03FF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: true,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "mult",
+        description: "multiply-accumulate over input pairs (HW multiplier)",
+        category: Category::Sensor,
+        source: include_str!("../asm/mult.s"),
+        inputs: InputKind::Uniform {
+            n: 8,
+            lo: 0,
+            hi: u16::MAX,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: true,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "PI",
+        description: "proportional-integral controller (2 multiplies/step)",
+        category: Category::Control,
+        source: include_str!("../asm/pi.s"),
+        inputs: InputKind::Uniform {
+            n: 4,
+            lo: 0,
+            hi: 0x03FF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: true,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "tea8",
+        description: "eight rounds of a TEA-style cipher (shift/xor/add only)",
+        category: Category::Sensor,
+        source: include_str!("../asm/tea8.s"),
+        inputs: InputKind::Uniform {
+            n: 2,
+            lo: 0,
+            hi: u16::MAX,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "tHold",
+        description: "threshold detection over eight samples",
+        category: Category::Sensor,
+        source: include_str!("../asm/thold.s"),
+        inputs: InputKind::Threshold {
+            n: 8,
+            center: 100,
+            spread: 80,
+        },
+        energy_rounds: 3_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 64,
+    },
+    Benchmark {
+        name: "div",
+        description: "16-bit restoring division (software divide)",
+        category: Category::Sensor,
+        source: include_str!("../asm/div.s"),
+        inputs: InputKind::DivPair,
+        energy_rounds: 4_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 16,
+    },
+    Benchmark {
+        name: "inSort",
+        description: "in-place sort of six input values in data RAM",
+        category: Category::Sensor,
+        source: include_str!("../asm/insort.s"),
+        inputs: InputKind::Uniform {
+            n: 6,
+            lo: 0,
+            hi: 0x7FFF,
+        },
+        energy_rounds: 6_000,
+        max_concrete_cycles: 100_000,
+        uses_multiplier: false,
+        widen_threshold: 8,
+    },
+    Benchmark {
+        name: "rle",
+        description: "run-length encoding with position-indexed output slots",
+        category: Category::Sensor,
+        source: include_str!("../asm/rle.s"),
+        inputs: InputKind::Runs { n: 8, lo: 0, hi: 3 },
+        energy_rounds: 3_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 8,
+    },
+    Benchmark {
+        name: "intAVG",
+        description: "average of eight input samples",
+        category: Category::Sensor,
+        source: include_str!("../asm/intavg.s"),
+        inputs: InputKind::Uniform {
+            n: 8,
+            lo: 0,
+            hi: 0x0FFF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "ConvEn",
+        description: "rate-1/2 K=3 convolutional encoder, branch-free parity",
+        category: Category::Eembc,
+        source: include_str!("../asm/conven.s"),
+        inputs: InputKind::Uniform {
+            n: 1,
+            lo: 0,
+            hi: 0x00FF,
+        },
+        energy_rounds: 2_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 4,
+    },
+    Benchmark {
+        name: "Viterbi",
+        description: "add-compare-select over a 2-state trellis",
+        category: Category::Eembc,
+        source: include_str!("../asm/viterbi.s"),
+        inputs: InputKind::Uniform { n: 8, lo: 0, hi: 15 },
+        energy_rounds: 3_000,
+        max_concrete_cycles: 50_000,
+        uses_multiplier: false,
+        widen_threshold: 64,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xbound_msp430::iss::Iss;
+
+    #[test]
+    fn fourteen_benchmarks_with_unique_names() {
+        assert_eq!(all().len(), 14);
+        let mut names: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("MULT").is_some());
+        assert!(by_name("viterbi").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn paper_table_counts_per_category() {
+        let sensors = all()
+            .iter()
+            .filter(|b| b.category() == Category::Sensor)
+            .count();
+        let eembc = all()
+            .iter()
+            .filter(|b| b.category() == Category::Eembc)
+            .count();
+        let control = all()
+            .iter()
+            .filter(|b| b.category() == Category::Control)
+            .count();
+        assert_eq!((sensors, eembc, control), (9, 4, 1));
+    }
+
+    #[test]
+    fn all_sources_assemble() {
+        for b in all() {
+            b.program()
+                .unwrap_or_else(|e| panic!("{} fails to assemble: {e}", b.name()));
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_halt_on_iss_across_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for b in all() {
+            let program = b.program().unwrap();
+            for trial in 0..5 {
+                let inputs = b.gen_inputs(&mut rng);
+                let mut iss = Iss::new(&program);
+                iss.set_inputs(&inputs);
+                let out = iss
+                    .run(500_000)
+                    .unwrap_or_else(|e| panic!("{} trial {trial}: {e}", b.name()));
+                assert!(out.halted, "{} trial {trial} did not halt", b.name());
+                assert!(out.cycles > 10, "{} suspiciously short", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn input_generators_respect_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for b in all() {
+            let inputs = b.gen_inputs(&mut rng);
+            assert!(!inputs.is_empty());
+            assert!(inputs.len() <= xbound_msp430::memmap::INPORT_WORDS);
+        }
+    }
+
+    #[test]
+    fn div_inputs_have_nonzero_divisor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = by_name("div").unwrap();
+        for _ in 0..50 {
+            let inputs = b.gen_inputs(&mut rng);
+            assert_eq!(inputs.len(), 2);
+            assert_ne!(inputs[1], 0);
+        }
+    }
+
+    #[test]
+    fn multiplier_flag_matches_source() {
+        for b in all() {
+            let touches = b.source().contains("&0x0130") || b.source().contains("&0x0132");
+            assert_eq!(
+                touches,
+                b.uses_multiplier(),
+                "{} multiplier flag inconsistent",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn iss_results_deterministic_per_input() {
+        let b = by_name("div").unwrap();
+        let program = b.program().unwrap();
+        let mut iss1 = Iss::new(&program);
+        iss1.set_inputs(&[1000, 7]);
+        iss1.run(100_000).unwrap();
+        assert_eq!(iss1.dmem()[0], 1000 / 7, "quotient");
+        assert_eq!(iss1.dmem()[1], 1000 % 7, "remainder");
+    }
+
+    #[test]
+    fn insort_sorts_on_iss() {
+        let b = by_name("inSort").unwrap();
+        let program = b.program().unwrap();
+        let mut iss = Iss::new(&program);
+        iss.set_inputs(&[30, 10, 50, 20, 40, 5]);
+        iss.run(500_000).unwrap();
+        // Array lives at 0x0300 = dmem word 128.
+        let sorted: Vec<u16> = iss.dmem()[128..134].to_vec();
+        assert_eq!(sorted, vec![5, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn rle_encodes_on_iss() {
+        let b = by_name("rle").unwrap();
+        let program = b.program().unwrap();
+        let mut iss = Iss::new(&program);
+        iss.set_inputs(&[3, 3, 3, 1, 1, 2, 2, 2]);
+        iss.run(500_000).unwrap();
+        // Runs end at input positions 2 (3,3), 4 (1,2), and 7 (2,3);
+        // each position's slot is 2 words wide at 0x0300 = dmem word 128.
+        let out = &iss.dmem()[128..128 + 16];
+        assert_eq!(&out[2 * 2..2 * 2 + 2], &[3, 3]);
+        assert_eq!(&out[4 * 2..4 * 2 + 2], &[1, 2]);
+        assert_eq!(&out[7 * 2..7 * 2 + 2], &[2, 3]);
+    }
+
+    #[test]
+    fn thold_counts_on_iss() {
+        let b = by_name("tHold").unwrap();
+        let program = b.program().unwrap();
+        let mut iss = Iss::new(&program);
+        iss.set_inputs(&[50, 150, 99, 100, 101, 20, 180, 100]);
+        iss.run(500_000).unwrap();
+        // >= 100: 150, 100, 101, 180, 100 -> 5.
+        assert_eq!(iss.dmem()[0], 5);
+    }
+}

@@ -1,0 +1,406 @@
+//! Liberty-subset parser and writer.
+//!
+//! Liberty is the industry format for standard-cell characterization. The
+//! subset understood here covers what the power engine consumes: the
+//! `library` group with `nom_voltage`, and per-`cell` groups carrying
+//! `area`, `cell_leakage_power`, and an output `pin` with an
+//! `internal_power` group holding `rise_power` / `fall_power` (fJ per
+//! transition).
+//!
+//! The parser is a small recursive-descent over the generic Liberty
+//! structure — groups `name (args) { ... }` and attributes `key : value;` —
+//! so unknown groups/attributes are tolerated and skipped, which is how real
+//! Liberty consumers behave.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_cells::liberty;
+//!
+//! let lib = liberty::parse(xbound_cells::ULP65_LIB)?;
+//! let text = liberty::write(&lib);
+//! let back = liberty::parse(&text)?;
+//! assert_eq!(lib, back);
+//! # Ok::<(), liberty::LibertyError>(())
+//! ```
+
+use crate::{CellLibrary, CellPower, LibraryError};
+use std::collections::HashMap;
+use std::fmt;
+use xbound_netlist::CellKind;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibertyError {
+    /// Lexical/syntactic problem.
+    Syntax {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A numeric attribute failed to parse.
+    BadNumber {
+        /// 1-based line.
+        line: usize,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// The library misses required cells.
+    Incomplete(LibraryError),
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::Syntax { line, message } => {
+                write!(f, "liberty syntax error at line {line}: {message}")
+            }
+            LibertyError::BadNumber { line, attribute } => {
+                write!(f, "bad numeric value for `{attribute}` at line {line}")
+            }
+            LibertyError::Incomplete(e) => write!(f, "incomplete library: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibertyError {}
+
+impl From<LibraryError> for LibertyError {
+    fn from(e: LibraryError) -> LibertyError {
+        LibertyError::Incomplete(e)
+    }
+}
+
+/// Generic Liberty group node.
+#[derive(Debug, Clone, Default)]
+struct Group {
+    kind: String,
+    args: Vec<String>,
+    attrs: HashMap<String, String>,
+    children: Vec<Group>,
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: impl Into<String>) -> LibertyError {
+        LibertyError::Syntax {
+            line: self.line,
+            message: m.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len()
+                && (self.src[self.pos] as char).is_whitespace()
+            {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"/*") {
+                self.pos += 2;
+                while self.pos < self.src.len() && !self.src[self.pos..].starts_with(b"*/") {
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+                continue;
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn token(&mut self) -> Result<String, LibertyError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            let s = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string"));
+            }
+            let out = String::from_utf8_lossy(&self.src[s..self.pos]).into_owned();
+            self.pos += 1;
+            return Ok(out);
+        }
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_ascii_alphanumeric() || "._-+_".contains(c) || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(format!(
+                "unexpected character `{}`",
+                self.peek().map(|b| b as char).unwrap_or('∅')
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), LibertyError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// Parses the body of a group after `{`; returns at matching `}`.
+    fn group_body(&mut self, kind: String, args: Vec<String>) -> Result<Group, LibertyError> {
+        let mut g = Group {
+            kind,
+            args,
+            ..Group::default()
+        };
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated group")),
+                Some(b'}') => {
+                    self.pos += 1;
+                    // Optional trailing `;`.
+                    self.skip_ws();
+                    if self.peek() == Some(b';') {
+                        self.pos += 1;
+                    }
+                    return Ok(g);
+                }
+                _ => {
+                    let name = self.token()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b':') => {
+                            self.pos += 1;
+                            let val = self.token()?;
+                            self.expect(b';')?;
+                            g.attrs.insert(name, val);
+                        }
+                        Some(b'(') => {
+                            self.pos += 1;
+                            let mut args = Vec::new();
+                            loop {
+                                self.skip_ws();
+                                if self.peek() == Some(b')') {
+                                    self.pos += 1;
+                                    break;
+                                }
+                                args.push(self.token()?);
+                                self.skip_ws();
+                                if self.peek() == Some(b',') {
+                                    self.pos += 1;
+                                }
+                            }
+                            self.skip_ws();
+                            match self.peek() {
+                                Some(b'{') => {
+                                    self.pos += 1;
+                                    let child = self.group_body(name, args)?;
+                                    g.children.push(child);
+                                }
+                                Some(b';') => {
+                                    // Simple complex attribute, e.g.
+                                    // capacitive_load_unit (1.0, "pf");
+                                    self.pos += 1;
+                                }
+                                _ => return Err(self.err("expected `{` or `;` after group args")),
+                            }
+                        }
+                        _ => return Err(self.err(format!("expected `:` or `(` after `{name}`"))),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn get_num(g: &Group, key: &str, line: usize) -> Result<Option<f64>, LibertyError> {
+    match g.attrs.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse::<f64>().map(Some).map_err(|_| LibertyError::BadNumber {
+            line,
+            attribute: key.to_string(),
+        }),
+    }
+}
+
+/// Parses Liberty text into a [`CellLibrary`].
+///
+/// # Errors
+///
+/// Returns [`LibertyError`] on syntax problems, non-numeric values in the
+/// consumed attributes, or a library missing cells of the vocabulary.
+pub fn parse(src: &str) -> Result<CellLibrary, LibertyError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let kw = p.token()?;
+    if kw != "library" {
+        return Err(p.err("expected `library` group"));
+    }
+    p.expect(b'(')?;
+    let name = p.token()?;
+    p.expect(b')')?;
+    p.expect(b'{')?;
+    let root = p.group_body("library".to_string(), vec![name.clone()])?;
+
+    let voltage = get_num(&root, "nom_voltage", 0)?.unwrap_or(1.0);
+    let mut pairs = Vec::new();
+    for cell in root.children.iter().filter(|c| c.kind == "cell") {
+        let cname = match cell.args.first() {
+            Some(n) => n.clone(),
+            None => continue,
+        };
+        let Some(kind) = CellKind::from_name(&cname) else {
+            continue; // tolerate extra cells outside the vocabulary
+        };
+        let area = get_num(cell, "area", 0)?.unwrap_or(0.0);
+        let leak = get_num(cell, "cell_leakage_power", 0)?.unwrap_or(0.0);
+        let clock = get_num(cell, "clock_pin_energy", 0)?.unwrap_or(0.0);
+        let mut rise = 0.0;
+        let mut fall = 0.0;
+        for pin in cell.children.iter().filter(|c| c.kind == "pin") {
+            if pin.attrs.get("direction").map(String::as_str) != Some("output") {
+                continue;
+            }
+            for ip in pin.children.iter().filter(|c| c.kind == "internal_power") {
+                rise = get_num(ip, "rise_power", 0)?.unwrap_or(0.0);
+                fall = get_num(ip, "fall_power", 0)?.unwrap_or(0.0);
+            }
+        }
+        pairs.push((
+            kind,
+            CellPower {
+                energy_rise_fj: rise,
+                energy_fall_fj: fall,
+                leakage_nw: leak,
+                area_um2: area,
+                clock_pin_fj: clock,
+            },
+        ));
+    }
+    Ok(CellLibrary::from_cells(name, voltage, &pairs)?)
+}
+
+/// Serializes a [`CellLibrary`] back to the Liberty subset.
+pub fn write(lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "library ({}) {{\n  nom_voltage : {};\n  leakage_power_unit : \"1nW\";\n",
+        lib.name(),
+        lib.voltage_v()
+    ));
+    for kind in CellKind::ALL {
+        let p = lib.power(kind);
+        let outpin = kind.output_pin();
+        out.push_str(&format!(
+            "  cell ({}) {{\n    area : {};\n    cell_leakage_power : {};\n    clock_pin_energy : {};\n    pin ({outpin}) {{\n      direction : output;\n      internal_power () {{\n        rise_power : {};\n        fall_power : {};\n      }}\n    }}\n  }}\n",
+            kind.name(),
+            p.area_um2,
+            p.leakage_nw,
+            p.clock_pin_fj,
+            p.energy_rise_fj,
+            p.energy_fall_fj
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ulp65() {
+        let lib = parse(crate::ULP65_LIB).unwrap();
+        let text = write(&lib);
+        let back = parse(&text).unwrap();
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn unknown_groups_and_cells_tolerated() {
+        let src = r#"
+        library (weird) {
+          nom_voltage : 1.2;
+          operating_conditions (slow) { process : 1.0; }
+          cell (FANCY_LATCH) { area : 9.0; }
+          cell (INV) {
+            area : 1.0; cell_leakage_power : 0.5;
+            pin (Y) { direction : output;
+              internal_power () { rise_power : 3.0; fall_power : 2.5; } }
+          }
+        }
+        "#;
+        // Missing most vocabulary cells -> Incomplete, but parse structure ok.
+        match parse(src).unwrap_err() {
+            LibertyError::Incomplete(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "library (x) {\n  nom_voltage 1.0;\n}\n";
+        match parse(src).unwrap_err() {
+            LibertyError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_detected() {
+        let src = "library (x) {\n  nom_voltage : volts;\n}\n";
+        match parse(src).unwrap_err() {
+            LibertyError::BadNumber { attribute, .. } => assert_eq!(attribute, "nom_voltage"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let lib = parse(crate::ULP130_LIB).unwrap();
+        assert_eq!(lib.name(), "ulp130");
+    }
+
+    #[test]
+    fn ff_group_in_cells_tolerated() {
+        // ulp65.lib contains ff (IQ, IQN) groups inside sequential cells.
+        let lib = parse(crate::ULP65_LIB).unwrap();
+        assert!(lib.power(CellKind::Dffre).energy_rise_fj > 0.0);
+    }
+}

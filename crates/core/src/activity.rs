@@ -1,0 +1,308 @@
+//! Algorithm 1: input-independent gate activity analysis.
+//!
+//! [`SymbolicExplorer`] performs the paper's symbolic simulation: the
+//! application binary runs on the gate-level netlist with every input forced
+//! to X (unknown). Whenever the next program counter carries X — an
+//! input-dependent branch — execution forks on the `branch_taken` control
+//! net: one direction is pushed on a stack of unprocessed paths and the
+//! other is followed (depth-first). A forked state is **pruned** when an
+//! already-explored state at the same program point *covers* it (equal, or
+//! X wherever they differ) — re-simulating a covered state cannot enlarge
+//! the activity superset. After a fork point has been visited
+//! `widen_threshold` times, new states are first **widened** (joined with
+//! everything seen there); widening only adds Xs and is therefore
+//! conservative, exactly the kind of heuristic the paper's Chapter 6
+//! prescribes for scalability.
+
+use crate::tree::{ExecutionTree, ForkChoice, Segment, SegmentEnd, SegmentId};
+use crate::AnalysisError;
+use std::collections::HashMap;
+use xbound_cpu::Cpu;
+use xbound_logic::{Lv, XWord};
+use xbound_msp430::Program;
+use xbound_sim::MachineState;
+
+/// Tunables for the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum cycles in any one segment before exploration fails
+    /// (guards against programs that never halt).
+    pub max_segment_cycles: u64,
+    /// Maximum total simulated cycles across the tree.
+    pub max_total_cycles: u64,
+    /// Number of distinct states tolerated at one fork PC before the
+    /// widening heuristic merges new states.
+    pub widen_threshold: u32,
+    /// Reset cycles applied before execution starts.
+    pub reset_cycles: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_segment_cycles: 200_000,
+            max_total_cycles: 2_000_000,
+            widen_threshold: 4,
+            reset_cycles: 2,
+        }
+    }
+}
+
+/// Statistics from one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Forks encountered.
+    pub forks: u64,
+    /// States pruned by subsumption.
+    pub merges: u64,
+    /// States widened by the Chapter-6 heuristic.
+    pub widenings: u64,
+}
+
+struct PcEntry {
+    /// `(state, owning segment)` pairs seen at this program point.
+    seen: Vec<(MachineState, SegmentId)>,
+    visits: u32,
+    widen_join: Option<MachineState>,
+}
+
+/// The Algorithm-1 explorer bound to a CPU.
+pub struct SymbolicExplorer<'c> {
+    cpu: &'c Cpu,
+    config: ExploreConfig,
+    /// Positions of the PC register bits within the sequential-gate list.
+    pc_ff_positions: Vec<usize>,
+}
+
+struct PendingPath {
+    seg: SegmentId,
+    state: MachineState,
+}
+
+impl<'c> SymbolicExplorer<'c> {
+    /// Creates an explorer for the given core.
+    pub fn new(cpu: &'c Cpu, config: ExploreConfig) -> SymbolicExplorer<'c> {
+        let nl = cpu.netlist();
+        let pc_ff_positions = cpu
+            .io()
+            .pc
+            .iter()
+            .map(|&net| {
+                nl.sequential_gates()
+                    .iter()
+                    .position(|&g| nl.gate(g).output() == net)
+                    .expect("PC bits are flip-flops")
+            })
+            .collect();
+        SymbolicExplorer {
+            cpu,
+            config,
+            pc_ff_positions,
+        }
+    }
+
+    fn pc_of_state(&self, s: &MachineState) -> XWord {
+        let mut w = XWord::ZERO;
+        for (i, &pos) in self.pc_ff_positions.iter().enumerate() {
+            w.set_bit(i, s.ffs()[pos]);
+        }
+        w
+    }
+
+    fn pc_next_has_x(&self, next: &[Lv]) -> bool {
+        self.pc_ff_positions.iter().any(|&p| next[p] == Lv::X)
+    }
+
+    /// Runs the exploration; returns the annotated execution tree.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::UnresolvedPc`] — the PC went X outside a fork on
+    ///   `branch_taken` (e.g. a computed jump on unknown data);
+    /// * [`AnalysisError::CycleBudget`] — the configured budgets were hit;
+    /// * [`AnalysisError::Sim`] — the bus failed to settle.
+    pub fn explore(&self, program: &Program) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
+        let mut sim = self.cpu.new_sim();
+        Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
+        sim.reset(self.config.reset_cycles);
+
+        let mut tree = ExecutionTree::new();
+        let mut stats = ExploreStats::default();
+        let mut pc_table: HashMap<u16, PcEntry> = HashMap::new();
+
+        let root = tree.push(Segment {
+            parent: None,
+            start_cycle: 0,
+            frames: Vec::new(),
+            end: SegmentEnd::Halt, // patched when the segment actually ends
+        });
+        let mut stack: Vec<PendingPath> = Vec::new();
+        let mut current = root;
+        // Root starts from the simulator's power-on state.
+        let bt = self.cpu.io().branch_taken;
+
+        'paths: loop {
+            // Explore `current` until halt / fork / budget.
+            loop {
+                if tree.segment(current).frames.len() as u64 >= self.config.max_segment_cycles
+                    || stats.cycles >= self.config.max_total_cycles
+                {
+                    tree.get_mut(current).end = SegmentEnd::Truncated;
+                    return Err(AnalysisError::CycleBudget {
+                        cycles: stats.cycles,
+                    });
+                }
+                let frame = sim.eval().map_err(AnalysisError::Sim)?.clone();
+                stats.cycles += 1;
+
+                // Halt detection: the DECODE of `jmp $` (0x3FFF).
+                let halted = self.cpu.state(&sim) == Some(xbound_cpu::State::Decode)
+                    && self.cpu.ir_word(&sim).to_u16() == Some(0x3FFF);
+                tree.get_mut(current).frames.push(frame);
+                if halted {
+                    tree.get_mut(current).end = SegmentEnd::Halt;
+                    break;
+                }
+
+                let next = sim.ff_next_values();
+                if !self.pc_next_has_x(&next) {
+                    sim.commit();
+                    continue;
+                }
+
+                // --- fork on branch_taken ---
+                if sim.value(bt) != Lv::X {
+                    let st = self
+                        .cpu
+                        .state(&sim)
+                        .map(|s| s.name().to_string())
+                        .unwrap_or_else(|| "unknown".to_string());
+                    return Err(AnalysisError::UnresolvedPc {
+                        cycle: sim.cycle(),
+                        state: st,
+                    });
+                }
+                stats.forks += 1;
+                // Remove the X-branch frame: each child re-simulates the
+                // branch cycle with a concrete direction.
+                let branch_frame_cycle = {
+                    let seg = tree.get_mut(current);
+                    seg.frames.pop();
+                    stats.cycles -= 1;
+                    seg.start_cycle + seg.frames.len() as u64
+                };
+                let branch_pc = {
+                    let pcw = sim.value_word(&self.cpu.io().pc);
+                    pcw.to_u16().ok_or(AnalysisError::UnresolvedPc {
+                        cycle: sim.cycle(),
+                        state: "DECODE with unknown branch PC".to_string(),
+                    })?
+                };
+                let base = sim.machine_state();
+                let mut children: [Option<SegmentId>; 2] = [None, None];
+                for (slot, (choice, lv)) in [
+                    (ForkChoice::Taken, Lv::One),
+                    (ForkChoice::NotTaken, Lv::Zero),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    sim.set_machine_state(&base);
+                    sim.force(bt, Some(lv));
+                    let child_frame = sim.eval().map_err(AnalysisError::Sim)?.clone();
+                    sim.commit();
+                    sim.force(bt, None);
+                    let after = sim.machine_state();
+                    stats.cycles += 1;
+
+                    let child = tree.push(Segment {
+                        parent: Some((current, choice)),
+                        start_cycle: branch_frame_cycle,
+                        frames: vec![child_frame],
+                        end: SegmentEnd::Halt, // patched
+                    });
+                    children[slot] = Some(child);
+
+                    // Memoization is keyed by the *post-branch* PC (branch +
+                    // direction) so that widening never joins the two
+                    // directions of one branch (which would X the PC).
+                    let pc_after =
+                        self.pc_of_state(&after)
+                            .to_u16()
+                            .ok_or(AnalysisError::UnresolvedPc {
+                                cycle: sim.cycle(),
+                                state: "post-branch PC not concrete".to_string(),
+                            })?;
+                    let entry = pc_table.entry(pc_after).or_insert_with(|| PcEntry {
+                        seen: Vec::new(),
+                        visits: 0,
+                        widen_join: None,
+                    });
+                    entry.visits += 1;
+
+                    // Subsumption check.
+                    if let Some((_, owner)) =
+                        entry.seen.iter().find(|(s, _)| s.covers(&after))
+                    {
+                        stats.merges += 1;
+                        tree.get_mut(child).end = SegmentEnd::Merged {
+                            into: *owner,
+                            at_pc: pc_after,
+                            widened: false,
+                        };
+                        continue;
+                    }
+                    let state_to_push = if entry.visits > self.config.widen_threshold {
+                        // Widen: join with everything seen at this PC.
+                        stats.widenings += 1;
+                        let mut w = after.clone();
+                        if let Some(j) = &entry.widen_join {
+                            w.join_in_place(j);
+                        }
+                        for (s, _) in &entry.seen {
+                            w.join_in_place(s);
+                        }
+                        entry.widen_join = Some(w.clone());
+                        if let Some((_, owner)) =
+                            entry.seen.iter().find(|(s, _)| s.covers(&w))
+                        {
+                            stats.merges += 1;
+                            tree.get_mut(child).end = SegmentEnd::Merged {
+                                into: *owner,
+                                at_pc: pc_after,
+                                widened: true,
+                            };
+                            continue;
+                        }
+                        w
+                    } else {
+                        after.clone()
+                    };
+                    entry.seen.push((state_to_push.clone(), child));
+                    stack.push(PendingPath {
+                        seg: child,
+                        state: state_to_push,
+                    });
+                }
+                tree.get_mut(current).end = SegmentEnd::Fork {
+                    branch_pc,
+                    taken: children[0].expect("taken child"),
+                    not_taken: children[1].expect("not-taken child"),
+                };
+                break;
+            }
+
+            // Pop the next unexplored path (depth-first).
+            match stack.pop() {
+                None => break 'paths,
+                Some(p) => {
+                    sim.set_machine_state(&p.state);
+                    current = p.seg;
+                }
+            }
+        }
+        Ok((tree, stats))
+    }
+}

@@ -1,0 +1,343 @@
+//! The paper's contribution: application-specific, input-independent peak
+//! power and energy bounds via gate-level symbolic simulation.
+//!
+//! * [`activity`] — Algorithm 1 (symbolic exploration → execution tree);
+//! * [`peak_power`] — Algorithm 2 (even/odd X assignment → per-cycle bound);
+//! * [`coi`] — cycles-of-interest: culprit instructions + module breakdown;
+//! * [`optimize`] — the three peak-power software optimizations (§5.1);
+//! * [`validate`] — toggle-superset and power-dominance checks (§3.4).
+//!
+//! The high-level entry point is [`CoAnalysis`]:
+//!
+//! ```
+//! use xbound_core::{CoAnalysis, UlpSystem};
+//! use xbound_msp430::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = UlpSystem::openmsp430_class()?;
+//! let program = assemble(
+//!     r#"
+//!     main:
+//!         mov &0x0020, r4   ; input port -> X during analysis
+//!         add r4, r4
+//!         mov r4, &0x0200
+//!         jmp $
+//!     "#,
+//! )?;
+//! let analysis = CoAnalysis::new(&system).run(&program)?;
+//! let peak = analysis.peak_power();
+//! assert!(peak.peak_mw > 0.0);
+//! // The bound holds for every input:
+//! for input in [0u16, 1, 0xFFFF] {
+//!     let (frames, trace) = system.profile_concrete(&program, &[input], 10_000)?;
+//!     assert!(trace.peak_mw() <= peak.peak_mw + 1e-9);
+//!     let sup = analysis.check_superset(&frames);
+//!     assert!(sup.is_sound());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activity;
+pub mod coi;
+pub mod optimize;
+pub mod peak_power;
+pub mod tree;
+pub mod validate;
+
+use std::fmt;
+use xbound_cells::CellLibrary;
+use xbound_cpu::Cpu;
+use xbound_logic::Frame;
+use xbound_msp430::Program;
+use xbound_netlist::NetlistError;
+use xbound_power::{PowerAnalyzer, PowerTrace};
+use xbound_sim::SimError;
+
+pub use activity::{ExploreConfig, ExploreStats, SymbolicExplorer};
+pub use coi::{cycles_of_interest, CycleOfInterest};
+pub use peak_power::{
+    compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult,
+};
+pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
+pub use validate::{DominanceReport, SupersetReport};
+
+/// Errors from the co-analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The next PC carried X without `branch_taken` being the cause — an
+    /// input-dependent computed jump the analysis cannot constrain.
+    UnresolvedPc {
+        /// Simulation cycle.
+        cycle: u64,
+        /// FSM state name for diagnostics.
+        state: String,
+    },
+    /// Configured cycle budget exhausted (program may not terminate).
+    CycleBudget {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+    /// Underlying simulator error.
+    Sim(SimError),
+    /// Core construction failed (netlist validation).
+    Build(NetlistError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnresolvedPc { cycle, state } => write!(
+                f,
+                "PC became unknown at cycle {cycle} in state {state}; \
+                 input-dependent computed jumps are not supported"
+            ),
+            AnalysisError::CycleBudget { cycles } => {
+                write!(f, "exploration exceeded the cycle budget ({cycles} cycles)")
+            }
+            AnalysisError::Sim(e) => write!(f, "simulation: {e}"),
+            AnalysisError::Build(e) => write!(f, "core construction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<SimError> for AnalysisError {
+    fn from(e: SimError) -> AnalysisError {
+        AnalysisError::Sim(e)
+    }
+}
+
+impl From<NetlistError> for AnalysisError {
+    fn from(e: NetlistError) -> AnalysisError {
+        AnalysisError::Build(e)
+    }
+}
+
+/// A processor + cell library + operating point under analysis.
+#[derive(Debug, Clone)]
+pub struct UlpSystem {
+    cpu: Cpu,
+    library: CellLibrary,
+    clock_hz: f64,
+}
+
+impl UlpSystem {
+    /// Builds a system from parts.
+    pub fn new(cpu: Cpu, library: CellLibrary, clock_hz: f64) -> UlpSystem {
+        UlpSystem {
+            cpu,
+            library,
+            clock_hz,
+        }
+    }
+
+    /// The paper's evaluation target: the core mapped to the 65 nm-class
+    /// library at 1.0 V / 100 MHz (openMSP430-class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn openmsp430_class() -> Result<UlpSystem, AnalysisError> {
+        Ok(UlpSystem::new(
+            Cpu::build()?,
+            CellLibrary::ulp65(),
+            100.0e6,
+        ))
+    }
+
+    /// The Chapter-2 measurement target: the core mapped to the 130 nm-class
+    /// library at 3.0 V / 8 MHz (MSP430F1610-class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn msp430f1610_class() -> Result<UlpSystem, AnalysisError> {
+        Ok(UlpSystem::new(Cpu::build()?, CellLibrary::ulp130(), 8.0e6))
+    }
+
+    /// The core.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Clock frequency, hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// A power analyzer bound to this system.
+    pub fn analyzer(&self) -> PowerAnalyzer<'_> {
+        PowerAnalyzer::new(self.cpu.netlist(), &self.library, self.clock_hz)
+    }
+
+    /// Runs a concrete (input-based) simulation to the final self-loop and
+    /// returns the per-cycle frames and measured power trace — the
+    /// "profiling" runs of the paper's baselines and validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::CycleBudget`] if the program does not reach
+    /// `jmp $` within `max_cycles`, or a simulator error.
+    pub fn profile_concrete(
+        &self,
+        program: &Program,
+        inputs: &[u16],
+        max_cycles: u64,
+    ) -> Result<(Vec<Frame>, PowerTrace), AnalysisError> {
+        let mut sim = self.cpu.new_sim();
+        Cpu::load_program(&mut sim, program, true);
+        Cpu::set_inputs(&mut sim, inputs);
+        let mut frames = Vec::new();
+        let mut halted = false;
+        for _ in 0..max_cycles {
+            let f = sim.eval()?.clone();
+            let halt = self.cpu.state(&sim) == Some(xbound_cpu::State::Decode)
+                && self.cpu.ir_word(&sim).to_u16() == Some(0x3FFF);
+            frames.push(f);
+            if halt {
+                halted = true;
+                break;
+            }
+            sim.commit();
+        }
+        if !halted {
+            return Err(AnalysisError::CycleBudget {
+                cycles: frames.len() as u64,
+            });
+        }
+        let trace = self.analyzer().analyze(&frames);
+        Ok((frames, trace))
+    }
+}
+
+/// Builder for one co-analysis run.
+#[derive(Debug, Clone)]
+pub struct CoAnalysis<'s> {
+    system: &'s UlpSystem,
+    config: ExploreConfig,
+    energy_rounds: u64,
+}
+
+impl<'s> CoAnalysis<'s> {
+    /// Creates an analysis with default configuration.
+    pub fn new(system: &'s UlpSystem) -> CoAnalysis<'s> {
+        CoAnalysis {
+            system,
+            config: ExploreConfig::default(),
+            energy_rounds: 10_000,
+        }
+    }
+
+    /// Overrides the exploration configuration.
+    pub fn config(mut self, config: ExploreConfig) -> CoAnalysis<'s> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the value-iteration round budget for peak energy — acts as the
+    /// loop-iteration bound of §3.3 for input-dependent loops.
+    pub fn energy_rounds(mut self, rounds: u64) -> CoAnalysis<'s> {
+        self.energy_rounds = rounds;
+        self
+    }
+
+    /// Runs Algorithm 1 + Algorithm 2 + the peak-energy computation.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn run(self, program: &Program) -> Result<Analysis<'s>, AnalysisError> {
+        let explorer = SymbolicExplorer::new(self.system.cpu(), self.config);
+        let (tree, stats) = explorer.explore(program)?;
+        let peak = compute_peak_power(
+            self.system.cpu().netlist(),
+            self.system.library(),
+            self.system.clock_hz(),
+            &tree,
+        );
+        let energy = compute_peak_energy(&tree, &peak, self.system.clock_hz(), self.energy_rounds);
+        Ok(Analysis {
+            system: self.system,
+            tree,
+            stats,
+            peak,
+            energy,
+        })
+    }
+}
+
+/// The result of one co-analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis<'s> {
+    system: &'s UlpSystem,
+    tree: ExecutionTree,
+    stats: ExploreStats,
+    peak: PeakPowerResult,
+    energy: PeakEnergyResult,
+}
+
+impl Analysis<'_> {
+    /// The annotated execution tree.
+    pub fn tree(&self) -> &ExecutionTree {
+        &self.tree
+    }
+
+    /// Exploration statistics.
+    pub fn stats(&self) -> ExploreStats {
+        self.stats
+    }
+
+    /// The input-independent peak power bound.
+    pub fn peak_power(&self) -> &PeakPowerResult {
+        &self.peak
+    }
+
+    /// The input-independent peak energy bound.
+    pub fn peak_energy(&self) -> PeakEnergyResult {
+        self.energy
+    }
+
+    /// The system under analysis.
+    pub fn system(&self) -> &UlpSystem {
+        self.system
+    }
+
+    /// Top-`k` cycles of interest (culprit instructions + breakdowns).
+    pub fn cycles_of_interest(&self, k: usize) -> Vec<CycleOfInterest> {
+        cycles_of_interest(self.system.cpu(), &self.tree, &self.peak, k)
+    }
+
+    /// Toggle-superset check against a concrete run (Fig 12).
+    pub fn check_superset(&self, concrete_frames: &[Frame]) -> SupersetReport {
+        validate::check_toggle_superset(
+            &self.tree,
+            self.system.cpu().netlist().net_count(),
+            concrete_frames,
+        )
+    }
+
+    /// Power-dominance check against a measured concrete trace (Fig 13).
+    ///
+    /// Returns `None` when the concrete run leaves the explored tree —
+    /// which would indicate an exploration bug.
+    pub fn check_dominance(
+        &self,
+        concrete_frames: &[Frame],
+        measured: &PowerTrace,
+    ) -> Option<DominanceReport> {
+        validate::check_power_dominance(
+            self.system.cpu(),
+            &self.tree,
+            &self.peak,
+            concrete_frames,
+            measured.per_cycle_mw(),
+        )
+    }
+}

@@ -1,0 +1,413 @@
+//! Peak-power software optimizations (paper §3.5 / §5.1 / Fig 18).
+//!
+//! Three source-level transforms, each targeting an instruction pattern
+//! that the COI analysis identifies as a peak-power culprit:
+//!
+//! * **OPT1 — register-indexed loads**: `mov K(rN), dst` performs address
+//!   generation, memory read, and execute back-to-back; splitting the
+//!   address computation into a scratch register spreads the activity over
+//!   more cycles.
+//! * **OPT2 — POP split**: `pop dst` (`mov @sp+, dst`) drives the data and
+//!   address buses while simultaneously incrementing SP; splitting into
+//!   `mov @sp, dst` + `add #2, sp` removes the simultaneous activity.
+//! * **OPT3 — multiplier NOP**: back-to-back `mov …, &OP2` / `mov &RESLO…`
+//!   keeps the multiplier and the core simultaneously active; inserting a
+//!   `nop` separates the peaks.
+//!
+//! [`optimize_program`] applies candidate transforms, re-runs the full
+//! X-based analysis, and **keeps only transforms that actually reduce the
+//! peak-power bound** — exactly the paper's accept policy. The report also
+//! quantifies performance and energy overheads via the golden-model ISS.
+
+use crate::{AnalysisError, CoAnalysis, UlpSystem};
+use xbound_msp430::iss::Iss;
+use xbound_msp430::{assemble, memmap, AsmError, Program};
+
+/// Which transform a rewrite applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptKind {
+    /// Split register-indexed loads (Fig 18a).
+    IndexedLoad,
+    /// Split POP into move + SP increment (Fig 18b).
+    PopSplit,
+    /// Insert a NOP between multiplier trigger and result read (Fig 18c).
+    MultiplierNop,
+}
+
+impl OptKind {
+    /// All transforms, in application order.
+    pub const ALL: [OptKind; 3] = [OptKind::IndexedLoad, OptKind::PopSplit, OptKind::MultiplierNop];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptKind::IndexedLoad => "OPT1 (indexed-load split)",
+            OptKind::PopSplit => "OPT2 (pop split)",
+            OptKind::MultiplierNop => "OPT3 (multiplier nop)",
+        }
+    }
+}
+
+/// Options for the optimizer.
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Scratch register OPT1 may clobber (`None` disables OPT1).
+    pub scratch_reg: Option<u8>,
+    /// Transforms to consider.
+    pub enabled: Vec<OptKind>,
+    /// Inputs used for the ISS overhead measurement.
+    pub iss_inputs: Vec<u16>,
+    /// Instruction budget for the ISS runs.
+    pub iss_max_instrs: u64,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> OptimizeOptions {
+        OptimizeOptions {
+            scratch_reg: None,
+            enabled: OptKind::ALL.to_vec(),
+            iss_inputs: Vec::new(),
+            iss_max_instrs: 2_000_000,
+        }
+    }
+}
+
+/// Report from [`optimize_program`].
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// Peak power bound of the original program, milliwatts.
+    pub original_peak_mw: f64,
+    /// Peak power bound after the accepted transforms, milliwatts.
+    pub optimized_peak_mw: f64,
+    /// Peak-power reduction, percent.
+    pub peak_reduction_pct: f64,
+    /// Original / optimized dynamic range (peak − average), milliwatts.
+    pub original_dynamic_range_mw: f64,
+    /// See `original_dynamic_range_mw`.
+    pub optimized_dynamic_range_mw: f64,
+    /// Transforms that were accepted (reduced the bound).
+    pub accepted: Vec<OptKind>,
+    /// The optimized source (equals the input if nothing was accepted).
+    pub optimized_source: String,
+    /// Cycle-count increase measured on the ISS, percent.
+    pub performance_degradation_pct: f64,
+    /// Energy increase (average-power × runtime proxy), percent.
+    pub energy_overhead_pct: f64,
+}
+
+/// Errors from the optimizer.
+#[derive(Debug, Clone)]
+pub enum OptimizeError {
+    /// A rewrite produced unassemblable source (an optimizer bug).
+    Assemble(AsmError),
+    /// Analysis of a candidate failed.
+    Analysis(AnalysisError),
+    /// ISS execution of a candidate failed.
+    Iss(xbound_msp430::iss::IssError),
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Assemble(e) => write!(f, "rewritten source: {e}"),
+            OptimizeError::Analysis(e) => write!(f, "analysis of candidate: {e}"),
+            OptimizeError::Iss(e) => write!(f, "ISS run of candidate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    if let Some(i) = line.find(';') {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    &line[..end]
+}
+
+/// Splits `label:` off a line; returns `(label_part, code_part)`.
+fn split_label(line: &str) -> (&str, &str) {
+    let code = strip_comment(line);
+    if let Some(colon) = code.find(':') {
+        let (l, rest) = code.split_at(colon + 1);
+        (l, rest.trim())
+    } else {
+        ("", code.trim())
+    }
+}
+
+/// Applies OPT2: `pop dst` → `mov @sp, dst` + `add #2, sp`.
+///
+/// `ret` (`pop pc`) is left untouched.
+pub fn apply_pop_split(source: &str) -> String {
+    let mut out = String::new();
+    for line in source.lines() {
+        let (label, code) = split_label(line);
+        let lower = code.to_ascii_lowercase();
+        let rewritten = if let Some(rest) = lower.strip_prefix("pop ") {
+            let dst = rest.trim();
+            if dst == "pc" || dst == "r0" {
+                None
+            } else {
+                Some(format!("{label} mov @sp, {dst}\n    add #2, sp"))
+            }
+        } else if let Some(rest) = lower.strip_prefix("mov @sp+,") {
+            let dst = rest.trim();
+            if dst == "pc" || dst == "r0" {
+                None
+            } else {
+                Some(format!("{label} mov @sp, {dst}\n    add #2, sp"))
+            }
+        } else {
+            None
+        };
+        match rewritten {
+            Some(r) => {
+                out.push_str(&r);
+                out.push('\n');
+            }
+            None => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Applies OPT3: inserts `nop` after every write to the multiplier OP2
+/// register, separating multiplier and core activity.
+pub fn apply_multiplier_nop(source: &str) -> String {
+    let op2 = format!("&0x{:04x}", memmap::OP2);
+    let mut out = String::new();
+    for line in source.lines() {
+        out.push_str(line);
+        out.push('\n');
+        let (_, code) = split_label(line);
+        let lower = code.to_ascii_lowercase();
+        if lower.starts_with("mov") && lower.contains(&op2) {
+            out.push_str("    nop\n");
+        }
+    }
+    out
+}
+
+/// Applies OPT1: `mov K(rN), dst` → compute the address in the scratch
+/// register, then load register-indirect. Lines whose destination *is* the
+/// scratch register are skipped.
+pub fn apply_indexed_load_split(source: &str, scratch: u8) -> String {
+    let sr = format!("r{scratch}");
+    let mut out = String::new();
+    for line in source.lines() {
+        let (label, code) = split_label(line);
+        let lower = code.to_ascii_lowercase();
+        let mut rewritten = None;
+        if let Some(rest) = lower.strip_prefix("mov ") {
+            // Match `K(rN), dst` with numeric K.
+            if let Some((src, dst)) = rest.split_once(',') {
+                let src = src.trim();
+                let dst = dst.trim();
+                if let Some(open) = src.find('(') {
+                    if src.ends_with(')') && !src.starts_with('&') {
+                        let k = &src[..open];
+                        let base = &src[open + 1..src.len() - 1];
+                        let numeric = k
+                            .strip_prefix('-')
+                            .unwrap_or(k)
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric())
+                            && !k.is_empty();
+                        if numeric && dst != sr && base != sr && dst != "pc" && dst != "r0" {
+                            rewritten = Some(format!(
+                                "{label} mov {base}, {sr}\n    add #{k}, {sr}\n    mov @{sr}, {dst}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        match rewritten {
+            Some(rw) => {
+                out.push_str(&rw);
+                out.push('\n');
+            }
+            None => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn apply(kind: OptKind, source: &str, opts: &OptimizeOptions) -> Option<String> {
+    match kind {
+        OptKind::PopSplit => Some(apply_pop_split(source)),
+        OptKind::MultiplierNop => Some(apply_multiplier_nop(source)),
+        OptKind::IndexedLoad => opts
+            .scratch_reg
+            .map(|r| apply_indexed_load_split(source, r)),
+    }
+}
+
+fn iss_cycles(program: &Program, inputs: &[u16], max: u64) -> Result<u64, OptimizeError> {
+    let mut iss = Iss::new(program);
+    iss.set_inputs(inputs);
+    let out = iss.run(max).map_err(OptimizeError::Iss)?;
+    Ok(out.cycles)
+}
+
+/// Runs the optimization loop of §5.1: apply each enabled transform,
+/// re-analyze, and keep it only if the peak-power bound decreases.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] if a rewritten source fails to assemble or a
+/// candidate analysis fails.
+pub fn optimize_program(
+    system: &UlpSystem,
+    source: &str,
+    config: crate::ExploreConfig,
+    energy_rounds: u64,
+    opts: &OptimizeOptions,
+) -> Result<OptimizationReport, OptimizeError> {
+    let analyze = |src: &str| -> Result<(f64, f64, Program), OptimizeError> {
+        let program = assemble(src).map_err(OptimizeError::Assemble)?;
+        let analysis = CoAnalysis::new(system)
+            .config(config)
+            .energy_rounds(energy_rounds)
+            .run(&program)
+            .map_err(OptimizeError::Analysis)?;
+        let peak = analysis.peak_power().peak_mw;
+        // Dynamic range: peak minus average of the bound over the longest
+        // path (approximated by the flattened trace mean).
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seg in analysis.peak_power().bound_mw.iter() {
+            for &p in seg {
+                sum += p;
+                n += 1;
+            }
+        }
+        let avg = if n > 0 { sum / n as f64 } else { 0.0 };
+        Ok((peak, peak - avg, program))
+    };
+
+    let (orig_peak, orig_range, orig_prog) = analyze(source)?;
+    let orig_cycles = iss_cycles(&orig_prog, &opts.iss_inputs, opts.iss_max_instrs)?;
+
+    let mut best_src = source.to_string();
+    let mut best_peak = orig_peak;
+    let mut best_range = orig_range;
+    let mut accepted = Vec::new();
+    for kind in &opts.enabled {
+        let Some(candidate) = apply(*kind, &best_src, opts) else {
+            continue;
+        };
+        if candidate == best_src {
+            continue; // transform did not match anything
+        }
+        let (peak, range, _prog) = analyze(&candidate)?;
+        if peak < best_peak - 1e-12 {
+            best_src = candidate;
+            best_peak = peak;
+            best_range = range;
+            accepted.push(*kind);
+        }
+    }
+
+    let opt_prog = assemble(&best_src).map_err(OptimizeError::Assemble)?;
+    let opt_cycles = iss_cycles(&opt_prog, &opts.iss_inputs, opts.iss_max_instrs)?;
+    let perf_pct = if orig_cycles > 0 {
+        (opt_cycles as f64 - orig_cycles as f64) / orig_cycles as f64 * 100.0
+    } else {
+        0.0
+    };
+    // Energy proxy: average bound power × cycles.
+    let orig_avg = orig_peak - orig_range;
+    let opt_avg = best_peak - best_range;
+    let orig_energy = orig_avg * orig_cycles as f64;
+    let opt_energy = opt_avg * opt_cycles as f64;
+    let energy_pct = if orig_energy > 0.0 {
+        (opt_energy - orig_energy) / orig_energy * 100.0
+    } else {
+        0.0
+    };
+
+    Ok(OptimizationReport {
+        original_peak_mw: orig_peak,
+        optimized_peak_mw: best_peak,
+        peak_reduction_pct: if orig_peak > 0.0 {
+            (orig_peak - best_peak) / orig_peak * 100.0
+        } else {
+            0.0
+        },
+        original_dynamic_range_mw: orig_range,
+        optimized_dynamic_range_mw: best_range,
+        accepted,
+        optimized_source: best_src,
+        performance_degradation_pct: perf_pct,
+        energy_overhead_pct: energy_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_split_rewrites_pop_but_not_ret() {
+        let src = "main: pop r7\n ret\n pop pc\n";
+        let out = apply_pop_split(src);
+        assert!(out.contains("mov @sp, r7"));
+        assert!(out.contains("add #2, sp"));
+        assert!(out.contains("ret"));
+        assert!(out.contains("pop pc"), "pop pc untouched");
+    }
+
+    #[test]
+    fn multiplier_nop_inserted_after_op2() {
+        let src = "mov r4, &0x0130\nmov r5, &0x0138\nmov &0x013a, r6\n";
+        let out = apply_multiplier_nop(src);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1].trim(), "mov r5, &0x0138");
+        assert_eq!(lines[2].trim(), "nop");
+    }
+
+    #[test]
+    fn indexed_load_split_uses_scratch() {
+        let src = "loop: mov -6(r4), r15\nmov 2(r4), r11\nmov &0x0200, r5\n";
+        let out = apply_indexed_load_split(src, 11);
+        // First line rewritten; second untouched (dst is the scratch);
+        // absolute load untouched.
+        assert!(out.contains("mov r4, r11"));
+        assert!(out.contains("add #-6, r11"));
+        assert!(out.contains("mov @r11, r15"));
+        assert!(out.contains("mov 2(r4), r11"));
+        assert!(out.contains("mov &0x0200, r5"));
+    }
+
+    #[test]
+    fn rewritten_sources_assemble() {
+        let src = "main: mov #0x0a00, sp\n push r4\n pop r7\n mov 2(r4), r5\n mov r4, &0x0138\n mov &0x013a, r6\n jmp $\n";
+        for out in [
+            apply_pop_split(src),
+            apply_multiplier_nop(src),
+            apply_indexed_load_split(src, 11),
+        ] {
+            assemble(&out).unwrap_or_else(|e| panic!("{e}\n---\n{out}"));
+        }
+    }
+
+    #[test]
+    fn labels_preserved_by_rewrites() {
+        let src = "top: pop r7\n jmp top\n";
+        let out = apply_pop_split(src);
+        assert!(out.contains("top:"));
+        assemble(&out).unwrap();
+    }
+}

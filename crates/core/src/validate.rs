@@ -1,0 +1,178 @@
+//! Validation of the X-based analysis (paper §3.4, Figs 12/13).
+//!
+//! Two checks demonstrate soundness:
+//!
+//! 1. **Toggle superset** — every gate that toggles in any input-based
+//!    (concrete) execution must be marked potentially-toggled by the
+//!    symbolic analysis;
+//! 2. **Power dominance** — the per-cycle X-based peak-power bound must be
+//!    ≥ the measured per-cycle power of any concrete execution, cycle by
+//!    cycle along the path the concrete execution takes through the tree.
+
+use crate::peak_power::PeakPowerResult;
+use crate::tree::{ExecutionTree, SegmentEnd, SegmentId};
+use xbound_cpu::Cpu;
+use xbound_logic::{Frame, Lv};
+
+/// Result of the toggle-superset check (Fig 12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupersetReport {
+    /// Nets toggled by both the concrete run and the symbolic analysis.
+    pub common: usize,
+    /// Nets only the symbolic analysis marks (the conservative margin).
+    pub x_only: usize,
+    /// Nets toggled concretely but *not* marked symbolically — must be
+    /// empty for a sound analysis.
+    pub violations: Vec<usize>,
+}
+
+impl SupersetReport {
+    /// `true` when the superset property holds.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Compares the potentially-toggled set against a concrete run's toggles.
+pub fn check_toggle_superset(
+    tree: &ExecutionTree,
+    net_count: usize,
+    concrete_frames: &[Frame],
+) -> SupersetReport {
+    let marked = tree.potentially_toggled_nets(net_count);
+    let mut toggled = vec![false; net_count];
+    for w in concrete_frames.windows(2) {
+        for i in w[0].diff_indices(&w[1]) {
+            toggled[i] = true;
+        }
+    }
+    let mut common = 0;
+    let mut x_only = 0;
+    let mut violations = Vec::new();
+    for i in 0..net_count {
+        match (marked[i], toggled[i]) {
+            (true, true) => common += 1,
+            (true, false) => x_only += 1,
+            (false, true) => violations.push(i),
+            (false, false) => {}
+        }
+    }
+    SupersetReport {
+        common,
+        x_only,
+        violations,
+    }
+}
+
+/// Follows a concrete run through the execution tree by matching branch
+/// directions, returning `(segment, in-segment cycle)` for each concrete
+/// cycle. Returns `None` when the concrete run leaves the explored tree
+/// (which indicates an analysis bug).
+pub fn follow_path(
+    cpu: &Cpu,
+    tree: &ExecutionTree,
+    concrete_frames: &[Frame],
+) -> Option<Vec<(SegmentId, usize)>> {
+    let bt = cpu.io().branch_taken.index();
+    let mut out = Vec::with_capacity(concrete_frames.len());
+    let mut seg = tree.root();
+    let mut ci = 0usize;
+    for frame in concrete_frames {
+        // Advance over merges: a merged segment's continuation is its
+        // covering segment starting right after the branch frame.
+        loop {
+            if ci < tree.segment(seg).len() {
+                break;
+            }
+            match tree.segment(seg).end {
+                SegmentEnd::Fork {
+                    taken, not_taken, ..
+                } => {
+                    let dir = frame.get(bt);
+                    seg = match dir {
+                        Lv::One => taken,
+                        Lv::Zero => not_taken,
+                        Lv::X => return None,
+                    };
+                    ci = 0;
+                }
+                SegmentEnd::Merged { into, .. } => {
+                    // The covering segment's first frame is its branch
+                    // cycle, which this path has already executed once.
+                    seg = into;
+                    ci = 1;
+                }
+                SegmentEnd::Halt | SegmentEnd::Truncated => return None,
+            }
+        }
+        out.push((seg, ci));
+        ci += 1;
+    }
+    Some(out)
+}
+
+/// Result of the power-dominance check (Fig 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominanceReport {
+    /// Cycles compared.
+    pub cycles: usize,
+    /// Minimum margin `bound − measured` over all cycles, milliwatts.
+    pub min_margin_mw: f64,
+    /// Mean of `bound / measured` (indicates how tight the bound is).
+    pub mean_ratio: f64,
+    /// Cycles where measured exceeded the bound (must be empty).
+    pub violations: Vec<usize>,
+}
+
+impl DominanceReport {
+    /// `true` when the bound dominates the measured trace everywhere.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks per-cycle dominance of the bound over a measured concrete trace.
+///
+/// `measured_mw[c]` must align with `concrete_frames[c]` (same simulation).
+pub fn check_power_dominance(
+    cpu: &Cpu,
+    tree: &ExecutionTree,
+    peak: &PeakPowerResult,
+    concrete_frames: &[Frame],
+    measured_mw: &[f64],
+) -> Option<DominanceReport> {
+    let path = follow_path(cpu, tree, concrete_frames)?;
+    let mut min_margin = f64::INFINITY;
+    let mut ratio_sum = 0.0;
+    let mut ratio_n = 0usize;
+    let mut violations = Vec::new();
+    // Skip cycle 0 (no transitions by convention on both sides).
+    for c in 1..path.len().min(measured_mw.len()) {
+        let (sid, ci) = path[c];
+        let bound = peak.bound_mw[sid.index()][ci];
+        let meas = measured_mw[c];
+        let margin = bound - meas;
+        if margin < -1e-9 {
+            violations.push(c);
+        }
+        min_margin = min_margin.min(margin);
+        if meas > 1e-12 {
+            ratio_sum += bound / meas;
+            ratio_n += 1;
+        }
+    }
+    Some(DominanceReport {
+        cycles: path.len().saturating_sub(1),
+        min_margin_mw: if min_margin.is_finite() {
+            min_margin
+        } else {
+            0.0
+        },
+        mean_ratio: if ratio_n > 0 {
+            ratio_sum / ratio_n as f64
+        } else {
+            1.0
+        },
+        violations,
+    })
+}

@@ -1,0 +1,916 @@
+//! Gate-level construction of the MSP430-class multicycle core.
+//!
+//! The core is built entirely through the word-level RTL builder
+//! ([`xbound_netlist::rtl::Rtl`]) and lowered to the standard-cell
+//! vocabulary. It follows the module organization the paper reports for
+//! openMSP430 (Fig 14): `frontend`, `exec_unit`, `mem_backbone`,
+//! `multiplier`, `sfr`, `watchdog`, `clk_module`, `dbg`.
+//!
+//! # Microarchitecture
+//!
+//! A single-issue multicycle FSM with one von-Neumann bus:
+//!
+//! ```text
+//! RESET0 -> FETCH -> DECODE -+-> (jump) ----------------------> FETCH
+//!                            +-> SRC_IDX -> SRC_RD -+
+//!                            +-> SRC_RD ------------+
+//!                            +----------------------+-> EXEC -> FETCH
+//!                            |                       +-> DST_IDX -> DST_RD -> EXEC -> DST_WR -> FETCH
+//!                            +-> PUSH_WR (push/call) -> FETCH
+//! ```
+//!
+//! Per-instruction cycle counts implement exactly
+//! [`xbound_msp430::isa::cycle_count`]; integration tests assert the
+//! gate-level core and the ISS agree cycle-for-cycle and state-for-state.
+
+use xbound_msp430::memmap;
+use xbound_netlist::rtl::{Bus, Rtl};
+use xbound_netlist::{NetId, Netlist, NetlistError};
+
+/// Net-level interface of the built core, used by simulators and analyses.
+#[derive(Debug, Clone)]
+pub struct CpuIo {
+    /// External bus: byte address (16 nets).
+    pub bus_addr: Vec<NetId>,
+    /// External bus: write data (16 nets).
+    pub bus_wdata: Vec<NetId>,
+    /// External bus: read data (16 primary-input nets).
+    pub bus_rdata: Vec<NetId>,
+    /// External bus: write enable.
+    pub bus_wen: NetId,
+    /// `frontend/branch_taken` — the fork net for symbolic exploration.
+    pub branch_taken: NetId,
+    /// One net per FSM state, in [`State`] order.
+    pub states: Vec<NetId>,
+    /// Program counter register outputs.
+    pub pc: Vec<NetId>,
+    /// Instruction register outputs.
+    pub ir: Vec<NetId>,
+    /// General-purpose register outputs: index 1 = SP, 4..=15 GPRs;
+    /// entries 0, 2, 3 are empty (PC / SR / CG are not regfile-backed).
+    pub regs: Vec<Vec<NetId>>,
+    /// Flag register outputs `[C, Z, N, V]`.
+    pub flags: [NetId; 4],
+}
+
+/// FSM states of the core, in one-hot bit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum State {
+    /// Load the reset vector.
+    Reset0,
+    /// Fetch the instruction word.
+    Fetch,
+    /// Decode; read register/CG sources; resolve jumps.
+    Decode,
+    /// Fetch the source index extension word.
+    SrcIdx,
+    /// Read the source operand from memory.
+    SrcRd,
+    /// Fetch the destination index extension word.
+    DstIdx,
+    /// Read the destination operand from memory.
+    DstRd,
+    /// ALU execute and register write-back.
+    Exec,
+    /// Write the result to memory.
+    DstWr,
+    /// Push a word (PUSH/CALL) and update SP / PC.
+    PushWr,
+}
+
+impl State {
+    /// All states in one-hot order.
+    pub const ALL: [State; 10] = [
+        State::Reset0,
+        State::Fetch,
+        State::Decode,
+        State::SrcIdx,
+        State::SrcRd,
+        State::DstIdx,
+        State::DstRd,
+        State::Exec,
+        State::DstWr,
+        State::PushWr,
+    ];
+
+    /// One-hot bit index.
+    pub fn index(self) -> usize {
+        State::ALL.iter().position(|s| *s == self).expect("in ALL")
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Reset0 => "RESET0",
+            State::Fetch => "FETCH",
+            State::Decode => "DECODE",
+            State::SrcIdx => "SRC_IDX",
+            State::SrcRd => "SRC_RD",
+            State::DstIdx => "DST_IDX",
+            State::DstRd => "DST_RD",
+            State::Exec => "EXEC",
+            State::DstWr => "DST_WR",
+            State::PushWr => "PUSH_WR",
+        }
+    }
+}
+
+/// Builds the core; returns the netlist and its net-level interface.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from netlist validation (this indicates a bug
+/// in the builder itself, not bad user input).
+pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
+    let mut r = Rtl::new("xbound_ulp_core");
+    let rdata = r.input("bus_rdata", 16);
+
+    // ---------------- frontend: state, PC, IR, decode ----------------
+    r.set_module("frontend");
+
+    // One-hot state register. Bit 0 (RESET0) is stored inverted so that the
+    // synchronous reset (all flops to 0) lands the FSM in RESET0.
+    let (hstate, sq) = r.reg("state", State::ALL.len());
+    let s_reset0 = r.not(sq[0]);
+    let mut s: Vec<NetId> = vec![s_reset0];
+    s.extend_from_slice(&sq[1..]);
+    let s_fetch = s[State::Fetch.index()];
+    let s_decode = s[State::Decode.index()];
+    let s_srcidx = s[State::SrcIdx.index()];
+    let s_srcrd = s[State::SrcRd.index()];
+    let s_dstidx = s[State::DstIdx.index()];
+    let s_dstrd = s[State::DstRd.index()];
+    let s_exec = s[State::Exec.index()];
+    let s_dstwr = s[State::DstWr.index()];
+    let s_pushwr = s[State::PushWr.index()];
+
+    let (hpc, pc) = r.reg("pc", 16);
+    let (hir, ir) = r.reg("ir", 16);
+
+    // --- instruction field decode (from IR) ---
+    let ir15 = ir[15];
+    let ir14 = ir[14];
+    let ir13 = ir[13];
+    let n15 = r.not(ir15);
+    let n14 = r.not(ir14);
+    let n13 = r.not(ir13);
+    // is_jump: IR[15:13] == 001
+    let is_jump = {
+        let a = r.and(n15, n14);
+        r.and(a, ir13)
+    };
+    // is_one: IR[15:10] == 000100
+    let is_one = {
+        let n11 = r.not(ir[11]);
+        let n10 = r.not(ir[10]);
+        let a = r.and(n15, n14);
+        let b = r.and(n13, ir[12]);
+        let c = r.and(n11, n10);
+        let ab = r.and(a, b);
+        r.and(ab, c)
+    };
+    // is_two: opcode >= 4 (IR[15] | IR[14]) and not jump.
+    let is_two = {
+        let hi = r.or(ir15, ir14);
+        let nj = r.not(is_jump);
+        r.and(hi, nj)
+    };
+
+    // Format-I opcode one-hot (IR[15:12]).
+    let opc: Bus = ir[12..16].to_vec();
+    let op_is = |r: &mut Rtl, v: u64| r.eq_const(&opc, v);
+    let op_mov = op_is(&mut r, 0x4);
+    let op_add = op_is(&mut r, 0x5);
+    let op_addc = op_is(&mut r, 0x6);
+    let op_subc = op_is(&mut r, 0x7);
+    let op_sub = op_is(&mut r, 0x8);
+    let op_cmp = op_is(&mut r, 0x9);
+    let op_bit = op_is(&mut r, 0xB);
+    let op_bic = op_is(&mut r, 0xC);
+    let op_bis = op_is(&mut r, 0xD);
+    let op_xor = op_is(&mut r, 0xE);
+    let op_and = op_is(&mut r, 0xF);
+
+    // Format-II opcode one-hot (IR[9:7]).
+    let one_sel: Bus = ir[7..10].to_vec();
+    let one_rrc0 = r.eq_const(&one_sel, 0);
+    let one_swpb0 = r.eq_const(&one_sel, 1);
+    let one_rra0 = r.eq_const(&one_sel, 2);
+    let one_sxt0 = r.eq_const(&one_sel, 3);
+    let one_push0 = r.eq_const(&one_sel, 4);
+    let one_call0 = r.eq_const(&one_sel, 5);
+    let one_rrc = r.and(is_one, one_rrc0);
+    let one_swpb = r.and(is_one, one_swpb0);
+    let one_rra = r.and(is_one, one_rra0);
+    let one_sxt = r.and(is_one, one_sxt0);
+    let one_push = r.and(is_one, one_push0);
+    let one_call = r.and(is_one, one_call0);
+    let one_rmw = {
+        let a = r.or(one_rrc, one_swpb);
+        let b = r.or(one_rra, one_sxt);
+        r.or(a, b)
+    };
+    let one_pushcall = r.or(one_push, one_call);
+
+    // Register fields.
+    let rs: Bus = ir[8..12].to_vec();
+    let rd: Bus = ir[0..4].to_vec();
+    let as_mode: Bus = ir[4..6].to_vec(); // As (src) / format-II mode
+    let ad = ir[7];
+
+    // Operand register/mode for the source phase (format II uses rd field).
+    let o_reg: Bus = {
+        let sel = is_one;
+        rs.iter()
+            .zip(&rd)
+            .map(|(&a, &b)| r.mux(sel, a, b))
+            .collect()
+    };
+    let mode0 = as_mode[0];
+    let mode1 = as_mode[1];
+    let nmode0 = r.not(mode0);
+    let nmode1 = r.not(mode1);
+    let mode_00 = r.and(nmode1, nmode0);
+    let mode_01 = r.and(nmode1, mode0);
+    let mode_10 = r.and(mode1, nmode0);
+    let mode_11 = r.and(mode1, mode0);
+
+    let oreg_is_r2 = r.eq_const(&o_reg, 2);
+    let oreg_is_r3 = r.eq_const(&o_reg, 3);
+    let oreg_is_pc = r.eq_const(&o_reg, 0);
+
+    // Constant-generator detection.
+    let cg_r2 = {
+        let m = r.or(mode_10, mode_11);
+        r.and(oreg_is_r2, m)
+    };
+    let cg_const = r.or(oreg_is_r3, cg_r2);
+    let not_cg = r.not(cg_const);
+
+    // Operand classes.
+    let o_regmode = r.and(mode_00, not_cg);
+    let o_idx = r.and(mode_01, not_cg);
+    let o_ind0 = r.or(mode_10, mode_11);
+    let o_ind = r.and(o_ind0, not_cg);
+    let o_autoinc = r.and(mode_11, not_cg);
+    let value_ready = r.or(cg_const, o_regmode);
+
+    // Jump condition evaluation (flags defined in exec_unit below; declared
+    // here via placeholder nets is impossible in a flat builder, so the
+    // frontend's branch logic is completed after the flags exist — see the
+    // `branch logic` section further down).
+
+    // ---------------- exec_unit: register file ----------------
+    r.set_module("exec_unit");
+
+    // Flags.
+    let (hflag_c, flag_c_q) = r.reg("flag_c", 1);
+    let (hflag_z, flag_z_q) = r.reg("flag_z", 1);
+    let (hflag_n, flag_n_q) = r.reg("flag_n", 1);
+    let (hflag_v, flag_v_q) = r.reg("flag_v", 1);
+    let fc = flag_c_q[0];
+    let fz = flag_z_q[0];
+    let fn_ = flag_n_q[0];
+    let fv = flag_v_q[0];
+
+    // Register file: r1 (SP) and r4..r15.
+    let rf_indices: Vec<usize> = std::iter::once(1).chain(4..16).collect();
+    let mut rf_handles = Vec::new();
+    let mut rf_q: Vec<Option<Bus>> = vec![None; 16];
+    for &i in &rf_indices {
+        let (h, q) = r.reg(&format!("r{i}"), 16);
+        rf_handles.push((i, h));
+        rf_q[i] = Some(q);
+    }
+
+    // Unified register address (read and write always agree per state).
+    // DECODE/SRC_IDX/SRC_RD -> o_reg ; DST_IDX/EXEC -> rd ; PUSH_WR -> SP(1).
+    let use_oreg = {
+        let a = r.or(s_decode, s_srcidx);
+        r.or(a, s_srcrd)
+    };
+    let one_const: Bus = r.lit(1, 4);
+    let ra: Bus = (0..4)
+        .map(|i| {
+            let dphase = r.mux(use_oreg, rd[i], o_reg[i]);
+            r.mux(s_pushwr, dphase, one_const[i])
+        })
+        .collect();
+    let ra_hot = r.decode(&ra);
+
+    // Composed SR read value (bits C=0, Z=1, N=2, V=8).
+    let zero16 = r.lit(0, 16);
+    let mut sr_read = zero16.clone();
+    sr_read[0] = fc;
+    sr_read[1] = fz;
+    sr_read[2] = fn_;
+    sr_read[8] = fv;
+
+    // Read port: one-hot selection over all 16 architectural registers.
+    let read_choices: Vec<Bus> = (0..16)
+        .map(|i| match i {
+            0 => pc.clone(),
+            2 => sr_read.clone(),
+            3 => zero16.clone(),
+            _ => rf_q[i].clone().expect("regfile register"),
+        })
+        .collect();
+    let regread = r.onehot_mux(&ra_hot, &read_choices);
+
+    // ---------------- mem_backbone: MAR, bus muxes ----------------
+    r.set_module("mem_backbone");
+
+    let (hmar, mar) = r.reg("mar", 16);
+
+    // PC + 2 (shared incrementer for FETCH / SRC_IDX / DST_IDX / @PC+).
+    let two16 = r.lit(2, 16);
+    let (pc_plus2, _) = r.add(&pc, &two16, None);
+    // regread + 2 (auto-increment).
+    let (regread_plus2, _) = r.add(&regread, &two16, None);
+    // SP - 2 for PUSH/CALL.
+    let minus2 = r.lit(0xFFFE, 16);
+    let (sp_minus2, _) = r.add(&regread, &minus2, None);
+
+    // ---------------- exec_unit: SRCV / DSTV ----------------
+    r.set_module("exec_unit");
+
+    let (hsrcv, srcv) = r.reg("srcv", 16);
+    let (hdstv, dstv) = r.reg("dstv", 16);
+
+    // CG constant value.
+    let cg_vals: Vec<Bus> = vec![
+        r.lit(0, 16),
+        r.lit(1, 16),
+        r.lit(2, 16),
+        r.lit(0xFFFF, 16),
+        r.lit(4, 16),
+        r.lit(8, 16),
+    ];
+    let cg_sel: Vec<NetId> = {
+        let c0 = r.and(oreg_is_r3, mode_00);
+        let c1 = r.and(oreg_is_r3, mode_01);
+        let c2 = r.and(oreg_is_r3, mode_10);
+        let cm1 = r.and(oreg_is_r3, mode_11);
+        let c4 = r.and(oreg_is_r2, mode_10);
+        let c8 = r.and(oreg_is_r2, mode_11);
+        vec![c0, c1, c2, cm1, c4, c8]
+    };
+    let cg_value = r.onehot_mux(&cg_sel, &cg_vals);
+
+    // ---------------- exec_unit: ALU ----------------
+    // Operand A: destination value (regread in EXEC for register dst,
+    // DSTV for memory dst). Operand B: SRCV.
+    let two_dst_mem = r.and(is_two, ad);
+    let a_operand = r.mux_bus(two_dst_mem, &regread, &dstv);
+    let b_operand = srcv.clone();
+
+    // Adder path: A + (B ^ sub_mask) + cin.
+    let is_subtract = {
+        let a = r.or(op_sub, op_subc);
+        r.or(a, op_cmp)
+    };
+    let b_adder = {
+        let mask: Bus = b_operand.iter().map(|&b| r.xor(b, is_subtract)).collect();
+        mask
+    };
+    let adder_cin = {
+        // ADD: 0, ADDC/SUBC: C, SUB/CMP: 1.
+        let use_carry = r.or(op_addc, op_subc);
+        let sub_onlyc = r.or(op_sub, op_cmp);
+        let c_or_zero = r.and(use_carry, fc);
+        r.or(c_or_zero, sub_onlyc)
+    };
+    let (sum, carry_out) = r.add(&a_operand, &b_adder, Some(adder_cin));
+
+    // Logic paths.
+    let and_res = r.and_bus(&a_operand, &b_operand);
+    let nb = r.not_bus(&b_operand);
+    let bic_res = r.and_bus(&a_operand, &nb);
+    let bis_res = r.or_bus(&a_operand, &b_operand);
+    let xor_res = r.xor_bus(&a_operand, &b_operand);
+
+    // Format-II unary paths (operate on B = SRCV).
+    let rrc_res: Bus = {
+        let mut v: Bus = b_operand[1..].to_vec();
+        v.push(fc);
+        v
+    };
+    let rra_res: Bus = {
+        let mut v: Bus = b_operand[1..].to_vec();
+        v.push(b_operand[15]);
+        v
+    };
+    let swpb_res: Bus = {
+        let mut v: Bus = b_operand[8..16].to_vec();
+        v.extend_from_slice(&b_operand[0..8]);
+        v
+    };
+    let sxt_res: Bus = {
+        let mut v: Bus = b_operand[0..8].to_vec();
+        v.extend(std::iter::repeat_n(b_operand[7], 8));
+        v
+    };
+
+    // Result mux (one-hot).
+    let use_adder = {
+        let a = r.or(op_add, op_addc);
+        let b = r.or(is_subtract, a);
+        r.and(is_two, b)
+    };
+    let sel_mov = r.and(is_two, op_mov);
+    let sel_and = {
+        let a = r.or(op_and, op_bit);
+        r.and(is_two, a)
+    };
+    let sel_bic = r.and(is_two, op_bic);
+    let sel_bis = r.and(is_two, op_bis);
+    let sel_xor = r.and(is_two, op_xor);
+    let alu_result = r.onehot_mux(
+        &[
+            use_adder, sel_mov, sel_and, sel_bic, sel_bis, sel_xor, one_rrc, one_rra, one_swpb,
+            one_sxt,
+        ],
+        &[
+            sum.clone(),
+            b_operand.clone(),
+            and_res.clone(),
+            bic_res,
+            bis_res,
+            xor_res,
+            rrc_res,
+            rra_res,
+            swpb_res,
+            sxt_res,
+        ],
+    );
+
+    // Flags.
+    let res_zero = r.is_zero(&alu_result);
+    let res_neg = alu_result[15];
+    let nz = r.not(res_zero);
+    let a15 = a_operand[15];
+    let b15 = b_operand[15];
+    let r15n = alu_result[15];
+    // Overflow for add: (a15 & b15 & !r15) | (!a15 & !b15 & r15) — note the
+    // B operand here is the *original* source (before sub inversion).
+    let v_add = {
+        let na = r.not(a15);
+        let nb15 = r.not(b15);
+        let nr = r.not(r15n);
+        let t1 = r.and(a15, b15);
+        let t1 = r.and(t1, nr);
+        let t2 = r.and(na, nb15);
+        let t2 = r.and(t2, r15n);
+        r.or(t1, t2)
+    };
+    let v_sub = {
+        let na = r.not(a15);
+        let nb15 = r.not(b15);
+        let nr = r.not(r15n);
+        let t1 = r.and(a15, nb15);
+        let t1 = r.and(t1, nr);
+        let t2 = r.and(na, b15);
+        let t2 = r.and(t2, r15n);
+        r.or(t1, t2)
+    };
+    let v_xor = r.and(a15, b15);
+    let is_addition = {
+        let a = r.or(op_add, op_addc);
+        r.and(is_two, a)
+    };
+    let is_sub2 = r.and(is_two, is_subtract);
+    let sel_xor2 = sel_xor;
+    let v_flag = r.onehot_mux(
+        &[is_addition, is_sub2, sel_xor2],
+        &[vec![v_add], vec![v_sub], vec![v_xor]],
+    )[0];
+    // Carry: adder ops -> carry_out; AND/BIT/XOR/SXT -> !Z; RRC/RRA -> B[0].
+    let logic_sets_c = {
+        let a = r.or(sel_and, sel_xor);
+        r.or(a, one_sxt)
+    };
+    let shift_sets_c = r.or(one_rrc, one_rra);
+    let c_flag = r.onehot_mux(
+        &[use_adder, logic_sets_c, shift_sets_c],
+        &[vec![carry_out], vec![nz], vec![b_operand[0]]],
+    )[0];
+
+    // Which ops set flags.
+    let two_sets_flags = {
+        let a = r.or(is_addition, is_sub2);
+        let b = r.or(sel_and, sel_xor2);
+        let ab = r.or(a, b);
+        r.and(is_two, ab)
+    };
+    let one_sets_flags = {
+        let a = r.or(one_rrc, one_rra);
+        r.or(a, one_sxt)
+    };
+    let op_sets_flags = r.or(two_sets_flags, one_sets_flags);
+
+    // Write-back controls.
+    let is_test_only = r.or(op_cmp, op_bit);
+    let two_wb = {
+        let nt = r.not(is_test_only);
+        r.and(is_two, nt)
+    };
+    let exec_wb = r.or(two_wb, one_rmw);
+    let rd_is_pc = r.eq_const(&rd, 0);
+    let rd_is_sr = r.eq_const(&rd, 2);
+    let rd_is_cg = r.eq_const(&rd, 3);
+    // Memory-destination detection for the write-back phase:
+    //   format I: Ad == 1 ; format II RMW: operand mode != register/CG.
+    let one_operand_mem = {
+        let m = r.or(o_idx, o_ind);
+        r.and(one_rmw, m)
+    };
+    let needs_dstwr = {
+        let two_mem = r.and(two_wb, ad);
+        r.or(two_mem, one_operand_mem)
+    };
+    let ndw = r.not(needs_dstwr);
+    let wb_reg_dst = r.and(exec_wb, ndw);
+    let exec_writes_pc = r.and(wb_reg_dst, rd_is_pc);
+    let exec_writes_sr = r.and(wb_reg_dst, rd_is_sr);
+    let rd_is_gpr = {
+        let a = r.or(rd_is_pc, rd_is_sr);
+        let b = r.or(a, rd_is_cg);
+        r.not(b)
+    };
+
+    // Flag register update.
+    let flags_en = {
+        let normal = r.and(s_exec, op_sets_flags);
+        let sr_wr = r.and(s_exec, exec_writes_sr);
+        r.or(normal, sr_wr)
+    };
+    let sr_wr_now = r.and(s_exec, exec_writes_sr);
+    let c_next = r.mux(sr_wr_now, c_flag, alu_result[0]);
+    let z_next = r.mux(sr_wr_now, res_zero, alu_result[1]);
+    let n_next = r.mux(sr_wr_now, res_neg, alu_result[2]);
+    let v_next = r.mux(sr_wr_now, v_flag, alu_result[8]);
+    r.reg_next_en(hflag_c, &vec![c_next], flags_en);
+    r.reg_next_en(hflag_z, &vec![z_next], flags_en);
+    r.reg_next_en(hflag_n, &vec![n_next], flags_en);
+    r.reg_next_en(hflag_v, &vec![v_next], flags_en);
+
+    // ---------------- frontend: branch logic ----------------
+    r.set_module("frontend");
+    let cond: Bus = ir[10..13].to_vec();
+    let cnz = r.eq_const(&cond, 0);
+    let cz = r.eq_const(&cond, 1);
+    let cnc = r.eq_const(&cond, 2);
+    let cc = r.eq_const(&cond, 3);
+    let cn = r.eq_const(&cond, 4);
+    let cge = r.eq_const(&cond, 5);
+    let cl = r.eq_const(&cond, 6);
+    let calways = r.eq_const(&cond, 7);
+    let nfz = r.not(fz);
+    let nfc = r.not(fc);
+    let ge_ok = r.xnor(fn_, fv);
+    let l_ok = r.xor(fn_, fv);
+    let cond_ok = {
+        let t0 = r.and(cnz, nfz);
+        let t1 = r.and(cz, fz);
+        let t2 = r.and(cnc, nfc);
+        let t3 = r.and(cc, fc);
+        let t4 = r.and(cn, fn_);
+        let t5 = r.and(cge, ge_ok);
+        let t6 = r.and(cl, l_ok);
+        let o01 = r.or(t0, t1);
+        let o23 = r.or(t2, t3);
+        let o45 = r.or(t4, t5);
+        let o67 = r.or(t6, calways);
+        let a = r.or(o01, o23);
+        let b = r.or(o45, o67);
+        r.or(a, b)
+    };
+    let bt_raw = r.and(is_jump, cond_ok);
+    let branch_taken = r.probe("frontend/branch_taken", bt_raw);
+
+    // Branch target: PC + sext(offset) * 2 (PC already points past the jump).
+    let off_sext: Bus = {
+        let mut v: Bus = Vec::with_capacity(16);
+        v.push(r.zero()); // << 1
+        v.extend_from_slice(&ir[0..10]);
+        let sign = ir[9];
+        v.extend(std::iter::repeat_n(sign, 5));
+        v
+    };
+    let (pc_branch, _) = r.add(&pc, &off_sext, None);
+
+    // ---------------- FSM next-state ----------------
+    let route_dstidx = r.and(two_wb, ad); // CMP/BIT to memory skip write but still read
+    // Note: test-only ops with memory destination still go DST_IDX/DST_RD for
+    // the read; they just skip DST_WR. So routing uses is_two & Ad.
+    let route_dstidx = {
+        let _ = route_dstidx;
+        r.and(is_two, ad)
+    };
+    let route_push = one_pushcall;
+    let route_exec = {
+        let a = r.or(route_dstidx, route_push);
+        r.not(a)
+    };
+    let njump = r.not(is_jump);
+    let dec_operand = r.and(s_decode, njump);
+    let dec_ready = r.and(dec_operand, value_ready);
+    let value_done = r.or(dec_ready, s_srcrd);
+
+    let next_fetch = {
+        let jd = r.and(s_decode, is_jump);
+        let ef = r.and(s_exec, ndw);
+        let a = r.or(s_reset0, jd);
+        let b = r.or(ef, s_dstwr);
+        let c = r.or(b, s_pushwr);
+        r.or(a, c)
+    };
+    let next_decode = s_fetch;
+    let next_srcidx = r.and(dec_operand, o_idx);
+    let next_srcrd = {
+        let d = r.and(dec_operand, o_ind);
+        r.or(d, s_srcidx)
+    };
+    let next_dstidx = r.and(value_done, route_dstidx);
+    let next_dstrd = s_dstidx;
+    let next_exec = {
+        let a = r.and(value_done, route_exec);
+        r.or(a, s_dstrd)
+    };
+    let next_dstwr = r.and(s_exec, needs_dstwr);
+    let next_pushwr = r.and(value_done, route_push);
+
+    let mut state_next: Vec<NetId> = Vec::with_capacity(State::ALL.len());
+    let never = r.zero();
+    state_next.push(r.not(never)); // stored-inverted RESET0: next raw bit = 1
+    state_next.push(next_fetch);
+    state_next.push(next_decode);
+    state_next.push(next_srcidx);
+    state_next.push(next_srcrd);
+    state_next.push(next_dstidx);
+    state_next.push(next_dstrd);
+    state_next.push(next_exec);
+    state_next.push(next_dstwr);
+    state_next.push(next_pushwr);
+    r.reg_next(hstate, &state_next);
+
+    // ---------------- PC update ----------------
+    let autoinc_pc = {
+        let a = r.and(s_srcrd, o_autoinc);
+        r.and(a, oreg_is_pc)
+    };
+    let dec_branch = {
+        let a = r.and(s_decode, branch_taken);
+        a
+    };
+    let call_now = r.and(s_pushwr, one_call);
+    let pc_from_inc = {
+        let a = r.or(s_fetch, s_srcidx);
+        let b = r.or(a, s_dstidx);
+        r.or(b, autoinc_pc)
+    };
+    let exec_pc_wr = r.and(s_exec, exec_writes_pc);
+    let pc_en = {
+        let a = r.or(s_reset0, pc_from_inc);
+        let b = r.or(dec_branch, exec_pc_wr);
+        let c = r.or(a, b);
+        r.or(c, call_now)
+    };
+    // mem_rdata (peripheral-merged read data) is defined below; the PC next
+    // value needs it for RESET0, so build the peripheral block first.
+
+    // ---------------- peripherals ----------------
+    // Bus address mux (mem_backbone).
+    r.set_module("mem_backbone");
+    let vector16 = r.lit(memmap::RESET_VECTOR as u64, 16);
+    let addr_mar = {
+        let a = r.or(s_srcrd, s_dstrd);
+        r.or(a, s_dstwr)
+    };
+    let bus_addr = {
+        // Default PC; override with MAR / SP-2 / reset vector.
+        let from_mar = r.mux_bus(addr_mar, &pc, &mar);
+        let from_push = r.mux_bus(s_pushwr, &from_mar, &sp_minus2);
+        r.mux_bus(s_reset0, &from_push, &vector16)
+    };
+    let bus_wen = r.or(s_dstwr, s_pushwr);
+    // Write data: DST_WR -> DSTV (ALU result), PUSH_WR -> SRCV or PC (call).
+    let push_data = r.mux_bus(one_call, &srcv, &pc);
+    let bus_wdata = r.mux_bus(s_pushwr, &dstv, &push_data);
+
+    // Peripheral write strobes (decode on bus_addr).
+    let wr_hit = |r: &mut Rtl, addr: u64, wen: NetId, bus: &Bus| {
+        let hit = r.eq_const(bus, addr);
+        r.and(hit, wen)
+    };
+
+    // multiplier
+    r.set_module("multiplier");
+    let (hop1, op1) = r.reg("op1", 16);
+    let (hsigned, signed_q) = r.reg("signed", 1);
+    let (hop2, op2) = r.reg("op2", 16);
+    let (hpend, pend_q) = r.reg("pend", 1);
+    let (hreslo, reslo) = r.reg("reslo", 16);
+    let (hreshi, reshi) = r.reg("reshi", 16);
+    let wr_mpy = wr_hit(&mut r, memmap::MPY as u64, bus_wen, &bus_addr);
+    let wr_mpys = wr_hit(&mut r, memmap::MPYS as u64, bus_wen, &bus_addr);
+    let wr_op2 = wr_hit(&mut r, memmap::OP2 as u64, bus_wen, &bus_addr);
+    let wr_op1 = r.or(wr_mpy, wr_mpys);
+    r.reg_next_en(hop1, &bus_wdata, wr_op1);
+    r.reg_next_en(hsigned, &vec![wr_mpys], wr_op1);
+    r.reg_next_en(hop2, &bus_wdata, wr_op2);
+    r.reg_next(hpend, &vec![wr_op2]);
+    // 16x16 unsigned array multiplier + signed correction.
+    let product = r.mul(&op1, &op2); // 32 bits
+    let prod_lo: Bus = product[0..16].to_vec();
+    let prod_hi: Bus = product[16..32].to_vec();
+    let corr_hi = {
+        // signed: high -= (op1[15] ? op2 : 0) + (op2[15] ? op1 : 0)
+        let m1 = r.mask_bus(&op2, op1[15]);
+        let m2 = r.mask_bus(&op1, op2[15]);
+        let (h1, _) = r.sub(&prod_hi, &m1);
+        let (h2, _) = r.sub(&h1, &m2);
+        h2
+    };
+    let reshi_d = r.mux_bus(signed_q[0], &prod_hi, &corr_hi);
+    r.reg_next_en(hreslo, &prod_lo, pend_q[0]);
+    r.reg_next_en(hreshi, &reshi_d, pend_q[0]);
+
+    // watchdog
+    r.set_module("watchdog");
+    let (hwdt, wdtctl) = r.reg("wdtctl", 16);
+    let (hwcnt, wcnt) = r.reg("wcnt", 16);
+    let wr_wdt = wr_hit(&mut r, memmap::WDTCTL as u64, bus_wen, &bus_addr);
+    r.reg_next_en(hwdt, &bus_wdata, wr_wdt);
+    let hold = wdtctl[7];
+    let one1 = r.one();
+    let (wcnt_inc, _) = r.inc(&wcnt, one1);
+    let wcnt_next = r.mux_bus(hold, &wcnt_inc, &wcnt);
+    r.reg_next(hwcnt, &wcnt_next);
+
+    // clk_module
+    r.set_module("clk_module");
+    let (hclkctl, clkctl) = r.reg("clkctl", 16);
+    let (hdiv, div) = r.reg("div", 4);
+    let wr_clk = wr_hit(&mut r, memmap::CLKCTL as u64, bus_wen, &bus_addr);
+    r.reg_next_en(hclkctl, &bus_wdata, wr_clk);
+    let (div_inc, _) = r.inc(&div, one1);
+    r.reg_next(hdiv, &div_inc);
+
+    // sfr
+    r.set_module("sfr");
+    let (hp1out, p1out) = r.reg("p1out", 16);
+    let wr_p1 = wr_hit(&mut r, memmap::P1OUT as u64, bus_wen, &bus_addr);
+    r.reg_next_en(hp1out, &bus_wdata, wr_p1);
+
+    // dbg
+    r.set_module("dbg");
+    let (hdbg0, dbg0) = r.reg("dbg0", 16);
+    let (hdbg1, dbg1) = r.reg("dbg1", 16);
+    let wr_d0 = wr_hit(&mut r, memmap::DBG0 as u64, bus_wen, &bus_addr);
+    let wr_d1 = wr_hit(&mut r, memmap::DBG1 as u64, bus_wen, &bus_addr);
+    r.reg_next_en(hdbg0, &bus_wdata, wr_d0);
+    r.reg_next_en(hdbg1, &bus_wdata, wr_d1);
+
+    // Peripheral read mux (mem_backbone).
+    r.set_module("mem_backbone");
+    let rd_hits: Vec<(u64, Bus)> = vec![
+        (memmap::MPY as u64, op1.clone()),
+        (memmap::MPYS as u64, op1.clone()),
+        (memmap::OP2 as u64, op2.clone()),
+        (memmap::RESLO as u64, reslo.clone()),
+        (memmap::RESHI as u64, reshi.clone()),
+        (memmap::WDTCTL as u64, wdtctl.clone()),
+        (memmap::CLKCTL as u64, clkctl.clone()),
+        (memmap::P1OUT as u64, p1out.clone()),
+        (memmap::DBG0 as u64, dbg0.clone()),
+        (memmap::DBG1 as u64, dbg1.clone()),
+    ];
+    let mut hit_nets = Vec::new();
+    let mut hit_data = Vec::new();
+    for (addr, data) in &rd_hits {
+        let h = r.eq_const(&bus_addr, *addr);
+        hit_nets.push(h);
+        hit_data.push(data.clone());
+    }
+    let periph_any = r.or_all(&hit_nets);
+    let periph_data = r.onehot_mux(&hit_nets, &hit_data);
+    let mem_rdata = r.mux_bus(periph_any, &rdata, &periph_data);
+
+    // ---------------- frontend: PC / IR / SRCV / DSTV / MAR nexts ----------
+    r.set_module("frontend");
+    // PC next value.
+    let pc_next = {
+        // Priority: RESET0 vector load, branch, exec write, call, else +2.
+        let v = r.mux_bus(s_reset0, &pc_plus2, &mem_rdata);
+        let v = r.mux_bus(dec_branch, &v, &pc_branch);
+        let v = r.mux_bus(exec_pc_wr, &v, &alu_result);
+        r.mux_bus(call_now, &v, &srcv)
+    };
+    r.reg_next_en(hpc, &pc_next, pc_en);
+    r.reg_next_en(hir, &mem_rdata, s_fetch);
+
+    // SRCV: DECODE (CG or register value), SRC_RD (memory data).
+    r.set_module("exec_unit");
+    let srcv_dec = r.mux_bus(cg_const, &regread, &cg_value);
+    let srcv_d = r.mux_bus(s_srcrd, &srcv_dec, &mem_rdata);
+    let srcv_en = {
+        let a = r.and(s_decode, value_ready);
+        r.or(a, s_srcrd)
+    };
+    r.reg_next_en(hsrcv, &srcv_d, srcv_en);
+
+    // DSTV: DST_RD (memory data), EXEC (ALU result for DST_WR).
+    let dstv_d = r.mux_bus(s_exec, &mem_rdata, &alu_result);
+    let dstv_en = {
+        let e = r.and(s_exec, needs_dstwr);
+        r.or(s_dstrd, e)
+    };
+    r.reg_next_en(hdstv, &dstv_d, dstv_en);
+
+    // MAR: DECODE (@Rn), SRC_IDX (ext + base), DST_IDX (ext + base).
+    r.set_module("mem_backbone");
+    // Index base: r2 -> 0 (absolute), r0 -> PC+2? No: at SRC_IDX the ext word
+    // is being fetched at PC, and PC+2 is the post-extension PC; MSP430
+    // symbolic mode x(PC) uses the address of the extension word + x. The
+    // assembler does not emit symbolic mode, so base r0 uses PC as-is.
+    let idx_reg = r.mux_bus(s_dstidx, &o_reg, &rd); // which register field
+    let idx_is_r2 = r.eq_const(&idx_reg, 2);
+    let base_raw = regread.clone();
+    let not_abs = r.not(idx_is_r2);
+    let base = r.mask_bus(&base_raw, not_abs);
+    let (idx_addr, _) = r.add(&mem_rdata, &base, None);
+    let mar_d = {
+        let dec = r.mux_bus(s_decode, &idx_addr, &regread);
+        dec
+    };
+    let mar_en = {
+        let d = r.and(s_decode, o_ind);
+        let i = r.or(s_srcidx, s_dstidx);
+        r.or(d, i)
+    };
+    r.reg_next_en(hmar, &mar_d, mar_en);
+
+    // ---------------- exec_unit: register file writes ----------------
+    r.set_module("exec_unit");
+    let autoinc_rf = {
+        let a = r.and(s_srcrd, o_autoinc);
+        let npc = r.not(oreg_is_pc);
+        r.and(a, npc)
+    };
+    let exec_rf_wr = {
+        let w = r.and(s_exec, wb_reg_dst);
+        r.and(w, rd_is_gpr)
+    };
+    let rf_wen = {
+        let a = r.or(autoinc_rf, exec_rf_wr);
+        r.or(a, s_pushwr)
+    };
+    let rf_wdata = {
+        let v = r.mux_bus(s_exec, &regread_plus2, &alu_result);
+        r.mux_bus(s_pushwr, &v, &sp_minus2)
+    };
+    for (i, h) in rf_handles {
+        let en = r.and(ra_hot[i], rf_wen);
+        r.reg_next_en(h, &rf_wdata, en);
+    }
+
+    // ---------------- outputs ----------------
+    r.set_module("mem_backbone");
+    let bus_addr_out: Vec<NetId> = bus_addr
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| r.probe(&format!("bus_addr[{i}]"), n))
+        .collect();
+    let bus_wdata_out: Vec<NetId> = bus_wdata
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| r.probe(&format!("bus_wdata[{i}]"), n))
+        .collect();
+    let bus_wen_out = r.probe("bus_wen", bus_wen);
+    r.output("bus_addr", &bus_addr_out);
+    r.output("bus_wdata", &bus_wdata_out);
+    r.output_bit("bus_wen", bus_wen_out);
+    r.output_bit("branch_taken", branch_taken);
+
+    let io = CpuIo {
+        bus_addr: bus_addr_out,
+        bus_wdata: bus_wdata_out,
+        bus_rdata: rdata,
+        bus_wen: bus_wen_out,
+        branch_taken,
+        states: s,
+        pc,
+        ir,
+        regs: {
+            let mut v: Vec<Vec<NetId>> = vec![Vec::new(); 16];
+            for i in rf_indices {
+                v[i] = rf_q[i].clone().expect("regfile register");
+            }
+            v
+        },
+        flags: [fc, fz, fn_, fv],
+    };
+    let nl = r.finish()?;
+    Ok((nl, io))
+}

@@ -1,0 +1,721 @@
+//! The gate-level MSP430-class core under analysis.
+//!
+//! This crate builds (at gate level, through the RTL builder) the processor
+//! that stands in for the paper's placed-and-routed openMSP430: a multicycle
+//! MSP430-subset core organized into the module hierarchy the paper reports
+//! (`frontend`, `exec_unit`, `mem_backbone`, `multiplier`, `sfr`,
+//! `watchdog`, `clk_module`, `dbg`), with a von-Neumann external bus serving
+//! program ROM, data RAM, and the input-port region.
+//!
+//! [`Cpu::build`] constructs the netlist once; [`Cpu::new_sim`] attaches a
+//! three-valued simulator with the standard memory map; [`Cpu::load_program`]
+//! loads an assembled [`xbound_msp430::Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_cpu::Cpu;
+//! use xbound_msp430::assemble;
+//!
+//! let cpu = Cpu::build()?;
+//! let program = assemble("main: mov #3, r4\n add r4, r4\n jmp $\n")?;
+//! let mut sim = cpu.new_sim();
+//! Cpu::load_program(&mut sim, &program, true);
+//! for _ in 0..40 {
+//!     sim.step();
+//! }
+//! sim.eval().unwrap();
+//! let arch = cpu.arch_state(&sim);
+//! assert_eq!(arch.reg(4).to_u16(), Some(6));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod build;
+
+pub use build::{build_cpu, CpuIo, State};
+
+use xbound_logic::{Lv, XWord};
+use xbound_msp430::{memmap, Program};
+use xbound_netlist::{Netlist, NetlistError};
+use xbound_sim::{BusSpec, MemRegion, RegionKind, Simulator};
+
+/// The built core: netlist + net-level interface.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    nl: Netlist,
+    io: CpuIo,
+}
+
+/// Architectural state extracted from a simulation frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: XWord,
+    /// r1 (SP) and r4–r15; entries 0/2/3 are [`XWord::ALL_X`] placeholders.
+    pub regs: [XWord; 16],
+    /// `[C, Z, N, V]`.
+    pub flags: [Lv; 4],
+}
+
+impl ArchState {
+    /// Value of register `n` (PC for 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics for r2/r3 (not regfile-backed; read flags via `flags`).
+    pub fn reg(&self, n: usize) -> XWord {
+        match n {
+            0 => self.pc,
+            2 | 3 => panic!("r2/r3 are not regfile-backed; use flags"),
+            _ => self.regs[n],
+        }
+    }
+
+    /// Status register composed from the flag bits (other bits zero).
+    pub fn sr(&self) -> XWord {
+        let mut w = XWord::ZERO;
+        w.set_bit(0, self.flags[0]);
+        w.set_bit(1, self.flags[1]);
+        w.set_bit(2, self.flags[2]);
+        w.set_bit(8, self.flags[3]);
+        w
+    }
+}
+
+impl Cpu {
+    /// Builds the core netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation — this would indicate a
+    /// builder bug, not user error.
+    pub fn build() -> Result<Cpu, NetlistError> {
+        let (nl, io) = build_cpu()?;
+        Ok(Cpu { nl, io })
+    }
+
+    /// The gate-level netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// The net-level interface.
+    pub fn io(&self) -> &CpuIo {
+        &self.io
+    }
+
+    /// Creates a simulator with the standard memory map attached:
+    /// `pmem` (ROM @ 0xF000), `dmem` (RAM @ 0x0200), `inport` (port region
+    /// @ 0x0020, all-X until written by the harness).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the generated netlist and bus spec disagree (a bug).
+    pub fn new_sim(&self) -> Simulator<'_> {
+        let mut sim = Simulator::new(&self.nl);
+        let bus = BusSpec {
+            addr: self.io.bus_addr.clone(),
+            wdata: self.io.bus_wdata.clone(),
+            rdata: self.io.bus_rdata.clone(),
+            wen: Some(self.io.bus_wen),
+        };
+        let mems = vec![
+            MemRegion::new("pmem", RegionKind::Rom, memmap::PMEM_BASE, memmap::PMEM_WORDS),
+            MemRegion::new("dmem", RegionKind::Ram, memmap::DMEM_BASE, memmap::DMEM_WORDS),
+            MemRegion::new(
+                "inport",
+                RegionKind::Port,
+                memmap::INPORT_BASE,
+                memmap::INPORT_WORDS,
+            ),
+        ];
+        sim.attach_bus(bus, mems).expect("CPU bus spec is valid");
+        sim
+    }
+
+    /// Loads a program image and schedules a 2-cycle reset.
+    ///
+    /// Image words at ROM addresses initialize `pmem`; words at RAM
+    /// addresses initialize `dmem` (data sections). The reset vector is set
+    /// to the program entry. With `concrete` set, data memory and the input
+    /// port are zero-filled to match the ISS initial state; otherwise they
+    /// stay all-X (the paper's symbolic initial condition).
+    pub fn load_program(sim: &mut Simulator<'_>, program: &Program, concrete: bool) {
+        if concrete {
+            sim.mem_mut("dmem").expect("dmem").fill(XWord::from_u16(0));
+            sim.mem_mut("inport")
+                .expect("inport")
+                .fill(XWord::from_u16(0));
+            // Real ROMs have definite contents everywhere; unprogrammed
+            // words read as 0 (matching the ISS), so concrete traces carry
+            // no X values. Symbolic runs keep unprogrammed ROM as X.
+            sim.mem_mut("pmem").expect("pmem").fill(XWord::from_u16(0));
+        }
+        {
+            let pmem = sim.mem_mut("pmem").expect("pmem");
+            for &(addr, w) in program.words() {
+                if addr >= memmap::PMEM_BASE {
+                    pmem.write(addr, XWord::from_u16(w));
+                }
+            }
+            pmem.write(memmap::RESET_VECTOR, XWord::from_u16(program.entry()));
+        }
+        {
+            let dmem = sim.mem_mut("dmem").expect("dmem");
+            for &(addr, w) in program.words() {
+                let dmem_end = memmap::DMEM_BASE + (memmap::DMEM_WORDS as u16) * 2;
+                if (memmap::DMEM_BASE..dmem_end).contains(&addr) {
+                    dmem.write(addr, XWord::from_u16(w));
+                }
+            }
+        }
+        sim.reset(2);
+    }
+
+    /// Writes harness-provided input values into the input-port region.
+    pub fn set_inputs(sim: &mut Simulator<'_>, values: &[u16]) {
+        let port = sim.mem_mut("inport").expect("inport");
+        for (i, v) in values.iter().enumerate() {
+            port.write(
+                memmap::INPORT_BASE + (i * 2) as u16,
+                XWord::from_u16(*v),
+            );
+        }
+    }
+
+    /// Reads the FSM state from the current frame (if one-hot and known).
+    pub fn state(&self, sim: &Simulator<'_>) -> Option<State> {
+        let mut found = None;
+        for (i, &net) in self.io.states.iter().enumerate() {
+            match sim.value(net) {
+                Lv::One => {
+                    if found.is_some() {
+                        return None; // not one-hot
+                    }
+                    found = Some(State::ALL[i]);
+                }
+                Lv::Zero => {}
+                Lv::X => return None,
+            }
+        }
+        found
+    }
+
+    /// Extracts the architectural state from the current frame.
+    pub fn arch_state(&self, sim: &Simulator<'_>) -> ArchState {
+        let word = |nets: &[xbound_netlist::NetId]| sim.value_word(nets);
+        let mut regs = [XWord::ALL_X; 16];
+        for (i, nets) in self.io.regs.iter().enumerate() {
+            if !nets.is_empty() {
+                regs[i] = word(nets);
+            }
+        }
+        ArchState {
+            pc: word(&self.io.pc),
+            regs,
+            flags: [
+                sim.value(self.io.flags[0]),
+                sim.value(self.io.flags[1]),
+                sim.value(self.io.flags[2]),
+                sim.value(self.io.flags[3]),
+            ],
+        }
+    }
+
+    /// The instruction register value in the current frame.
+    pub fn ir_word(&self, sim: &Simulator<'_>) -> XWord {
+        sim.value_word(&self.io.ir)
+    }
+
+    /// Runs until the next cycle whose settled frame is in `FETCH` state, or
+    /// `max_cycles` elapse. Returns `true` if a fetch cycle was reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus fails to settle (X-address feedback), which cannot
+    /// happen for concrete runs of valid programs.
+    pub fn run_to_fetch(&self, sim: &mut Simulator<'_>, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            sim.eval().expect("bus settles");
+            if self.state(sim) == Some(State::Fetch) {
+                return true;
+            }
+            sim.commit();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbound_msp430::iss::Iss;
+    use xbound_msp430::{assemble, memmap};
+
+    fn cpu() -> Cpu {
+        Cpu::build().expect("core builds")
+    }
+
+    /// Runs `src` on both the gate-level core and the ISS; compares
+    /// architectural state at every instruction boundary and the final data
+    /// memory. Returns the gate-level cycle count from the first fetch.
+    fn cross_check(cpu: &Cpu, src: &str, inputs: &[u16], max_instrs: u64) -> u64 {
+        let program = assemble(src).expect("assembles");
+        let mut iss = Iss::new(&program);
+        iss.set_inputs(inputs);
+        let mut sim = cpu.new_sim();
+        Cpu::load_program(&mut sim, &program, true);
+        Cpu::set_inputs(&mut sim, inputs);
+        // Run through reset into the first FETCH.
+        sim.step(); // reset cycle 1
+        sim.step(); // reset cycle 2
+        sim.step(); // RESET0 (vector load)
+        sim.eval().unwrap();
+        assert_eq!(cpu.state(&sim), Some(State::Fetch), "reset lands in FETCH");
+        let first_fetch_cycle = sim.cycle();
+        let mut halted_pc: Option<u16> = None;
+        for step in 0..max_instrs {
+            // At a FETCH-state cycle the previous instruction has retired:
+            // compare architectural state.
+            let arch = cpu.arch_state(&sim);
+            let ctx = format!("instr boundary {step}, cycle {}", sim.cycle());
+            assert_eq!(
+                arch.pc.to_u16(),
+                Some(iss.pc()),
+                "{ctx}: PC mismatch (gate {} vs iss {:04x})",
+                arch.pc,
+                iss.pc()
+            );
+            for rn in [1usize, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15] {
+                assert_eq!(
+                    arch.regs[rn].to_u16(),
+                    Some(iss.reg(rn as u8)),
+                    "{ctx}: r{rn} mismatch"
+                );
+            }
+            let mask = 0x0107; // C,Z,N,V
+            assert_eq!(
+                arch.sr().to_u16().map(|v| v & mask),
+                Some(iss.sr() & mask),
+                "{ctx}: flags mismatch"
+            );
+            if halted_pc == Some(iss.pc()) {
+                break;
+            }
+            // Advance ISS one instruction.
+            let retire = iss.step().expect("iss step");
+            if retire.next_pc == retire.pc {
+                halted_pc = Some(retire.pc);
+            }
+            // Advance gate sim the same number of cycles.
+            for _ in 0..retire.cycles {
+                sim.commit();
+                sim.eval().expect("bus settles");
+            }
+            assert_eq!(
+                cpu.state(&sim),
+                Some(State::Fetch),
+                "{ctx}: core not back in FETCH after {} cycles of `{}`",
+                retire.cycles,
+                retire.instr
+            );
+        }
+        assert!(halted_pc.is_some(), "program must halt in a self-loop");
+        // Final data memory comparison.
+        let dmem = sim.mem("dmem").expect("dmem");
+        for (i, w) in dmem.data().iter().enumerate() {
+            assert_eq!(
+                w.to_u16(),
+                Some(iss.dmem()[i]),
+                "dmem[{i}] mismatch at end"
+            );
+        }
+        sim.cycle() - first_fetch_cycle
+    }
+
+    #[test]
+    fn core_statistics() {
+        let c = cpu();
+        assert!(
+            c.netlist().gate_count() > 3000,
+            "core should be a few thousand cells, got {}",
+            c.netlist().gate_count()
+        );
+        // All eight paper modules are present.
+        let names: Vec<&str> = c.netlist().modules().iter().map(|s| s.as_str()).collect();
+        for m in [
+            "frontend",
+            "exec_unit",
+            "mem_backbone",
+            "multiplier",
+            "sfr",
+            "watchdog",
+            "clk_module",
+            "dbg",
+        ] {
+            assert!(names.contains(&m), "missing module {m}");
+        }
+    }
+
+    #[test]
+    fn mov_add_and_jump() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #3, r4
+                mov #11, r5
+                add r4, r5
+                sub #1, r5
+                jmp $
+            "#,
+            &[],
+            64,
+        );
+    }
+
+    #[test]
+    fn all_two_operand_ops() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #0x5A5A, r4
+                mov #0x0FF0, r5
+                add r4, r5
+                addc r4, r5
+                sub r4, r5
+                subc r4, r5
+                cmp r4, r5
+                bit #0x10, r5
+                bic #0x3, r5
+                bis #0x8001, r5
+                xor r4, r5
+                and #0x7FFF, r5
+                jmp $
+            "#,
+            &[],
+            64,
+        );
+    }
+
+    #[test]
+    fn addressing_modes() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #0x0300, r6
+                mov #0x1234, @r6      ; -> error? @rn not a dst: use indexed
+                jmp $
+            "#
+            .replace("mov #0x1234, @r6      ; -> error? @rn not a dst: use indexed", "mov #0x1234, 0(r6)")
+            .as_str(),
+            &[],
+            64,
+        );
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #0x0300, r6
+                mov #0xBEEF, 0(r6)
+                mov #0xCAFE, 2(r6)
+                mov @r6, r7
+                mov @r6+, r8
+                mov @r6+, r9
+                mov -4(r6), r10
+                mov #0x0304, r11
+                mov #0x1111, &0x0308
+                mov &0x0308, r12
+                cmp #0xBEEF, r7
+                jne fail
+                mov #1, r15
+                jmp done
+            fail:
+                mov #0, r15
+            done:
+                jmp $
+            "#,
+            &[],
+            128,
+        );
+    }
+
+    #[test]
+    fn conditional_jumps_all_directions() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #5, r4
+                cmp #5, r4
+                jeq eq_ok
+                jmp $
+            eq_ok:
+                cmp #6, r4
+                jl lt_ok          ; 5 < 6 signed
+                jmp $
+            lt_ok:
+                cmp #4, r4
+                jge ge_ok
+                jmp $
+            ge_ok:
+                mov #0xFFFF, r5   ; -1
+                cmp #1, r5
+                jl neg_ok         ; -1 < 1 signed
+                jmp $
+            neg_ok:
+                add #1, r5        ; -1 + 1 = 0, carry out
+                jc carry_ok
+                jmp $
+            carry_ok:
+                jz zero_ok
+                jmp $
+            zero_ok:
+                mov #0x8000, r6
+                add r6, r6        ; overflow
+                jn not_here
+                mov #42, r7
+            not_here:
+                jmp $
+            "#,
+            &[],
+            128,
+        );
+    }
+
+    #[test]
+    fn format_ii_ops() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #0x8005, r4
+                rra r4
+                setc
+                rrc r4
+                swpb r4
+                sxt r4
+                mov #0x0300, r6
+                mov #0x00F0, 0(r6)
+                rra 0(r6)
+                mov #0x8001, 2(r6)
+                rrc 2(r6)
+                jmp $
+            "#,
+            &[],
+            128,
+        );
+    }
+
+    #[test]
+    fn stack_push_pop_call_ret() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #0x0A00, sp
+                mov #7, r4
+                push r4
+                push #0x1234
+                pop r5
+                pop r6
+                call #double
+                call #double
+                jmp $
+            double:
+                add r4, r4
+                ret
+            "#,
+            &[],
+            200,
+        );
+    }
+
+    #[test]
+    fn hardware_multiplier_matches_iss() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #1234, &0x0130
+                mov #567, &0x0138
+                nop
+                mov &0x013A, r4
+                mov &0x013C, r5
+                mov #0xFFFE, &0x0132  ; -2 signed
+                mov #1000, &0x0138
+                nop
+                mov &0x013A, r6
+                mov &0x013C, r7
+                jmp $
+            "#,
+            &[],
+            128,
+        );
+    }
+
+    #[test]
+    fn input_port_and_peripheral_regs() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov &0x0020, r4
+                mov &0x0022, r5
+                add r4, r5
+                mov r5, &0x0062      ; P1OUT
+                mov &0x0062, r6
+                mov #0x5A80, &0x0120 ; stop watchdog
+                mov &0x0120, r7
+                mov r4, &0x01F0      ; DBG0
+                mov &0x01F0, r8
+                jmp $
+            "#,
+            &[1111, 2222],
+            128,
+        );
+    }
+
+    #[test]
+    fn input_dependent_branch_concrete() {
+        for inputs in [[0u16], [1u16], [99u16]] {
+            cross_check(
+                &cpu(),
+                r#"
+                main:
+                    mov &0x0020, r4
+                    cmp #1, r4
+                    jeq one
+                    mov #100, r5
+                    jmp done
+                one:
+                    mov #200, r5
+                done:
+                    jmp $
+                "#,
+                &inputs,
+                64,
+            );
+        }
+    }
+
+    #[test]
+    fn loop_with_table_walk() {
+        cross_check(
+            &cpu(),
+            r#"
+            main:
+                mov #tbl, r6
+                mov #0, r4
+                mov #4, r5
+            loop:
+                add @r6+, r4
+                dec r5
+                jnz loop
+                mov r4, &0x0200
+                jmp $
+            tbl: .word 10, 20, 30, 40
+            "#,
+            &[],
+            256,
+        );
+    }
+
+    #[test]
+    fn cycle_counts_match_iss_formula() {
+        // cross_check already asserts per-instruction cycle alignment; this
+        // checks a whole-program total explicitly.
+        let c = cpu();
+        let cycles = cross_check(
+            &c,
+            "main: mov #5, r4\n add r4, r4\n jmp $\n",
+            &[],
+            16,
+        );
+        // mov #5 (4) + add (3) + jmp (2); the final jmp $ boundary is
+        // re-visited once before the checker stops.
+        assert!(cycles >= 9, "got {cycles}");
+    }
+
+    #[test]
+    fn symbolic_input_x_propagates_but_fsm_stays_concrete() {
+        let c = cpu();
+        let program = assemble(
+            "main: mov &0x0020, r4\n add r4, r4\n mov r4, &0x0200\n jmp $\n",
+        )
+        .unwrap();
+        let mut sim = c.new_sim();
+        Cpu::load_program(&mut sim, &program, false); // dmem/inport stay X
+        for _ in 0..40 {
+            sim.eval().expect("bus settles even with X data");
+            assert!(
+                c.state(&sim).is_some(),
+                "FSM must stay concrete under X data at cycle {}",
+                sim.cycle()
+            );
+            sim.commit();
+        }
+        sim.eval().unwrap();
+        let arch = c.arch_state(&sim);
+        assert!(arch.regs[4].has_x(), "r4 holds X from the input port");
+        // The X was stored to dmem[0].
+        let dmem = sim.mem("dmem").unwrap();
+        assert!(dmem.read(memmap::DMEM_BASE).has_x());
+        // And the PC is concrete (no input-dependent control flow).
+        assert!(arch.pc.is_fully_known());
+    }
+
+    #[test]
+    fn branch_taken_goes_x_on_input_dependent_branch() {
+        let c = cpu();
+        let program = assemble(
+            r#"
+            main:
+                mov &0x0020, r4
+                cmp #1, r4
+                jeq one
+                mov #100, r5
+                jmp done
+            one:
+                mov #200, r5
+            done:
+                jmp $
+            "#,
+        )
+        .unwrap();
+        let mut sim = c.new_sim();
+        Cpu::load_program(&mut sim, &program, false);
+        let mut saw_x_branch = false;
+        for _ in 0..64 {
+            sim.eval().expect("bus settles");
+            if c.state(&sim) == Some(State::Decode)
+                && sim.value(c.io().branch_taken) == Lv::X
+            {
+                saw_x_branch = true;
+                // Next PC must carry X -> the fork condition of Algorithm 1.
+                let next = sim.ff_next_values();
+                let pc_nets: Vec<usize> = c
+                    .io()
+                    .pc
+                    .iter()
+                    .map(|n| {
+                        sim.netlist()
+                            .sequential_gates()
+                            .iter()
+                            .position(|&g| sim.netlist().gate(g).output() == *n)
+                            .expect("pc is a flop")
+                    })
+                    .collect();
+                assert!(
+                    pc_nets.iter().any(|&i| next[i] == Lv::X),
+                    "PC next must carry X at the input-dependent branch"
+                );
+                break;
+            }
+            sim.commit();
+        }
+        assert!(saw_x_branch, "input-dependent branch must X the condition");
+    }
+}

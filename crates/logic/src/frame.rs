@@ -1,0 +1,312 @@
+//! Packed per-cycle value frames.
+
+use crate::Lv;
+use std::hash::{Hash, Hasher};
+
+/// The value of every net in a netlist at one instant, packed 2 bits per net.
+///
+/// Frames are the unit of storage for simulation traces: the symbolic
+/// execution tree of Algorithm 1 stores one frame per simulated cycle, and
+/// Algorithm 2's even/odd X-assignment reads pairs of consecutive frames.
+///
+/// Two bit-planes are kept (`val`, `unk`) so that common operations — toggle
+/// counting, subsumption checks, hashing — reduce to word-wide bit math.
+///
+/// # Example
+///
+/// ```
+/// use xbound_logic::{Frame, Lv};
+///
+/// let mut f = Frame::new(70);
+/// f.set(3, Lv::One);
+/// f.set(69, Lv::X);
+/// assert_eq!(f.get(3), Lv::One);
+/// assert_eq!(f.get(69), Lv::X);
+/// assert_eq!(f.get(0), Lv::Zero);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Frame {
+    len: usize,
+    val: Vec<u64>,
+    unk: Vec<u64>,
+}
+
+impl Frame {
+    /// Creates a frame of `len` nets, all `0`.
+    pub fn new(len: usize) -> Frame {
+        let words = len.div_ceil(64);
+        Frame {
+            len,
+            val: vec![0; words],
+            unk: vec![0; words],
+        }
+    }
+
+    /// Creates a frame of `len` nets, all `X`.
+    pub fn new_all_x(len: usize) -> Frame {
+        let words = len.div_ceil(64);
+        let mut unk = vec![u64::MAX; words];
+        if let Some(last) = unk.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+            if len == 0 {
+                *last = 0;
+            }
+        }
+        Frame {
+            len,
+            val: vec![0; words],
+            unk,
+        }
+    }
+
+    /// Number of nets in the frame.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the frame holds no nets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads net `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Lv {
+        assert!(i < self.len, "net index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if (self.unk[w] >> b) & 1 == 1 {
+            Lv::X
+        } else if (self.val[w] >> b) & 1 == 1 {
+            Lv::One
+        } else {
+            Lv::Zero
+        }
+    }
+
+    /// Writes net `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: Lv) {
+        assert!(i < self.len, "net index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let m = 1u64 << b;
+        match v {
+            Lv::Zero => {
+                self.val[w] &= !m;
+                self.unk[w] &= !m;
+            }
+            Lv::One => {
+                self.val[w] |= m;
+                self.unk[w] &= !m;
+            }
+            Lv::X => {
+                self.val[w] &= !m;
+                self.unk[w] |= m;
+            }
+        }
+    }
+
+    /// Number of nets whose value differs between the two frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different lengths.
+    pub fn diff_count(&self, other: &Frame) -> usize {
+        assert_eq!(self.len, other.len, "frame length mismatch");
+        let mut n = 0usize;
+        for w in 0..self.val.len() {
+            let differs =
+                (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
+            n += differs.count_ones() as usize;
+        }
+        n
+    }
+
+    /// Indices of nets whose value differs between the two frames.
+    pub fn diff_indices(&self, other: &Frame) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "frame length mismatch");
+        let mut out = Vec::new();
+        for w in 0..self.val.len() {
+            let mut differs =
+                (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
+            while differs != 0 {
+                let b = differs.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                differs &= differs - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of `X` nets in the frame.
+    pub fn x_count(&self) -> usize {
+        self.unk.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Lattice subsumption: every net of `self` covers the matching net of
+    /// `other` (see [`Lv::covers`]).
+    pub fn covers(&self, other: &Frame) -> bool {
+        assert_eq!(self.len, other.len, "frame length mismatch");
+        for w in 0..self.val.len() {
+            let both_known_diff =
+                !self.unk[w] & !other.unk[w] & (self.val[w] ^ other.val[w]);
+            let other_x_self_known = other.unk[w] & !self.unk[w];
+            if both_known_diff != 0 || other_x_self_known != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// In-place lattice join with `other` (bitwise least upper bound).
+    pub fn join_in_place(&mut self, other: &Frame) {
+        assert_eq!(self.len, other.len, "frame length mismatch");
+        for w in 0..self.val.len() {
+            let unk =
+                self.unk[w] | other.unk[w] | (self.val[w] ^ other.val[w]);
+            self.unk[w] = unk;
+            self.val[w] &= !unk;
+        }
+    }
+
+    /// A 64-bit content hash (FNV-1a over both planes).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.len as u64);
+        for &w in &self.val {
+            mix(w);
+        }
+        for &w in &self.unk {
+            mix(w);
+        }
+        h
+    }
+}
+
+impl Hash for Frame {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.content_hash());
+    }
+}
+
+impl FromIterator<Lv> for Frame {
+    fn from_iter<T: IntoIterator<Item = Lv>>(iter: T) -> Frame {
+        let vals: Vec<Lv> = iter.into_iter().collect();
+        let mut f = Frame::new(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            f.set(i, v);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let f = Frame::new(100);
+        assert_eq!(f.len(), 100);
+        assert!((0..100).all(|i| f.get(i) == Lv::Zero));
+        assert_eq!(f.x_count(), 0);
+    }
+
+    #[test]
+    fn new_all_x_tail_is_exact() {
+        let f = Frame::new_all_x(65);
+        assert_eq!(f.x_count(), 65);
+        assert!((0..65).all(|i| f.get(i) == Lv::X));
+        let g = Frame::new_all_x(64);
+        assert_eq!(g.x_count(), 64);
+    }
+
+    #[test]
+    fn set_get_round_trip_across_word_boundary() {
+        let mut f = Frame::new(130);
+        f.set(63, Lv::One);
+        f.set(64, Lv::X);
+        f.set(129, Lv::One);
+        assert_eq!(f.get(63), Lv::One);
+        assert_eq!(f.get(64), Lv::X);
+        assert_eq!(f.get(129), Lv::One);
+        f.set(64, Lv::Zero);
+        assert_eq!(f.get(64), Lv::Zero);
+        assert_eq!(f.x_count(), 0);
+    }
+
+    #[test]
+    fn diff_count_and_indices_agree() {
+        let mut a = Frame::new(200);
+        let mut b = Frame::new(200);
+        a.set(0, Lv::One);
+        a.set(100, Lv::X);
+        b.set(150, Lv::One);
+        assert_eq!(a.diff_count(&b), 3);
+        assert_eq!(a.diff_indices(&b), vec![0, 100, 150]);
+    }
+
+    #[test]
+    fn x_to_known_counts_as_difference() {
+        let mut a = Frame::new(8);
+        let mut b = Frame::new(8);
+        a.set(2, Lv::X);
+        b.set(2, Lv::Zero);
+        assert_eq!(a.diff_count(&b), 1);
+        b.set(2, Lv::One);
+        assert_eq!(a.diff_count(&b), 1);
+        assert_eq!(a.diff_indices(&b), vec![2]);
+    }
+
+    #[test]
+    fn covers_and_join() {
+        let mut a = Frame::new(10);
+        let mut b = Frame::new(10);
+        a.set(1, Lv::One);
+        b.set(1, Lv::Zero);
+        assert!(!a.covers(&b));
+        let mut j = a.clone();
+        j.join_in_place(&b);
+        assert!(j.covers(&a) && j.covers(&b));
+        assert_eq!(j.get(1), Lv::X);
+        assert_eq!(j.get(0), Lv::Zero);
+    }
+
+    #[test]
+    fn content_hash_differs_for_x_vs_one() {
+        let mut a = Frame::new(10);
+        let mut b = Frame::new(10);
+        a.set(5, Lv::X);
+        b.set(5, Lv::One);
+        assert_ne!(a.content_hash(), b.content_hash());
+        let c = a.clone();
+        assert_eq!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn from_iterator_builds_frame() {
+        let f: Frame = [Lv::One, Lv::X, Lv::Zero].into_iter().collect();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get(0), Lv::One);
+        assert_eq!(f.get(1), Lv::X);
+        assert_eq!(f.get(2), Lv::Zero);
+    }
+}

@@ -1,0 +1,260 @@
+//! 16-bit words of three-valued logic.
+
+use crate::Lv;
+
+/// A 16-bit word whose bits are three-valued [`Lv`]s.
+///
+/// Internally two bit-planes are kept: `val` holds the value of known bits and
+/// `unk` marks unknown (`X`) bits. Bits marked unknown always have a zero
+/// `val` bit so that equal words compare equal structurally.
+///
+/// # Example
+///
+/// ```
+/// use xbound_logic::{Lv, XWord};
+///
+/// let w = XWord::from_u16(0xBEEF);
+/// assert_eq!(w.to_u16(), Some(0xBEEF));
+/// let mut w = w;
+/// w.set_bit(0, Lv::X);
+/// assert_eq!(w.to_u16(), None);
+/// assert!(w.bit(0).is_x());
+/// assert_eq!(w.bit(1), Lv::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct XWord {
+    val: u16,
+    unk: u16,
+}
+
+impl XWord {
+    /// The fully unknown word (all 16 bits `X`).
+    pub const ALL_X: XWord = XWord {
+        val: 0,
+        unk: 0xFFFF,
+    };
+
+    /// The all-zero word.
+    pub const ZERO: XWord = XWord { val: 0, unk: 0 };
+
+    /// Builds a fully known word from a `u16`.
+    #[inline]
+    pub fn from_u16(v: u16) -> XWord {
+        XWord { val: v, unk: 0 }
+    }
+
+    /// Builds a word from raw bit-planes. `unk` bits override `val` bits.
+    #[inline]
+    pub fn from_planes(val: u16, unk: u16) -> XWord {
+        XWord {
+            val: val & !unk,
+            unk,
+        }
+    }
+
+    /// Value bit-plane (unknown bits read as 0).
+    #[inline]
+    pub fn val_plane(self) -> u16 {
+        self.val
+    }
+
+    /// Unknown-mask bit-plane.
+    #[inline]
+    pub fn unk_plane(self) -> u16 {
+        self.unk
+    }
+
+    /// Returns the concrete value if every bit is known.
+    #[inline]
+    pub fn to_u16(self) -> Option<u16> {
+        if self.unk == 0 {
+            Some(self.val)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if every bit is known.
+    #[inline]
+    pub fn is_fully_known(self) -> bool {
+        self.unk == 0
+    }
+
+    /// `true` if at least one bit is unknown.
+    #[inline]
+    pub fn has_x(self) -> bool {
+        self.unk != 0
+    }
+
+    /// Number of unknown bits.
+    #[inline]
+    pub fn x_count(self) -> u32 {
+        self.unk.count_ones()
+    }
+
+    /// Reads bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub fn bit(self, i: usize) -> Lv {
+        assert!(i < 16, "bit index {i} out of range");
+        if (self.unk >> i) & 1 == 1 {
+            Lv::X
+        } else if (self.val >> i) & 1 == 1 {
+            Lv::One
+        } else {
+            Lv::Zero
+        }
+    }
+
+    /// Writes bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize, v: Lv) {
+        assert!(i < 16, "bit index {i} out of range");
+        let m = 1u16 << i;
+        match v {
+            Lv::Zero => {
+                self.val &= !m;
+                self.unk &= !m;
+            }
+            Lv::One => {
+                self.val |= m;
+                self.unk &= !m;
+            }
+            Lv::X => {
+                self.val &= !m;
+                self.unk |= m;
+            }
+        }
+    }
+
+    /// Iterator over the 16 bits, LSB first.
+    pub fn bits(self) -> impl Iterator<Item = Lv> {
+        (0..16).map(move |i| self.bit(i))
+    }
+
+    /// Lattice subsumption: every bit of `self` covers the matching bit of
+    /// `other` (see [`Lv::covers`]).
+    #[inline]
+    pub fn covers(self, other: XWord) -> bool {
+        // self covers other iff for each bit: self is X, or both known equal.
+        let both_known_diff = !self.unk & !other.unk & (self.val ^ other.val);
+        let other_x_self_known = other.unk & !self.unk;
+        both_known_diff == 0 && other_x_self_known == 0
+    }
+
+    /// Lattice join: bitwise least upper bound.
+    #[inline]
+    pub fn join(self, other: XWord) -> XWord {
+        let unk = self.unk | other.unk | (self.val ^ other.val);
+        XWord::from_planes(self.val, unk)
+    }
+
+    /// Low byte as a new word with the high byte zeroed.
+    #[inline]
+    pub fn low_byte(self) -> XWord {
+        XWord {
+            val: self.val & 0xFF,
+            unk: self.unk & 0xFF,
+        }
+    }
+}
+
+impl From<u16> for XWord {
+    fn from(v: u16) -> XWord {
+        XWord::from_u16(v)
+    }
+}
+
+impl std::fmt::Display for XWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..16).rev() {
+            write!(f, "{}", self.bit(i).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u16_round_trip() {
+        for v in [0u16, 1, 0xFFFF, 0xBEEF, 0x8000] {
+            assert_eq!(XWord::from_u16(v).to_u16(), Some(v));
+        }
+    }
+
+    #[test]
+    fn all_x_has_no_concrete_value() {
+        assert_eq!(XWord::ALL_X.to_u16(), None);
+        assert_eq!(XWord::ALL_X.x_count(), 16);
+        for i in 0..16 {
+            assert_eq!(XWord::ALL_X.bit(i), Lv::X);
+        }
+    }
+
+    #[test]
+    fn set_bit_each_value() {
+        let mut w = XWord::from_u16(0);
+        w.set_bit(3, Lv::One);
+        assert_eq!(w.bit(3), Lv::One);
+        w.set_bit(3, Lv::X);
+        assert_eq!(w.bit(3), Lv::X);
+        assert!(w.has_x());
+        w.set_bit(3, Lv::Zero);
+        assert_eq!(w, XWord::ZERO);
+    }
+
+    #[test]
+    fn planes_normalize_unknown_bits() {
+        let w = XWord::from_planes(0xFFFF, 0x00FF);
+        assert_eq!(w.val_plane(), 0xFF00, "X bits must zero their val bits");
+        assert_eq!(w.unk_plane(), 0x00FF);
+    }
+
+    #[test]
+    fn covers_reflexive_and_top() {
+        let w = XWord::from_u16(0x1234);
+        assert!(w.covers(w));
+        assert!(XWord::ALL_X.covers(w));
+        assert!(!w.covers(XWord::ALL_X));
+    }
+
+    #[test]
+    fn covers_detects_known_mismatch() {
+        let a = XWord::from_u16(0x0001);
+        let b = XWord::from_u16(0x0000);
+        assert!(!a.covers(b));
+        assert!(!b.covers(a));
+        let mut ax = a;
+        ax.set_bit(0, Lv::X);
+        assert!(ax.covers(a));
+        assert!(ax.covers(b));
+    }
+
+    #[test]
+    fn join_matches_bitwise_join() {
+        let a = XWord::from_u16(0b1010);
+        let b = XWord::from_u16(0b1100);
+        let j = a.join(b);
+        for i in 0..16 {
+            assert_eq!(j.bit(i), a.bit(i).join(b.bit(i)), "bit {i}");
+        }
+        assert!(j.covers(a) && j.covers(b));
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let mut w = XWord::from_u16(0x8001);
+        w.set_bit(4, Lv::X);
+        assert_eq!(w.to_string(), "10000000000x0001");
+    }
+}

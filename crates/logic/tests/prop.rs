@@ -1,0 +1,95 @@
+//! Property-based tests for the three-valued logic lattice.
+
+use proptest::prelude::*;
+use xbound_logic::{Frame, Lv, XWord};
+
+fn arb_lv() -> impl Strategy<Value = Lv> {
+    prop_oneof![Just(Lv::Zero), Just(Lv::One), Just(Lv::X)]
+}
+
+fn arb_xword() -> impl Strategy<Value = XWord> {
+    (any::<u16>(), any::<u16>()).prop_map(|(v, u)| XWord::from_planes(v, u))
+}
+
+proptest! {
+    /// X-pessimism: a gate output computed with X inputs must cover the output
+    /// computed with any concrete refinement of those inputs.
+    #[test]
+    fn gate_monotone_under_refinement(a in arb_lv(), b in arb_lv(),
+                                      ca in any::<bool>(), cb in any::<bool>()) {
+        // Refine X inputs to arbitrary concrete values.
+        let ra = a.to_bool().unwrap_or(ca);
+        let rb = b.to_bool().unwrap_or(cb);
+        let (ra, rb) = (Lv::from_bool(ra), Lv::from_bool(rb));
+        prop_assert!(a.and(b).covers(ra.and(rb)));
+        prop_assert!(a.or(b).covers(ra.or(rb)));
+        prop_assert!(a.xor(b).covers(ra.xor(rb)));
+        prop_assert!(a.nand(b).covers(ra.nand(rb)));
+        prop_assert!(a.not().covers(ra.not()));
+    }
+
+    /// Mux is monotone under refinement of the select and both data inputs.
+    #[test]
+    fn mux_monotone_under_refinement(s in arb_lv(), a in arb_lv(), b in arb_lv(),
+                                     cs in any::<bool>(), ca in any::<bool>(), cb in any::<bool>()) {
+        let rs = Lv::from_bool(s.to_bool().unwrap_or(cs));
+        let ra = Lv::from_bool(a.to_bool().unwrap_or(ca));
+        let rb = Lv::from_bool(b.to_bool().unwrap_or(cb));
+        prop_assert!(Lv::mux(s, a, b).covers(Lv::mux(rs, ra, rb)));
+    }
+
+    /// Join is commutative, associative, idempotent, and an upper bound.
+    #[test]
+    fn join_lattice_laws(a in arb_lv(), b in arb_lv(), c in arb_lv()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert!(a.join(b).covers(a));
+    }
+
+    /// XWord::covers matches per-bit Lv::covers; join matches per-bit join.
+    #[test]
+    fn xword_matches_bitwise_semantics(a in arb_xword(), b in arb_xword()) {
+        let bitwise_covers = (0..16).all(|i| a.bit(i).covers(b.bit(i)));
+        prop_assert_eq!(a.covers(b), bitwise_covers);
+        let j = a.join(b);
+        for i in 0..16 {
+            prop_assert_eq!(j.bit(i), a.bit(i).join(b.bit(i)));
+        }
+    }
+
+    /// Frame set/get round-trips and diff_indices finds exactly the changed nets.
+    #[test]
+    fn frame_roundtrip_and_diff(vals in proptest::collection::vec(arb_lv(), 1..300),
+                                edits in proptest::collection::vec((any::<usize>(), arb_lv()), 0..20)) {
+        let mut a: Frame = vals.clone().into_iter().collect();
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(a.get(i), *v);
+        }
+        let b = a.clone();
+        let mut touched = std::collections::BTreeSet::new();
+        for (idx, v) in edits {
+            let i = idx % a.len();
+            a.set(i, v);
+            if a.get(i) != b.get(i) {
+                touched.insert(i);
+            } else {
+                touched.remove(&i);
+            }
+        }
+        prop_assert_eq!(a.diff_indices(&b), touched.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Frame join produces a frame covering both operands.
+    #[test]
+    fn frame_join_covers(vals_a in proptest::collection::vec(arb_lv(), 1..100),
+                         vals_b in proptest::collection::vec(arb_lv(), 1..100)) {
+        let n = vals_a.len().min(vals_b.len());
+        let a: Frame = vals_a[..n].iter().copied().collect();
+        let b: Frame = vals_b[..n].iter().copied().collect();
+        let mut j = a.clone();
+        j.join_in_place(&b);
+        prop_assert!(j.covers(&a));
+        prop_assert!(j.covers(&b));
+    }
+}

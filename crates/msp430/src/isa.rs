@@ -1,0 +1,830 @@
+//! Instruction representation, binary encoder/decoder, disassembly.
+//!
+//! The encoder/decoder implement the real MSP430 encodings, including the
+//! constant-generator forms through `r2`/`r3` that let small immediates
+//! (`#0, #1, #2, #4, #8, #-1`) be encoded without extension words — which
+//! matters for power because it removes fetch cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_msp430::isa::{decode, encode, Instr, Operand, TwoOp};
+//! use xbound_msp430::Reg;
+//!
+//! let i = Instr::Two {
+//!     op: TwoOp::Add,
+//!     src: Operand::Imm(2),
+//!     dst: Operand::Reg(Reg::new(4)),
+//! };
+//! let enc = encode(&i)?;
+//! assert_eq!(enc.len(), 1, "#2 uses the constant generator");
+//! let (back, used) = decode(&enc, 0xF000)?;
+//! assert_eq!(used, 1);
+//! assert_eq!(back, i);
+//! # Ok::<(), xbound_msp430::isa::IsaError>(())
+//! ```
+
+use crate::Reg;
+use std::fmt;
+
+/// Format-I (double-operand) opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoOp {
+    /// Copy source to destination (no flags).
+    Mov,
+    /// Add.
+    Add,
+    /// Add with carry.
+    Addc,
+    /// Subtract with carry (borrow).
+    Subc,
+    /// Subtract.
+    Sub,
+    /// Compare (subtract, flags only).
+    Cmp,
+    /// Test bits (AND, flags only).
+    Bit,
+    /// Clear bits (`dst &= !src`, no flags).
+    Bic,
+    /// Set bits (`dst |= src`, no flags).
+    Bis,
+    /// Exclusive or.
+    Xor,
+    /// Logical and.
+    And,
+}
+
+impl TwoOp {
+    /// All format-I opcodes.
+    pub const ALL: [TwoOp; 11] = [
+        TwoOp::Mov,
+        TwoOp::Add,
+        TwoOp::Addc,
+        TwoOp::Subc,
+        TwoOp::Sub,
+        TwoOp::Cmp,
+        TwoOp::Bit,
+        TwoOp::Bic,
+        TwoOp::Bis,
+        TwoOp::Xor,
+        TwoOp::And,
+    ];
+
+    fn opcode(self) -> u16 {
+        match self {
+            TwoOp::Mov => 0x4,
+            TwoOp::Add => 0x5,
+            TwoOp::Addc => 0x6,
+            TwoOp::Subc => 0x7,
+            TwoOp::Sub => 0x8,
+            TwoOp::Cmp => 0x9,
+            TwoOp::Bit => 0xB,
+            TwoOp::Bic => 0xC,
+            TwoOp::Bis => 0xD,
+            TwoOp::Xor => 0xE,
+            TwoOp::And => 0xF,
+        }
+    }
+
+    fn from_opcode(op: u16) -> Option<TwoOp> {
+        TwoOp::ALL.iter().copied().find(|o| o.opcode() == op)
+    }
+
+    /// `true` for CMP/BIT: the result is not written back.
+    pub fn is_test_only(self) -> bool {
+        matches!(self, TwoOp::Cmp | TwoOp::Bit)
+    }
+
+    /// Mnemonic string.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TwoOp::Mov => "mov",
+            TwoOp::Add => "add",
+            TwoOp::Addc => "addc",
+            TwoOp::Subc => "subc",
+            TwoOp::Sub => "sub",
+            TwoOp::Cmp => "cmp",
+            TwoOp::Bit => "bit",
+            TwoOp::Bic => "bic",
+            TwoOp::Bis => "bis",
+            TwoOp::Xor => "xor",
+            TwoOp::And => "and",
+        }
+    }
+}
+
+/// Format-II (single-operand) opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OneOp {
+    /// Rotate right through carry.
+    Rrc,
+    /// Swap bytes.
+    Swpb,
+    /// Arithmetic shift right.
+    Rra,
+    /// Sign-extend low byte.
+    Sxt,
+    /// Push onto stack.
+    Push,
+    /// Call subroutine.
+    Call,
+}
+
+impl OneOp {
+    /// All format-II opcodes.
+    pub const ALL: [OneOp; 6] = [
+        OneOp::Rrc,
+        OneOp::Swpb,
+        OneOp::Rra,
+        OneOp::Sxt,
+        OneOp::Push,
+        OneOp::Call,
+    ];
+
+    fn opcode9(self) -> u16 {
+        // Bits [15:7] of the instruction word.
+        match self {
+            OneOp::Rrc => 0b000100_000,
+            OneOp::Swpb => 0b000100_001,
+            OneOp::Rra => 0b000100_010,
+            OneOp::Sxt => 0b000100_011,
+            OneOp::Push => 0b000100_100,
+            OneOp::Call => 0b000100_101,
+        }
+    }
+
+    fn from_opcode9(op: u16) -> Option<OneOp> {
+        OneOp::ALL.iter().copied().find(|o| o.opcode9() == op)
+    }
+
+    /// `true` for operations that write the operand location back.
+    pub fn writes_back(self) -> bool {
+        matches!(self, OneOp::Rrc | OneOp::Swpb | OneOp::Rra | OneOp::Sxt)
+    }
+
+    /// Mnemonic string.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OneOp::Rrc => "rrc",
+            OneOp::Swpb => "swpb",
+            OneOp::Rra => "rra",
+            OneOp::Sxt => "sxt",
+            OneOp::Push => "push",
+            OneOp::Call => "call",
+        }
+    }
+}
+
+/// Jump conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Z == 0 (`jne`/`jnz`).
+    Nz,
+    /// Z == 1 (`jeq`/`jz`).
+    Z,
+    /// C == 0 (`jnc`).
+    Nc,
+    /// C == 1 (`jc`).
+    C,
+    /// N == 1 (`jn`).
+    N,
+    /// N XOR V == 0 (`jge`).
+    Ge,
+    /// N XOR V == 1 (`jl`).
+    L,
+    /// Always (`jmp`).
+    Always,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 8] = [
+        Cond::Nz,
+        Cond::Z,
+        Cond::Nc,
+        Cond::C,
+        Cond::N,
+        Cond::Ge,
+        Cond::L,
+        Cond::Always,
+    ];
+
+    fn code(self) -> u16 {
+        Cond::ALL.iter().position(|c| *c == self).expect("in ALL") as u16
+    }
+
+    /// Mnemonic string.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Nz => "jnz",
+            Cond::Z => "jz",
+            Cond::Nc => "jnc",
+            Cond::C => "jc",
+            Cond::N => "jn",
+            Cond::Ge => "jge",
+            Cond::L => "jl",
+            Cond::Always => "jmp",
+        }
+    }
+}
+
+/// An addressing-mode-resolved operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register direct.
+    Reg(Reg),
+    /// Indexed: `offset(rn)`.
+    Indexed(Reg, i16),
+    /// Register indirect: `@rn` (source/format-II only).
+    Indirect(Reg),
+    /// Register indirect with auto-increment: `@rn+` (source/format-II only).
+    IndirectInc(Reg),
+    /// Immediate (`#n`); encoded via constant generators when possible.
+    Imm(i32),
+    /// Absolute: `&addr`.
+    Abs(u16),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Indexed(r, off) => write!(f, "{off}({r})"),
+            Operand::Indirect(r) => write!(f, "@{r}"),
+            Operand::IndirectInc(r) => write!(f, "@{r}+"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+            Operand::Abs(a) => write!(f, "&0x{a:04x}"),
+        }
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Format I: two operands.
+    Two {
+        /// Opcode.
+        op: TwoOp,
+        /// Source operand.
+        src: Operand,
+        /// Destination operand (register, indexed, or absolute).
+        dst: Operand,
+    },
+    /// Format II: one operand.
+    One {
+        /// Opcode.
+        op: OneOp,
+        /// The operand.
+        dst: Operand,
+    },
+    /// Conditional/unconditional PC-relative jump.
+    Jump {
+        /// Condition.
+        cond: Cond,
+        /// Signed word offset; target = PC_of_jump + 2 + 2·offset.
+        offset: i16,
+    },
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Two { op, src, dst } => {
+                write!(f, "{} {src}, {dst}", op.mnemonic())
+            }
+            Instr::One { op, dst } => write!(f, "{} {dst}", op.mnemonic()),
+            Instr::Jump { cond, offset } => {
+                write!(f, "{} {:+}", cond.mnemonic(), (*offset as i32) * 2 + 2)
+            }
+        }
+    }
+}
+
+/// Errors from encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The operand is not legal in this position (e.g. `@rn` destination).
+    BadOperand {
+        /// Description.
+        message: String,
+    },
+    /// Jump offset does not fit in 10 bits.
+    JumpOutOfRange {
+        /// The offending word offset.
+        offset: i32,
+    },
+    /// The word sequence does not decode to a supported instruction.
+    BadEncoding {
+        /// The first instruction word.
+        word: u16,
+    },
+    /// More extension words were needed than provided.
+    Truncated,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOperand { message } => write!(f, "bad operand: {message}"),
+            IsaError::JumpOutOfRange { offset } => {
+                write!(f, "jump offset {offset} words out of range (±511)")
+            }
+            IsaError::BadEncoding { word } => {
+                write!(f, "word 0x{word:04x} is not a supported instruction")
+            }
+            IsaError::Truncated => write!(f, "instruction stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Source addressing encoding: `(reg, As, extension word)`.
+fn encode_src_opt(src: Operand, force_imm_ext: bool) -> Result<(u8, u16, Option<u16>), IsaError> {
+    Ok(match src {
+        Operand::Reg(r) => (r.num(), 0b00, None),
+        Operand::Indexed(r, off) => {
+            if r == Reg::SR || r == Reg::CG {
+                return Err(IsaError::BadOperand {
+                    message: format!("indexed mode on {r}"),
+                });
+            }
+            (r.num(), 0b01, Some(off as u16))
+        }
+        Operand::Indirect(r) => (r.num(), 0b10, None),
+        Operand::IndirectInc(r) => (r.num(), 0b11, None),
+        Operand::Abs(a) => (Reg::SR.num(), 0b01, Some(a)),
+        Operand::Imm(v) => {
+            if !(-32768..=65535).contains(&v) {
+                return Err(IsaError::BadOperand {
+                    message: format!("immediate {v} out of 16-bit range"),
+                });
+            }
+            match v {
+                _ if force_imm_ext => (Reg::PC.num(), 0b11, Some(v as u16)),
+                0 => (Reg::CG.num(), 0b00, None),
+                1 => (Reg::CG.num(), 0b01, None),
+                2 => (Reg::CG.num(), 0b10, None),
+                -1 => (Reg::CG.num(), 0b11, None),
+                4 => (Reg::SR.num(), 0b10, None),
+                8 => (Reg::SR.num(), 0b11, None),
+                _ => (Reg::PC.num(), 0b11, Some(v as u16)),
+            }
+        }
+    })
+}
+
+/// Destination addressing encoding: `(reg, Ad, extension word)`.
+fn encode_dst(dst: Operand) -> Result<(u8, u16, Option<u16>), IsaError> {
+    Ok(match dst {
+        Operand::Reg(r) => (r.num(), 0, None),
+        Operand::Indexed(r, off) => {
+            if r == Reg::SR || r == Reg::CG {
+                return Err(IsaError::BadOperand {
+                    message: format!("indexed destination on {r}"),
+                });
+            }
+            (r.num(), 1, Some(off as u16))
+        }
+        Operand::Abs(a) => (Reg::SR.num(), 1, Some(a)),
+        other => {
+            return Err(IsaError::BadOperand {
+                message: format!("destination mode `{other}` not encodable"),
+            })
+        }
+    })
+}
+
+/// Encodes an instruction to 1–3 words.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] for unencodable operands or out-of-range jumps.
+pub fn encode(instr: &Instr) -> Result<Vec<u16>, IsaError> {
+    encode_opt(instr, false)
+}
+
+/// Like [`encode`], with `force_imm_ext` disabling the constant generators so
+/// immediates always take an extension word (used by the assembler for
+/// forward-referenced symbols whose final value might hit a CG constant).
+///
+/// # Errors
+///
+/// Returns [`IsaError`] for unencodable operands or out-of-range jumps.
+pub fn encode_opt(instr: &Instr, force_imm_ext: bool) -> Result<Vec<u16>, IsaError> {
+    match *instr {
+        Instr::Two { op, src, dst } => {
+            let (sreg, as_, sext) = encode_src_opt(src, force_imm_ext)?;
+            let (dreg, ad, dext) = encode_dst(dst)?;
+            let w = (op.opcode() << 12)
+                | ((sreg as u16) << 8)
+                | (ad << 7)
+                | (as_ << 4)
+                | dreg as u16;
+            let mut out = vec![w];
+            out.extend(sext);
+            out.extend(dext);
+            Ok(out)
+        }
+        Instr::One { op, dst } => {
+            let (reg, mode, ext) = match dst {
+                Operand::Reg(r) => (r.num(), 0b00, None),
+                Operand::Indexed(r, off) => (r.num(), 0b01, Some(off as u16)),
+                Operand::Indirect(r) => (r.num(), 0b10, None),
+                Operand::IndirectInc(r) => (r.num(), 0b11, None),
+                Operand::Abs(a) => (Reg::SR.num(), 0b01, Some(a)),
+                Operand::Imm(v) => {
+                    if op != OneOp::Push && op != OneOp::Call {
+                        return Err(IsaError::BadOperand {
+                            message: format!("immediate operand on {}", op.mnemonic()),
+                        });
+                    }
+                    let (r, m, e) = encode_src_opt(Operand::Imm(v), force_imm_ext)?;
+                    (r, m, e)
+                }
+            };
+            let w = ((op.opcode9()) << 7) | ((mode as u16) << 4) | reg as u16;
+            let mut out = vec![w];
+            out.extend(ext);
+            Ok(out)
+        }
+        Instr::Jump { cond, offset } => {
+            if !(-512..=511).contains(&(offset as i32)) {
+                return Err(IsaError::JumpOutOfRange {
+                    offset: offset as i32,
+                });
+            }
+            let w = 0x2000 | (cond.code() << 10) | ((offset as u16) & 0x3FF);
+            Ok(vec![w])
+        }
+    }
+}
+
+/// Sequential reader over extension words.
+struct ExtReader<'a> {
+    words: &'a [u16],
+    idx: usize,
+}
+
+impl ExtReader<'_> {
+    fn next(&mut self) -> Result<u16, IsaError> {
+        let v = *self.words.get(self.idx).ok_or(IsaError::Truncated)?;
+        self.idx += 1;
+        Ok(v)
+    }
+}
+
+/// Decodes a source operand from `(reg, As)` plus extension words.
+fn decode_src(reg: u8, as_: u16, ext: &mut ExtReader<'_>) -> Result<Operand, IsaError> {
+    let r = Reg::new(reg);
+    Ok(match (r, as_) {
+        (Reg::CG, 0b00) => Operand::Imm(0),
+        (Reg::CG, 0b01) => Operand::Imm(1),
+        (Reg::CG, 0b10) => Operand::Imm(2),
+        (Reg::CG, 0b11) => Operand::Imm(-1),
+        (Reg::SR, 0b10) => Operand::Imm(4),
+        (Reg::SR, 0b11) => Operand::Imm(8),
+        (Reg::SR, 0b01) => Operand::Abs(ext.next()?),
+        (Reg::PC, 0b11) => Operand::Imm(ext.next()? as i32),
+        (_, 0b00) => Operand::Reg(r),
+        (_, 0b01) => Operand::Indexed(r, ext.next()? as i16),
+        (_, 0b10) => Operand::Indirect(r),
+        (_, 0b11) => Operand::IndirectInc(r),
+        _ => unreachable!("As is 2 bits"),
+    })
+}
+
+/// Decodes one instruction from a word slice.
+///
+/// `pc` is the address of `words[0]` (used only for diagnostics). Returns the
+/// instruction and the number of words consumed.
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadEncoding`] for unsupported opcodes (including
+/// `DADD`, `RETI`, and all byte-mode forms) and [`IsaError::Truncated`] when
+/// extension words are missing.
+pub fn decode(words: &[u16], pc: u16) -> Result<(Instr, usize), IsaError> {
+    let _ = pc;
+    let w = *words.first().ok_or(IsaError::Truncated)?;
+    let mut ext = ExtReader {
+        words: &words[1..],
+        idx: 0,
+    };
+    if w >> 13 == 0b001 {
+        let cond = Cond::ALL[((w >> 10) & 0x7) as usize];
+        let mut off = (w & 0x3FF) as i16;
+        if off & 0x200 != 0 {
+            off -= 0x400;
+        }
+        return Ok((Instr::Jump { cond, offset: off }, 1));
+    }
+    if w >> 10 == 0b000100 {
+        let op9 = w >> 7;
+        let op = OneOp::from_opcode9(op9).ok_or(IsaError::BadEncoding { word: w })?;
+        if w & 0x0040 != 0 {
+            return Err(IsaError::BadEncoding { word: w }); // byte mode
+        }
+        let mode = (w >> 4) & 0b11;
+        let reg = (w & 0xF) as u8;
+        let dst = decode_src(reg, mode, &mut ext)?;
+        // Constant-generator / immediate operands only make sense for
+        // PUSH and CALL; the RMW forms are reserved encodings.
+        if !matches!(op, OneOp::Push | OneOp::Call) && matches!(dst, Operand::Imm(_)) {
+            return Err(IsaError::BadEncoding { word: w });
+        }
+        return Ok((Instr::One { op, dst }, 1 + ext.idx));
+    }
+    let opcode = w >> 12;
+    let op = TwoOp::from_opcode(opcode).ok_or(IsaError::BadEncoding { word: w })?;
+    if w & 0x0040 != 0 {
+        return Err(IsaError::BadEncoding { word: w }); // byte mode unsupported
+    }
+    let sreg = ((w >> 8) & 0xF) as u8;
+    let as_ = (w >> 4) & 0b11;
+    let ad = (w >> 7) & 0b1;
+    let dreg = (w & 0xF) as u8;
+    let src = decode_src(sreg, as_, &mut ext)?;
+    let dst = if ad == 0 {
+        Operand::Reg(Reg::new(dreg))
+    } else {
+        // An indexed destination on the constant generator is a reserved
+        // encoding (there is nothing to index).
+        if dreg == Reg::CG.num() {
+            return Err(IsaError::BadEncoding { word: w });
+        }
+        let extw = ext.next()?;
+        if dreg == Reg::SR.num() {
+            Operand::Abs(extw)
+        } else {
+            Operand::Indexed(Reg::new(dreg), extw as i16)
+        }
+    };
+    Ok((Instr::Two { op, src, dst }, 1 + ext.idx))
+}
+
+/// Number of machine cycles the multicycle `xbound-cpu` core (and the ISS)
+/// takes for one instruction.
+///
+/// The shared formula keeps the golden-model ISS cycle-accurate with the
+/// gate-level FSM; integration tests assert the two agree end-to-end.
+pub fn cycle_count(instr: &Instr) -> u64 {
+    fn src_extra(src: Operand) -> u64 {
+        match src {
+            Operand::Reg(_) => 0,
+            Operand::Imm(v) => match v {
+                0 | 1 | 2 | 4 | 8 | -1 => 0,
+                _ => 1,
+            },
+            Operand::Indirect(_) | Operand::IndirectInc(_) => 1,
+            Operand::Indexed(..) | Operand::Abs(_) => 2,
+        }
+    }
+    match *instr {
+        Instr::Jump { .. } => 2,
+        Instr::Two { op, src, dst } => {
+            let base = 2 + src_extra(src);
+            match dst {
+                Operand::Reg(_) => base + 1,
+                _ => base + if op.is_test_only() { 3 } else { 4 },
+            }
+        }
+        Instr::One { op, dst } => match op {
+            OneOp::Push => 2 + src_extra(dst) + 1,
+            OneOp::Call => 2 + src_extra(dst) + 1,
+            _ => {
+                // RRC/RRA/SWPB/SXT read-modify-write.
+                match dst {
+                    Operand::Reg(_) => 3,
+                    Operand::Indirect(_) | Operand::IndirectInc(_) => 5,
+                    Operand::Indexed(..) | Operand::Abs(_) => 6,
+                    Operand::Imm(_) => 3, // not encodable; defensive
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Instr) {
+        let words = encode(&i).unwrap();
+        let (back, used) = decode(&words, 0xF000).unwrap();
+        assert_eq!(used, words.len(), "{i}");
+        assert_eq!(back, i, "{i}");
+    }
+
+    #[test]
+    fn round_trip_reg_reg() {
+        for op in TwoOp::ALL {
+            rt(Instr::Two {
+                op,
+                src: Operand::Reg(Reg::new(4)),
+                dst: Operand::Reg(Reg::new(15)),
+            });
+        }
+    }
+
+    #[test]
+    fn round_trip_cg_immediates() {
+        for v in [0, 1, 2, 4, 8, -1] {
+            let i = Instr::Two {
+                op: TwoOp::Mov,
+                src: Operand::Imm(v),
+                dst: Operand::Reg(Reg::new(4)),
+            };
+            let words = encode(&i).unwrap();
+            assert_eq!(words.len(), 1, "#{v} must use a constant generator");
+            rt(i);
+        }
+    }
+
+    #[test]
+    fn round_trip_big_immediate() {
+        let i = Instr::Two {
+            op: TwoOp::Add,
+            src: Operand::Imm(0x1234),
+            dst: Operand::Reg(Reg::new(9)),
+        };
+        let words = encode(&i).unwrap();
+        assert_eq!(words.len(), 2);
+        rt(i);
+    }
+
+    #[test]
+    fn round_trip_memory_modes() {
+        rt(Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Abs(0x0200),
+            dst: Operand::Reg(Reg::new(5)),
+        });
+        rt(Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Indexed(Reg::new(4), -6),
+            dst: Operand::Abs(0x0132),
+        });
+        rt(Instr::Two {
+            op: TwoOp::Add,
+            src: Operand::Indirect(Reg::new(7)),
+            dst: Operand::Indexed(Reg::new(8), 12),
+        });
+        rt(Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::IndirectInc(Reg::SP),
+            dst: Operand::Reg(Reg::PC),
+        }); // RET
+    }
+
+    #[test]
+    fn round_trip_format_ii() {
+        for op in [OneOp::Rrc, OneOp::Rra, OneOp::Swpb, OneOp::Sxt] {
+            rt(Instr::One {
+                op,
+                dst: Operand::Reg(Reg::new(11)),
+            });
+        }
+        rt(Instr::One {
+            op: OneOp::Push,
+            dst: Operand::Reg(Reg::new(4)),
+        });
+        rt(Instr::One {
+            op: OneOp::Push,
+            dst: Operand::Imm(0x55AA),
+        });
+        rt(Instr::One {
+            op: OneOp::Call,
+            dst: Operand::Imm(0xF100),
+        });
+        rt(Instr::One {
+            op: OneOp::Rra,
+            dst: Operand::Indexed(Reg::new(4), 2),
+        });
+    }
+
+    #[test]
+    fn round_trip_jumps() {
+        for cond in Cond::ALL {
+            for off in [-512i16, -1, 0, 1, 511] {
+                rt(Instr::Jump { cond, offset: off });
+            }
+        }
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        let err = encode(&Instr::Jump {
+            cond: Cond::Always,
+            offset: 512,
+        })
+        .unwrap_err();
+        assert!(matches!(err, IsaError::JumpOutOfRange { .. }));
+    }
+
+    #[test]
+    fn indirect_destination_rejected() {
+        let err = encode(&Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Reg(Reg::new(4)),
+            dst: Operand::Indirect(Reg::new(5)),
+        })
+        .unwrap_err();
+        assert!(matches!(err, IsaError::BadOperand { .. }));
+    }
+
+    #[test]
+    fn byte_mode_and_dadd_rejected() {
+        // DADD opcode (0xA) is unsupported.
+        assert!(matches!(
+            decode(&[0xA444], 0).unwrap_err(),
+            IsaError::BadEncoding { .. }
+        ));
+        // A byte-mode MOV (B/W bit set).
+        assert!(matches!(
+            decode(&[0x4444 | 0x0040], 0).unwrap_err(),
+            IsaError::BadEncoding { .. }
+        ));
+        // RETI.
+        assert!(matches!(
+            decode(&[0x1300], 0).unwrap_err(),
+            IsaError::BadEncoding { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        // mov #0x1234, r4 needs one extension word.
+        let full = encode(&Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Imm(0x1234),
+            dst: Operand::Reg(Reg::new(4)),
+        })
+        .unwrap();
+        assert!(matches!(
+            decode(&full[..1], 0).unwrap_err(),
+            IsaError::Truncated
+        ));
+    }
+
+    #[test]
+    fn known_encodings_match_reference() {
+        // NOP == mov r3, r3 == 0x4303 (TI assembler reference value).
+        let nop = Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Reg(Reg::CG),
+            dst: Operand::Reg(Reg::CG),
+        };
+        assert_eq!(encode(&nop).unwrap(), vec![0x4303]);
+        // ret == mov @sp+, pc == 0x4130.
+        let ret = Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::IndirectInc(Reg::SP),
+            dst: Operand::Reg(Reg::PC),
+        };
+        assert_eq!(encode(&ret).unwrap(), vec![0x4130]);
+        // jmp $ (offset -1) == 0x3FFF.
+        let spin = Instr::Jump {
+            cond: Cond::Always,
+            offset: -1,
+        };
+        assert_eq!(encode(&spin).unwrap(), vec![0x3FFF]);
+    }
+
+    #[test]
+    fn cycle_counts_reasonable() {
+        let regreg = Instr::Two {
+            op: TwoOp::Add,
+            src: Operand::Reg(Reg::new(4)),
+            dst: Operand::Reg(Reg::new(5)),
+        };
+        assert_eq!(cycle_count(&regreg), 3);
+        let jmp = Instr::Jump {
+            cond: Cond::Always,
+            offset: -1,
+        };
+        assert_eq!(cycle_count(&jmp), 2);
+        let store = Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Reg(Reg::new(4)),
+            dst: Operand::Abs(0x0200),
+        };
+        assert_eq!(cycle_count(&store), 6);
+        let cmp_mem = Instr::Two {
+            op: TwoOp::Cmp,
+            src: Operand::Imm(0),
+            dst: Operand::Abs(0x0200),
+        };
+        assert_eq!(cycle_count(&cmp_mem), 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Two {
+            op: TwoOp::Mov,
+            src: Operand::Indexed(Reg::new(4), -6),
+            dst: Operand::Abs(0x0132),
+        };
+        assert_eq!(i.to_string(), "mov -6(r4), &0x0132");
+    }
+}

@@ -1,0 +1,831 @@
+//! Behavioral instruction-set simulator (golden model).
+//!
+//! [`Iss`] executes the supported MSP430 subset over the memory map in
+//! [`crate::memmap`], including the memory-mapped hardware multiplier,
+//! watchdog, clock-module, GPIO, and debug registers that the gate-level
+//! core implements in logic. It is:
+//!
+//! * the **golden model** against which the gate-level core is validated
+//!   (architectural state compared at every instruction retire), and
+//! * the cycle estimator for the optimization study (Fig 5.6), using the
+//!   same per-instruction cycle formula ([`crate::isa::cycle_count`]) that
+//!   the core's FSM implements.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_msp430::{assemble, iss::Iss};
+//!
+//! let p = assemble("main: mov #3, r4\n mov #4, r5\n add r4, r5\n jmp $\n")?;
+//! let mut iss = Iss::new(&p);
+//! let outcome = iss.run(100)?;
+//! assert!(outcome.halted);
+//! assert_eq!(iss.reg(5), 7);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::isa::{cycle_count, decode, Cond, Instr, IsaError, OneOp, Operand, TwoOp};
+use crate::{memmap, Program, Reg};
+use std::fmt;
+
+/// Status-register flag bits.
+pub mod flags {
+    /// Carry.
+    pub const C: u16 = 1 << 0;
+    /// Zero.
+    pub const Z: u16 = 1 << 1;
+    /// Negative.
+    pub const N: u16 = 1 << 2;
+    /// Signed overflow.
+    pub const V: u16 = 1 << 8;
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssError {
+    /// Instruction failed to decode.
+    Decode {
+        /// PC of the instruction.
+        pc: u16,
+        /// Underlying decoder error.
+        source: IsaError,
+    },
+    /// Fetch from outside program ROM.
+    PcOutOfRom {
+        /// The offending PC.
+        pc: u16,
+    },
+    /// Data access to an unmapped or illegal address.
+    BadAccess {
+        /// The address.
+        addr: u16,
+        /// PC of the instruction.
+        pc: u16,
+        /// `true` for stores.
+        write: bool,
+    },
+    /// Odd (unaligned) word access.
+    Unaligned {
+        /// The address.
+        addr: u16,
+        /// PC of the instruction.
+        pc: u16,
+    },
+}
+
+impl fmt::Display for IssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssError::Decode { pc, source } => write!(f, "decode at 0x{pc:04x}: {source}"),
+            IssError::PcOutOfRom { pc } => write!(f, "PC 0x{pc:04x} outside program ROM"),
+            IssError::BadAccess { addr, pc, write } => write!(
+                f,
+                "{} of unmapped address 0x{addr:04x} at pc 0x{pc:04x}",
+                if *write { "write" } else { "read" }
+            ),
+            IssError::Unaligned { addr, pc } => {
+                write!(f, "unaligned word access 0x{addr:04x} at pc 0x{pc:04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssError {}
+
+/// Information about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retire {
+    /// Address of the instruction.
+    pub pc: u16,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// PC after the instruction.
+    pub next_pc: u16,
+    /// Machine cycles consumed (multicycle-core formula).
+    pub cycles: u64,
+}
+
+/// Result of [`Iss::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instructions retired during this run.
+    pub retired: u64,
+    /// Cycles consumed during this run.
+    pub cycles: u64,
+    /// `true` if the program reached a self-loop (`jmp $`) — the idiom the
+    /// benchmark suite uses to signal completion.
+    pub halted: bool,
+}
+
+/// The behavioral MSP430-subset machine.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    regs: [u16; 16],
+    pmem: Vec<u16>,
+    dmem: Vec<u16>,
+    inport: Vec<u16>,
+    mpy_op1: u16,
+    mpy_signed: bool,
+    mpy_op2: u16,
+    reslo: u16,
+    reshi: u16,
+    wdtctl: u16,
+    clkctl: u16,
+    p1out: u16,
+    dbg: [u16; 2],
+    cycles: u64,
+    retired: u64,
+}
+
+impl Iss {
+    /// Creates a machine with the program loaded and PC at the entry point.
+    ///
+    /// All registers (including SP) reset to 0, matching the gate-level
+    /// core; programs that use the stack must initialize SP. Data memory
+    /// and the input port are zero-initialized (use [`Iss::set_inport`] to
+    /// provide inputs).
+    pub fn new(program: &Program) -> Iss {
+        let mut pmem = vec![0u16; memmap::PMEM_WORDS];
+        for &(addr, w) in program.words() {
+            let off = addr.wrapping_sub(memmap::PMEM_BASE) as usize / 2;
+            if off < pmem.len() {
+                pmem[off] = w;
+            }
+        }
+        // Reset vector.
+        pmem[(memmap::RESET_VECTOR - memmap::PMEM_BASE) as usize / 2] = program.entry();
+        let mut regs = [0u16; 16];
+        regs[Reg::PC.num() as usize] = program.entry();
+        Iss {
+            regs,
+            pmem,
+            dmem: vec![0; memmap::DMEM_WORDS],
+            inport: vec![0; memmap::INPORT_WORDS],
+            mpy_op1: 0,
+            mpy_signed: false,
+            mpy_op2: 0,
+            reslo: 0,
+            reshi: 0,
+            wdtctl: 0,
+            clkctl: 0,
+            p1out: 0,
+            dbg: [0; 2],
+            cycles: 0,
+            retired: 0,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, n: u8) -> u16 {
+        self.regs[n as usize]
+    }
+
+    /// Writes a register (no side effects; use for test setup).
+    pub fn set_reg(&mut self, n: u8, v: u16) {
+        self.regs[n as usize] = v;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u16 {
+        self.regs[Reg::PC.num() as usize]
+    }
+
+    /// Status register.
+    pub fn sr(&self) -> u16 {
+        self.regs[Reg::SR.num() as usize]
+    }
+
+    /// Total cycles consumed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Data memory contents.
+    pub fn dmem(&self) -> &[u16] {
+        &self.dmem
+    }
+
+    /// Sets one input-port word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= memmap::INPORT_WORDS`.
+    pub fn set_inport(&mut self, index: usize, value: u16) {
+        self.inport[index] = value;
+    }
+
+    /// Sets consecutive input-port words starting at index 0.
+    pub fn set_inputs(&mut self, values: &[u16]) {
+        for (i, v) in values.iter().enumerate() {
+            self.inport[i] = *v;
+        }
+    }
+
+    /// Word read with full memory-map semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`IssError::Unaligned`] / [`IssError::BadAccess`] on illegal access.
+    pub fn read_mem(&self, addr: u16) -> Result<u16, IssError> {
+        let pc = self.pc();
+        if addr & 1 != 0 {
+            return Err(IssError::Unaligned { addr, pc });
+        }
+        let inport_end = memmap::INPORT_BASE + (memmap::INPORT_WORDS as u16) * 2;
+        let dmem_end = memmap::DMEM_BASE + (memmap::DMEM_WORDS as u16) * 2;
+        Ok(match addr {
+            a if (memmap::INPORT_BASE..inport_end).contains(&a) => {
+                self.inport[(a - memmap::INPORT_BASE) as usize / 2]
+            }
+            a if a == memmap::P1OUT => self.p1out,
+            a if a == memmap::WDTCTL => self.wdtctl,
+            a if a == memmap::CLKCTL => self.clkctl,
+            a if a == memmap::MPY => self.mpy_op1,
+            a if a == memmap::MPYS => self.mpy_op1,
+            a if a == memmap::OP2 => self.mpy_op2,
+            a if a == memmap::RESLO => self.reslo,
+            a if a == memmap::RESHI => self.reshi,
+            a if a == memmap::DBG0 => self.dbg[0],
+            a if a == memmap::DBG1 => self.dbg[1],
+            a if (memmap::DMEM_BASE..dmem_end).contains(&a) => {
+                self.dmem[(a - memmap::DMEM_BASE) as usize / 2]
+            }
+            a if a >= memmap::PMEM_BASE => {
+                self.pmem[(a - memmap::PMEM_BASE) as usize / 2]
+            }
+            _ => {
+                return Err(IssError::BadAccess {
+                    addr,
+                    pc,
+                    write: false,
+                })
+            }
+        })
+    }
+
+    /// Word write with full memory-map semantics (multiplier trigger etc).
+    ///
+    /// # Errors
+    ///
+    /// [`IssError::Unaligned`] / [`IssError::BadAccess`] on illegal access.
+    pub fn write_mem(&mut self, addr: u16, value: u16) -> Result<(), IssError> {
+        let pc = self.pc();
+        if addr & 1 != 0 {
+            return Err(IssError::Unaligned { addr, pc });
+        }
+        let dmem_end = memmap::DMEM_BASE + (memmap::DMEM_WORDS as u16) * 2;
+        match addr {
+            a if a == memmap::P1OUT => self.p1out = value,
+            a if a == memmap::WDTCTL => self.wdtctl = value,
+            a if a == memmap::CLKCTL => self.clkctl = value,
+            a if a == memmap::MPY => {
+                self.mpy_op1 = value;
+                self.mpy_signed = false;
+            }
+            a if a == memmap::MPYS => {
+                self.mpy_op1 = value;
+                self.mpy_signed = true;
+            }
+            a if a == memmap::OP2 => {
+                self.mpy_op2 = value;
+                let prod = if self.mpy_signed {
+                    ((self.mpy_op1 as i16 as i32) * (value as i16 as i32)) as u32
+                } else {
+                    (self.mpy_op1 as u32) * (value as u32)
+                };
+                self.reslo = prod as u16;
+                self.reshi = (prod >> 16) as u16;
+            }
+            a if a == memmap::DBG0 => self.dbg[0] = value,
+            a if a == memmap::DBG1 => self.dbg[1] = value,
+            a if (memmap::DMEM_BASE..dmem_end).contains(&a) => {
+                self.dmem[(a - memmap::DMEM_BASE) as usize / 2] = value;
+            }
+            _ => {
+                return Err(IssError::BadAccess {
+                    addr,
+                    pc,
+                    write: true,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn flag(&self, bit: u16) -> bool {
+        self.sr() & bit != 0
+    }
+
+    fn set_flags(&mut self, c: bool, z: bool, n: bool, v: bool) {
+        let mut sr = self.sr() & !(flags::C | flags::Z | flags::N | flags::V);
+        if c {
+            sr |= flags::C;
+        }
+        if z {
+            sr |= flags::Z;
+        }
+        if n {
+            sr |= flags::N;
+        }
+        if v {
+            sr |= flags::V;
+        }
+        self.regs[Reg::SR.num() as usize] = sr;
+    }
+
+    /// Reads a source operand; `next_pc` is PC after the whole instruction.
+    fn read_operand(&mut self, op: Operand, next_pc: u16) -> Result<u16, IssError> {
+        Ok(match op {
+            Operand::Reg(Reg::CG) => 0,
+            Operand::Reg(Reg::PC) => next_pc,
+            Operand::Reg(r) => self.regs[r.num() as usize],
+            Operand::Imm(v) => v as u16,
+            Operand::Abs(a) => self.read_mem(a)?,
+            Operand::Indexed(r, off) => {
+                let base = if r == Reg::PC {
+                    next_pc
+                } else {
+                    self.regs[r.num() as usize]
+                };
+                self.read_mem(base.wrapping_add(off as u16))?
+            }
+            Operand::Indirect(r) => {
+                let a = self.regs[r.num() as usize];
+                self.read_mem(a)?
+            }
+            Operand::IndirectInc(r) => {
+                let a = self.regs[r.num() as usize];
+                let v = self.read_mem(a)?;
+                self.regs[r.num() as usize] = a.wrapping_add(2);
+                v
+            }
+        })
+    }
+
+    fn write_operand(&mut self, op: Operand, value: u16, next_pc: &mut u16) -> Result<(), IssError> {
+        match op {
+            Operand::Reg(Reg::PC) => *next_pc = value & !1,
+            Operand::Reg(Reg::CG) => {} // constant generator: writes ignored
+            Operand::Reg(r) => self.regs[r.num() as usize] = value,
+            Operand::Abs(a) => self.write_mem(a, value)?,
+            Operand::Indexed(r, off) => {
+                let base = if r == Reg::PC {
+                    *next_pc
+                } else {
+                    self.regs[r.num() as usize]
+                };
+                self.write_mem(base.wrapping_add(off as u16), value)?;
+            }
+            Operand::Indirect(r) | Operand::IndirectInc(r) => {
+                let a = self.regs[r.num() as usize];
+                self.write_mem(a, value)?;
+            }
+            Operand::Imm(_) => {} // not a real destination
+        }
+        Ok(())
+    }
+
+    fn exec_two(&mut self, op: TwoOp, src: u16, dst: u16) -> (u16, bool) {
+        // Returns (result, write_back).
+        let (res, wb) = match op {
+            TwoOp::Mov => (src, true),
+            TwoOp::Add | TwoOp::Addc => {
+                let cin = if op == TwoOp::Addc && self.flag(flags::C) {
+                    1u32
+                } else {
+                    0
+                };
+                let full = dst as u32 + src as u32 + cin;
+                let res = full as u16;
+                let c = full > 0xFFFF;
+                let v = ((dst ^ res) & (src ^ res) & 0x8000) != 0;
+                self.set_flags(c, res == 0, res & 0x8000 != 0, v);
+                (res, true)
+            }
+            TwoOp::Sub | TwoOp::Subc | TwoOp::Cmp => {
+                let cin = if op == TwoOp::Subc {
+                    u32::from(self.flag(flags::C))
+                } else {
+                    1
+                };
+                let full = dst as u32 + (!src) as u32 + cin;
+                let res = full as u16;
+                let c = full > 0xFFFF;
+                let v = ((dst ^ src) & (dst ^ res) & 0x8000) != 0;
+                self.set_flags(c, res == 0, res & 0x8000 != 0, v);
+                (res, op != TwoOp::Cmp)
+            }
+            TwoOp::Bit | TwoOp::And => {
+                let res = src & dst;
+                self.set_flags(res != 0, res == 0, res & 0x8000 != 0, false);
+                (res, op == TwoOp::And)
+            }
+            TwoOp::Bic => (dst & !src, true),
+            TwoOp::Bis => (dst | src, true),
+            TwoOp::Xor => {
+                let res = src ^ dst;
+                let v = (src & 0x8000 != 0) && (dst & 0x8000 != 0);
+                self.set_flags(res != 0, res == 0, res & 0x8000 != 0, v);
+                (res, true)
+            }
+        };
+        match op {
+            TwoOp::Mov | TwoOp::Bic | TwoOp::Bis => {} // no flags
+            _ => {}
+        }
+        (res, wb)
+    }
+
+    fn cond_taken(&self, cond: Cond) -> bool {
+        let (c, z, n, v) = (
+            self.flag(flags::C),
+            self.flag(flags::Z),
+            self.flag(flags::N),
+            self.flag(flags::V),
+        );
+        match cond {
+            Cond::Nz => !z,
+            Cond::Z => z,
+            Cond::Nc => !c,
+            Cond::C => c,
+            Cond::N => n,
+            Cond::Ge => n == v,
+            Cond::L => n != v,
+            Cond::Always => true,
+        }
+    }
+
+    /// Fetches, decodes, and executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssError`] on decode failures or illegal memory accesses.
+    pub fn step(&mut self) -> Result<Retire, IssError> {
+        let pc = self.pc();
+        if pc < memmap::PMEM_BASE || pc & 1 != 0 {
+            return Err(IssError::PcOutOfRom { pc });
+        }
+        let off = (pc - memmap::PMEM_BASE) as usize / 2;
+        let window_end = (off + 3).min(self.pmem.len());
+        let words = &self.pmem[off..window_end];
+        let (instr, used) =
+            decode(words, pc).map_err(|source| IssError::Decode { pc, source })?;
+        let mut next_pc = pc.wrapping_add((used * 2) as u16);
+        match instr {
+            Instr::Two { op, src, dst } => {
+                let s = self.read_operand(src, next_pc)?;
+                let d = if op == TwoOp::Mov {
+                    0 // MOV does not read the destination
+                } else {
+                    self.read_operand(dst, next_pc)?
+                };
+                // Destination auto-increment side effects do not re-apply:
+                // only source operands use @Rn+ in the encodable ISA.
+                let (res, wb) = self.exec_two(op, s, d);
+                if wb {
+                    self.write_operand(dst, res, &mut next_pc)?;
+                }
+            }
+            Instr::One { op, dst } => match op {
+                OneOp::Push => {
+                    let v = self.read_operand(dst, next_pc)?;
+                    let sp = self.regs[Reg::SP.num() as usize].wrapping_sub(2);
+                    self.regs[Reg::SP.num() as usize] = sp;
+                    self.write_mem(sp, v)?;
+                }
+                OneOp::Call => {
+                    let target = self.read_operand(dst, next_pc)?;
+                    let sp = self.regs[Reg::SP.num() as usize].wrapping_sub(2);
+                    self.regs[Reg::SP.num() as usize] = sp;
+                    self.write_mem(sp, next_pc)?;
+                    next_pc = target & !1;
+                }
+                OneOp::Rrc | OneOp::Rra | OneOp::Swpb | OneOp::Sxt => {
+                    // Read-modify-write: resolve the location once so @Rn+
+                    // writes back to the *original* address, matching the
+                    // gate-level core (which latches the address in MAR).
+                    enum Loc {
+                        Reg(Reg),
+                        Mem(u16),
+                        Discard,
+                    }
+                    let loc = match dst {
+                        Operand::Reg(Reg::CG) => Loc::Discard,
+                        Operand::Reg(r) => Loc::Reg(r),
+                        Operand::Abs(a) => Loc::Mem(a),
+                        Operand::Indexed(r, off) => {
+                            let base = if r == Reg::PC {
+                                next_pc
+                            } else {
+                                self.regs[r.num() as usize]
+                            };
+                            Loc::Mem(base.wrapping_add(off as u16))
+                        }
+                        Operand::Indirect(r) => Loc::Mem(self.regs[r.num() as usize]),
+                        Operand::IndirectInc(r) => {
+                            let a = self.regs[r.num() as usize];
+                            self.regs[r.num() as usize] = a.wrapping_add(2);
+                            Loc::Mem(a)
+                        }
+                        Operand::Imm(_) => Loc::Discard,
+                    };
+                    let v = match &loc {
+                        Loc::Reg(Reg::PC) => next_pc,
+                        Loc::Reg(r) => self.regs[r.num() as usize],
+                        Loc::Mem(a) => self.read_mem(*a)?,
+                        Loc::Discard => match dst {
+                            Operand::Imm(i) => i as u16,
+                            _ => 0,
+                        },
+                    };
+                    let res = match op {
+                        OneOp::Rrc => {
+                            let cin = u16::from(self.flag(flags::C));
+                            let res = (v >> 1) | (cin << 15);
+                            self.set_flags(v & 1 != 0, res == 0, res & 0x8000 != 0, false);
+                            res
+                        }
+                        OneOp::Rra => {
+                            let res = ((v as i16) >> 1) as u16;
+                            self.set_flags(v & 1 != 0, res == 0, res & 0x8000 != 0, false);
+                            res
+                        }
+                        OneOp::Swpb => v.rotate_left(8),
+                        OneOp::Sxt => {
+                            let res = v as u8 as i8 as i16 as u16;
+                            self.set_flags(res != 0, res == 0, res & 0x8000 != 0, false);
+                            res
+                        }
+                        _ => unreachable!("RMW arm"),
+                    };
+                    match loc {
+                        Loc::Reg(Reg::PC) => next_pc = res & !1,
+                        Loc::Reg(r) => self.regs[r.num() as usize] = res,
+                        Loc::Mem(a) => self.write_mem(a, res)?,
+                        Loc::Discard => {}
+                    }
+                }
+            },
+            Instr::Jump { cond, offset } => {
+                if self.cond_taken(cond) {
+                    next_pc = pc.wrapping_add(2).wrapping_add((offset as u16) << 1);
+                }
+            }
+        }
+        let cycles = cycle_count(&instr);
+        self.cycles += cycles;
+        self.retired += 1;
+        self.regs[Reg::PC.num() as usize] = next_pc;
+        Ok(Retire {
+            pc,
+            instr,
+            next_pc,
+            cycles,
+        })
+    }
+
+    /// Runs until a self-loop (`jmp $`), an error, or `max_instrs` retires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`IssError`] raised by [`Iss::step`].
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunOutcome, IssError> {
+        let start_ret = self.retired;
+        let start_cyc = self.cycles;
+        let mut halted = false;
+        for _ in 0..max_instrs {
+            let r = self.step()?;
+            if r.next_pc == r.pc {
+                halted = true;
+                break;
+            }
+        }
+        Ok(RunOutcome {
+            retired: self.retired - start_ret,
+            cycles: self.cycles - start_cyc,
+            halted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn run_asm(src: &str) -> Iss {
+        let p = assemble(src).unwrap();
+        let mut iss = Iss::new(&p);
+        let out = iss.run(100_000).unwrap();
+        assert!(out.halted, "program must reach jmp $");
+        iss
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #0xFFFF, r4
+                add #1, r4        ; 0xFFFF + 1 = 0 with carry
+                jc carry_ok
+                mov #0xBAD, r15
+                jmp end
+            carry_ok:
+                mov #0x600D, r15
+            end:
+                jmp $
+            "#,
+        );
+        assert_eq!(iss.reg(15), 0x600D);
+        assert_eq!(iss.reg(4), 0);
+    }
+
+    #[test]
+    fn subtraction_carry_convention() {
+        // MSP430: C=1 means no borrow.
+        let iss = run_asm(
+            "main: mov #5, r4\n sub #3, r4\n jc ok\n mov #1, r15\n jmp e\nok: mov #2, r15\ne: jmp $\n",
+        );
+        assert_eq!(iss.reg(15), 2);
+        assert_eq!(iss.reg(4), 2);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #0xFFFE, r4   ; -2
+                cmp #1, r4        ; -2 < 1 (signed)
+                jl less
+                mov #0, r15
+                jmp e
+            less:
+                mov #1, r15
+            e:  jmp $
+            "#,
+        );
+        assert_eq!(iss.reg(15), 1);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let iss = run_asm(
+            "main: mov #0xF0F0, r4\n bis #0x0F00, r4\n bic #0xF000, r4\n xor #0x00F0, r4\n and #0x0FFF, r4\n jmp $\n",
+        );
+        // 0xF0F0 | 0x0F00 = 0xFFF0; & !0xF000 = 0x0FF0; ^ 0x00F0 = 0x0F00;
+        // & 0x0FFF = 0x0F00.
+        assert_eq!(iss.reg(4), 0x0F00);
+    }
+
+    #[test]
+    fn shifts_and_swpb() {
+        let iss = run_asm(
+            "main: mov #0x8004, r4\n rra r4\n mov #1, r5\n rrc r5\n swpb r4\n sxt r5\n jmp $\n",
+        );
+        // rra 0x8004 -> 0xC002 (arithmetic). swpb -> 0x02C0.
+        assert_eq!(iss.reg(4), 0x02C0);
+        // rrc with C=0 (rra set C=0 since bit0 of 0x8004 = 0) -> 0x0000;
+        // sxt 0 -> 0.
+        assert_eq!(iss.reg(5), 0);
+    }
+
+    #[test]
+    fn memory_and_stack() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #0x0A00, sp
+                mov #0x1234, &0x0200
+                mov &0x0200, r4
+                push r4
+                pop r5
+                mov #0x0200, r6
+                mov @r6, r7
+                mov #0x4444, 2(r6)
+                mov 2(r6), r8
+                jmp $
+            "#,
+        );
+        assert_eq!(iss.reg(4), 0x1234);
+        assert_eq!(iss.reg(5), 0x1234);
+        assert_eq!(iss.reg(7), 0x1234);
+        assert_eq!(iss.reg(8), 0x4444);
+        assert_eq!(iss.dmem()[0], 0x1234);
+        assert_eq!(iss.dmem()[1], 0x4444);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #0x0A00, sp
+                mov #7, r4
+                call #double
+                call #double
+                jmp $
+            double:
+                add r4, r4
+                ret
+            "#,
+        );
+        assert_eq!(iss.reg(4), 28);
+        // SP restored.
+        assert_eq!(iss.reg(1), 0x0A00);
+    }
+
+    #[test]
+    fn hardware_multiplier() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #1234, &0x0130   ; MPY op1 (unsigned)
+                mov #567, &0x0138    ; OP2 triggers
+                mov &0x013A, r4      ; RESLO
+                mov &0x013C, r5      ; RESHI
+                mov #0xFFFE, &0x0132 ; MPYS op1 = -2
+                mov #3, &0x0138
+                mov &0x013A, r6
+                mov &0x013C, r7
+                jmp $
+            "#,
+        );
+        let prod = 1234u32 * 567;
+        assert_eq!(iss.reg(4), prod as u16);
+        assert_eq!(iss.reg(5), (prod >> 16) as u16);
+        let sprod = (-2i32 * 3) as u32;
+        assert_eq!(iss.reg(6), sprod as u16);
+        assert_eq!(iss.reg(7), (sprod >> 16) as u16);
+    }
+
+    #[test]
+    fn input_port_reads() {
+        let p = assemble("main: mov &0x0020, r4\n mov &0x0022, r5\n jmp $\n").unwrap();
+        let mut iss = Iss::new(&p);
+        iss.set_inputs(&[111, 222]);
+        iss.run(100).unwrap();
+        assert_eq!(iss.reg(4), 111);
+        assert_eq!(iss.reg(5), 222);
+    }
+
+    #[test]
+    fn indirect_autoincrement_walks_table() {
+        let iss = run_asm(
+            r#"
+            main:
+                mov #tbl, r6
+                mov #0, r4
+                mov #3, r5
+            loop:
+                add @r6+, r4
+                dec r5
+                jnz loop
+                jmp $
+            tbl: .word 10, 20, 30
+            "#,
+        );
+        assert_eq!(iss.reg(4), 60);
+    }
+
+    #[test]
+    fn bad_access_detected() {
+        let p = assemble("main: mov &0x0E00, r4\n jmp $\n").unwrap();
+        let mut iss = Iss::new(&p);
+        let err = iss.run(10).unwrap_err();
+        assert!(matches!(err, IssError::BadAccess { write: false, .. }));
+    }
+
+    #[test]
+    fn unaligned_access_detected() {
+        let p = assemble("main: mov #0x0201, r4\n mov @r4, r5\n jmp $\n").unwrap();
+        let mut iss = Iss::new(&p);
+        let err = iss.run(10).unwrap_err();
+        assert!(matches!(err, IssError::Unaligned { .. }));
+    }
+
+    #[test]
+    fn cycles_accumulate_with_formula() {
+        let p = assemble("main: mov #5, r4\n add r4, r4\n jmp $\n").unwrap();
+        let mut iss = Iss::new(&p);
+        let out = iss.run(10).unwrap();
+        // mov #5 (CG? no: 5 not CG -> ext word: 2+1+1=4) + add reg,reg (3)
+        // + jmp (2).
+        assert_eq!(out.cycles, 4 + 3 + 2);
+        assert!(out.halted);
+    }
+
+    #[test]
+    fn writes_to_rom_rejected() {
+        let p = assemble("main: mov #1, &0xF800\n jmp $\n").unwrap();
+        let mut iss = Iss::new(&p);
+        let err = iss.run(10).unwrap_err();
+        assert!(matches!(err, IssError::BadAccess { write: true, .. }));
+    }
+}

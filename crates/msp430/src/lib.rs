@@ -1,0 +1,227 @@
+//! MSP430 ISA subset: instruction model, assembler, and golden-model ISS.
+//!
+//! The paper analyzes applications compiled for openMSP430. This crate is
+//! the software side of that flow:
+//!
+//! * [`isa`] — instruction representation, binary encoder/decoder (including
+//!   constant-generator forms), and disassembly;
+//! * [`asm`] — a two-pass assembler ([`assemble`]) producing a loadable
+//!   [`Program`] image;
+//! * [`iss`] — a behavioral instruction-set simulator used as the golden
+//!   model when validating the gate-level core, and for the performance /
+//!   energy-overhead numbers of the optimization study (Fig 5.6).
+//!
+//! # Supported subset
+//!
+//! Word-sized operations of the MSP430 ISA: all format-I two-operand
+//! instructions except `DADD`, all format-II instructions except `RETI`,
+//! and all conditional jumps. Byte-sized (`.B`) operations are not
+//! implemented (the benchmark suite is written with word operations), and
+//! interrupts are not modeled — both documented substitutions in DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_msp430::{assemble, iss::Iss};
+//!
+//! let program = assemble(r#"
+//!         .org 0xF000
+//!     main:
+//!         mov #21, r4
+//!         add r4, r4
+//!     done:
+//!         jmp done
+//! "#)?;
+//! let mut iss = Iss::new(&program);
+//! iss.run(16)?;
+//! assert_eq!(iss.reg(4), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod asm;
+pub mod isa;
+pub mod iss;
+
+pub use asm::{assemble, AsmError};
+
+use std::collections::HashMap;
+
+/// Memory map shared by the ISS, the gate-level core, and the harnesses.
+pub mod memmap {
+    /// First byte address of the input-port region (reads return X during
+    /// symbolic analysis; harness-provided values during profiling).
+    pub const INPORT_BASE: u16 = 0x0020;
+    /// Number of 16-bit words in the input-port region.
+    pub const INPORT_WORDS: usize = 32;
+    /// GPIO output register (inside the core's `sfr` module).
+    pub const P1OUT: u16 = 0x0062;
+    /// Watchdog control register (`watchdog` module).
+    pub const WDTCTL: u16 = 0x0120;
+    /// Clock-module divider control register (`clk_module`).
+    pub const CLKCTL: u16 = 0x0126;
+    /// Multiplier operand 1, unsigned multiply (`multiplier` module).
+    pub const MPY: u16 = 0x0130;
+    /// Multiplier operand 1, signed multiply.
+    pub const MPYS: u16 = 0x0132;
+    /// Multiplier operand 2 — writing triggers the multiplication.
+    pub const OP2: u16 = 0x0138;
+    /// Low word of the product.
+    pub const RESLO: u16 = 0x013A;
+    /// High word of the product.
+    pub const RESHI: u16 = 0x013C;
+    /// Debug-module scratch register 0 (`dbg` module).
+    pub const DBG0: u16 = 0x01F0;
+    /// Debug-module scratch register 1.
+    pub const DBG1: u16 = 0x01F2;
+    /// First byte address of data RAM.
+    pub const DMEM_BASE: u16 = 0x0200;
+    /// Data RAM size in words (2 KiB).
+    pub const DMEM_WORDS: usize = 1024;
+    /// First byte address of program ROM.
+    pub const PMEM_BASE: u16 = 0xF000;
+    /// Program ROM size in words (4 KiB).
+    pub const PMEM_WORDS: usize = 2048;
+    /// Reset vector address (last word of ROM).
+    pub const RESET_VECTOR: u16 = 0xFFFE;
+}
+
+/// A CPU register (`r0`–`r15`; `r0` = PC, `r1` = SP, `r2` = SR/CG1,
+/// `r3` = CG2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Program counter (`r0`).
+    pub const PC: Reg = Reg(0);
+    /// Stack pointer (`r1`).
+    pub const SP: Reg = Reg(1);
+    /// Status register / constant generator 1 (`r2`).
+    pub const SR: Reg = Reg(2);
+    /// Constant generator 2 (`r3`).
+    pub const CG: Reg = Reg(3);
+
+    /// Builds a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 16, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// The register number (0–15).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Reg::PC => write!(f, "pc"),
+            Reg::SP => write!(f, "sp"),
+            Reg::SR => write!(f, "sr"),
+            _ => write!(f, "r{}", self.0),
+        }
+    }
+}
+
+/// An assembled program image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    words: Vec<(u16, u16)>,
+    entry: u16,
+    symbols: HashMap<String, u16>,
+}
+
+impl Program {
+    /// Creates a program from `(byte address, word)` pairs and an entry point.
+    pub fn from_words(words: Vec<(u16, u16)>, entry: u16) -> Program {
+        Program {
+            words,
+            entry,
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// `(byte address, word)` pairs of the image, in emission order.
+    pub fn words(&self) -> &[(u16, u16)] {
+        &self.words
+    }
+
+    /// Entry point (address of the first instruction).
+    pub fn entry(&self) -> u16 {
+        self.entry
+    }
+
+    /// Label symbol table.
+    pub fn symbols(&self) -> &HashMap<String, u16> {
+        &self.symbols
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    pub(crate) fn set_symbols(&mut self, symbols: HashMap<String, u16>) {
+        self.symbols = symbols;
+    }
+
+    /// Size of the image in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the image holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constants() {
+        assert_eq!(Reg::PC.num(), 0);
+        assert_eq!(Reg::SP.num(), 1);
+        assert_eq!(Reg::SR.num(), 2);
+        assert_eq!(Reg::CG.num(), 3);
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_range_checked() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn memmap_regions_do_not_overlap() {
+        use memmap::*;
+        let inport_end = INPORT_BASE + (INPORT_WORDS as u16) * 2;
+        assert!(inport_end <= P1OUT);
+        assert!(P1OUT < WDTCTL);
+        assert!(WDTCTL < MPY);
+        assert!(RESHI < DBG0);
+        assert!(DBG1 < DMEM_BASE);
+        let dmem_end = DMEM_BASE as u32 + (DMEM_WORDS as u32) * 2;
+        assert!(dmem_end <= PMEM_BASE as u32);
+        let pmem_end = PMEM_BASE as u32 + (PMEM_WORDS as u32) * 2;
+        assert_eq!(pmem_end, 0x1_0000);
+        assert_eq!(RESET_VECTOR, 0xFFFE);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::from_words(vec![(0xF000, 0x4303)], 0xF000);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0xF000);
+        assert_eq!(p.symbol("nope"), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fuzz-style property tests for the instruction decoder: arbitrary word
+//! streams never panic, and everything that decodes re-encodes to the same
+//! bytes (total round trip on the valid subset).
+
+use proptest::prelude::*;
+use xbound_msp430::isa::{decode, encode, Instr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode() is total: any 3-word window either decodes or errors.
+    #[test]
+    fn decode_never_panics(w0 in any::<u16>(), w1 in any::<u16>(), w2 in any::<u16>()) {
+        let _ = decode(&[w0, w1, w2], 0xF000);
+    }
+
+    /// Whatever decodes must re-encode to the identical words — the decoder
+    /// and encoder agree on every corner of the encoding space.
+    #[test]
+    fn decode_encode_round_trip(w0 in any::<u16>(), w1 in any::<u16>(), w2 in any::<u16>()) {
+        let words = [w0, w1, w2];
+        if let Ok((instr, used)) = decode(&words, 0xF000) {
+            let re = encode(&instr).expect("decoded instructions are encodable");
+            prop_assert_eq!(&re[..], &words[..used], "{}", instr);
+            // And decoding the re-encoding yields the same instruction.
+            let (again, used2) = decode(&re, 0xF000).expect("re-decodes");
+            prop_assert_eq!(used2, used);
+            prop_assert_eq!(again, instr);
+        }
+    }
+
+    /// Displayed instructions are non-empty and stable across round trips.
+    #[test]
+    fn display_is_stable(w0 in any::<u16>(), w1 in any::<u16>()) {
+        if let Ok((instr, _)) = decode(&[w0, w1, 0], 0xF000) {
+            let s1 = instr.to_string();
+            prop_assert!(!s1.is_empty());
+            if let Instr::Jump { .. } = instr {
+                prop_assert!(s1.starts_with('j'));
+            }
+        }
+    }
+}

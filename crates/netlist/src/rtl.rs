@@ -1,0 +1,628 @@
+//! Word-level RTL builder that lowers to gates.
+//!
+//! [`Rtl`] wraps a [`Netlist`] under construction and provides word-level
+//! operators (adders, muxes, comparators, registers, a 16×16 multiplier…)
+//! that are lowered to the standard-cell vocabulary of [`CellKind`]. The
+//! gate-level CPU in `xbound-cpu` is constructed entirely through this
+//! builder, which plays the role the logic-synthesis tool plays in the
+//! paper's flow.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_netlist::rtl::Rtl;
+//!
+//! let mut r = Rtl::new("accum");
+//! let en = r.input_bit("en");
+//! let d = r.input("d", 8);
+//! let (acc, q) = r.reg("acc", 8);
+//! let (sum, _c) = r.add(&q, &d, None);
+//! r.reg_next_en(acc, &sum, en);
+//! r.output("q", &q);
+//! let nl = r.finish().unwrap();
+//! assert!(nl.gate_count() > 8);
+//! ```
+
+use crate::{CellKind, ModuleId, NetId, Netlist, NetlistError};
+
+/// A bus: little-endian vector of nets (index 0 = LSB).
+pub type Bus = Vec<NetId>;
+
+/// Handle to a register created by [`Rtl::reg`]; pass to
+/// [`Rtl::reg_next`] / [`Rtl::reg_next_en`] to close the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegHandle(usize);
+
+#[derive(Debug)]
+struct PendingReg {
+    name: String,
+    q: Bus,
+    next: Option<(Bus, Option<NetId>)>,
+    module: ModuleId,
+}
+
+/// Word-level builder over a flat [`Netlist`].
+///
+/// All state elements share one implicit clock and one synchronous,
+/// active-low reset (primary input `rstn`) that clears every register to 0.
+#[derive(Debug)]
+pub struct Rtl {
+    nl: Netlist,
+    module: ModuleId,
+    gensym: u64,
+    rstn: NetId,
+    tie0: Option<NetId>,
+    tie1: Option<NetId>,
+    regs: Vec<PendingReg>,
+}
+
+impl Rtl {
+    /// Creates a builder for a design called `name`.
+    ///
+    /// The primary input `rstn` (synchronous active-low reset) is created
+    /// automatically.
+    pub fn new(name: impl Into<String>) -> Rtl {
+        let mut nl = Netlist::new(name);
+        let rstn = nl.add_input("rstn");
+        Rtl {
+            nl,
+            module: ModuleId(0),
+            gensym: 0,
+            rstn,
+            tie0: None,
+            tie1: None,
+            regs: Vec::new(),
+        }
+    }
+
+    /// The shared reset net (`rstn`, active low).
+    pub fn rstn(&self) -> NetId {
+        self.rstn
+    }
+
+    /// Switches the current hierarchy module; gates created afterwards belong
+    /// to it. Returns the module id.
+    pub fn set_module(&mut self, name: &str) -> ModuleId {
+        self.module = self.nl.add_module(name);
+        self.module
+    }
+
+    fn fresh_net(&mut self, hint: &str) -> NetId {
+        self.gensym += 1;
+        let m = self.nl.module_name(self.module).to_string();
+        self.nl.add_net(format!("{m}/{hint}_{}", self.gensym))
+    }
+
+    fn fresh_gate_name(&mut self, kind: CellKind) -> String {
+        self.gensym += 1;
+        format!("g{}_{}", self.gensym, kind.name().to_lowercase())
+    }
+
+    fn emit(&mut self, kind: CellKind, inputs: &[NetId], hint: &str) -> NetId {
+        let y = self.fresh_net(hint);
+        let name = self.fresh_gate_name(kind);
+        self.nl
+            .add_gate_in(kind, name, inputs, y, self.module)
+            .expect("rtl builder emits well-formed gates");
+        y
+    }
+
+    /// Declares a multi-bit primary input.
+    pub fn input(&mut self, name: &str, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.nl.add_input(format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Declares a single-bit primary input.
+    pub fn input_bit(&mut self, name: &str) -> NetId {
+        self.nl.add_input(name)
+    }
+
+    /// Declares a bus as a primary output.
+    pub fn output(&mut self, name: &str, bus: &Bus) {
+        for (i, &n) in bus.iter().enumerate() {
+            self.nl.add_output(format!("{name}[{i}]"), n);
+        }
+    }
+
+    /// Declares a single net as a primary output.
+    pub fn output_bit(&mut self, name: &str, net: NetId) {
+        self.nl.add_output(name.to_string(), net);
+    }
+
+    /// Shared constant-0 net.
+    pub fn zero(&mut self) -> NetId {
+        if let Some(n) = self.tie0 {
+            return n;
+        }
+        let y = self.nl.add_net("tie0");
+        self.nl
+            .add_gate_in(CellKind::Tie0, "u_tie0", &[], y, ModuleId(0))
+            .expect("tie");
+        self.tie0 = Some(y);
+        y
+    }
+
+    /// Shared constant-1 net.
+    pub fn one(&mut self) -> NetId {
+        if let Some(n) = self.tie1 {
+            return n;
+        }
+        let y = self.nl.add_net("tie1");
+        self.nl
+            .add_gate_in(CellKind::Tie1, "u_tie1", &[], y, ModuleId(0))
+            .expect("tie");
+        self.tie1 = Some(y);
+        y
+    }
+
+    /// Constant bus of `width` bits holding `value`.
+    pub fn lit(&mut self, value: u64, width: usize) -> Bus {
+        (0..width)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.one()
+                } else {
+                    self.zero()
+                }
+            })
+            .collect()
+    }
+
+    /// Names a signal by inserting a BUF driving a net with exactly `name`.
+    ///
+    /// Used to give analysis-relevant nets (e.g. `frontend/branch_taken`)
+    /// stable, discoverable names.
+    pub fn probe(&mut self, name: &str, net: NetId) -> NetId {
+        let y = self.nl.add_net(name.to_string());
+        let gname = self.fresh_gate_name(CellKind::Buf);
+        self.nl
+            .add_gate_in(CellKind::Buf, gname, &[net], y, self.module)
+            .expect("probe buf");
+        y
+    }
+
+    // ---- single-bit primitives -------------------------------------------
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.emit(CellKind::Inv, &[a], "inv")
+    }
+
+    /// 2-input AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::And2, &[a, b], "and")
+    }
+
+    /// 2-input OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::Or2, &[a, b], "or")
+    }
+
+    /// 2-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::Xor2, &[a, b], "xor")
+    }
+
+    /// 2-input NAND.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::Nand2, &[a, b], "nand")
+    }
+
+    /// 2-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::Nor2, &[a, b], "nor")
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.emit(CellKind::Xnor2, &[a, b], "xnor")
+    }
+
+    /// 2:1 mux (`s ? d1 : d0`).
+    pub fn mux(&mut self, s: NetId, d0: NetId, d1: NetId) -> NetId {
+        self.emit(CellKind::Mux2, &[d0, d1, s], "mux")
+    }
+
+    /// AND of an arbitrary set of nets (balanced tree).
+    pub fn and_all(&mut self, nets: &[NetId]) -> NetId {
+        self.tree(nets, CellKind::And2)
+    }
+
+    /// OR of an arbitrary set of nets (balanced tree).
+    pub fn or_all(&mut self, nets: &[NetId]) -> NetId {
+        self.tree(nets, CellKind::Or2)
+    }
+
+    fn tree(&mut self, nets: &[NetId], kind: CellKind) -> NetId {
+        assert!(!nets.is_empty(), "reduction over empty set");
+        let mut layer: Vec<NetId> = nets.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.emit(kind, &[pair[0], pair[1]], "tree"));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    // ---- bus operations ---------------------------------------------------
+
+    /// Bitwise NOT of a bus.
+    pub fn not_bus(&mut self, a: &Bus) -> Bus {
+        a.iter().map(|&n| self.not(n)).collect()
+    }
+
+    /// Bitwise AND of two equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (applies to all two-bus operations).
+    pub fn and_bus(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.and(x, y)).collect()
+    }
+
+    /// Bitwise OR of two equal-width buses.
+    pub fn or_bus(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.or(x, y)).collect()
+    }
+
+    /// Bitwise XOR of two equal-width buses.
+    pub fn xor_bus(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// AND of every bus bit with one scalar net (masking).
+    pub fn mask_bus(&mut self, a: &Bus, en: NetId) -> Bus {
+        a.iter().map(|&x| self.and(x, en)).collect()
+    }
+
+    /// Per-bit 2:1 mux over two buses (`s ? d1 : d0`).
+    pub fn mux_bus(&mut self, s: NetId, d0: &Bus, d1: &Bus) -> Bus {
+        assert_eq!(d0.len(), d1.len(), "bus width mismatch");
+        d0.iter()
+            .zip(d1)
+            .map(|(&a, &b)| self.mux(s, a, b))
+            .collect()
+    }
+
+    /// One-hot selection: OR over `choices[i] AND sel[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` and `choices` lengths differ or choices are not all
+    /// the same width.
+    pub fn onehot_mux(&mut self, sel: &[NetId], choices: &[Bus]) -> Bus {
+        assert_eq!(sel.len(), choices.len(), "selector count mismatch");
+        assert!(!choices.is_empty(), "onehot_mux needs at least one choice");
+        let width = choices[0].len();
+        let mut acc: Option<Bus> = None;
+        for (&s, c) in sel.iter().zip(choices) {
+            assert_eq!(c.len(), width, "choice width mismatch");
+            let masked = self.mask_bus(c, s);
+            acc = Some(match acc {
+                None => masked,
+                Some(a) => self.or_bus(&a, &masked),
+            });
+        }
+        acc.expect("non-empty")
+    }
+
+    /// OR-reduction of a bus.
+    pub fn reduce_or(&mut self, a: &Bus) -> NetId {
+        self.or_all(a)
+    }
+
+    /// AND-reduction of a bus.
+    pub fn reduce_and(&mut self, a: &Bus) -> NetId {
+        self.and_all(a)
+    }
+
+    /// `1` when the bus is all zero.
+    pub fn is_zero(&mut self, a: &Bus) -> NetId {
+        let any = self.reduce_or(a);
+        self.not(any)
+    }
+
+    /// Equality of two buses.
+    pub fn eq(&mut self, a: &Bus, b: &Bus) -> NetId {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        let bits: Vec<NetId> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xnor(x, y))
+            .collect();
+        self.and_all(&bits)
+    }
+
+    /// Equality of a bus with a constant (no tie cells; uses inverters).
+    pub fn eq_const(&mut self, a: &Bus, value: u64) -> NetId {
+        let bits: Vec<NetId> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                if (value >> i) & 1 == 1 {
+                    n
+                } else {
+                    self.not(n)
+                }
+            })
+            .collect();
+        self.and_all(&bits)
+    }
+
+    /// Ripple-carry adder. Returns `(sum, carry_out)`.
+    ///
+    /// `cin` defaults to constant 0 when `None`.
+    pub fn add(&mut self, a: &Bus, b: &Bus, cin: Option<NetId>) -> (Bus, NetId) {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        let mut carry = match cin {
+            Some(c) => c,
+            None => self.zero(),
+        };
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let p = self.xor(x, y);
+            let s = self.xor(p, carry);
+            let g = self.and(x, y);
+            let t = self.and(p, carry);
+            carry = self.or(g, t);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Subtractor `a - b` via `a + !b + 1`. Returns `(diff, carry_out)`;
+    /// carry-out follows the MSP430 convention (`1` = no borrow).
+    pub fn sub(&mut self, a: &Bus, b: &Bus) -> (Bus, NetId) {
+        let nb = self.not_bus(b);
+        let one = self.one();
+        self.add(a, &nb, Some(one))
+    }
+
+    /// Incrementer `a + cin` (half-adder chain). Returns `(sum, carry_out)`.
+    pub fn inc(&mut self, a: &Bus, cin: NetId) -> (Bus, NetId) {
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for &x in a {
+            let s = self.xor(x, carry);
+            carry = self.and(x, carry);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Adds a small constant to a bus (lowered to an incrementer cascade).
+    pub fn add_const(&mut self, a: &Bus, k: u64) -> Bus {
+        let b = self.lit(k, a.len());
+        self.add(a, &b, None).0
+    }
+
+    /// Binary decoder: `sel` (n bits) → `2^n` one-hot outputs.
+    pub fn decode(&mut self, sel: &Bus) -> Vec<NetId> {
+        let n = sel.len();
+        let inv: Vec<NetId> = sel.iter().map(|&s| self.not(s)).collect();
+        (0..(1usize << n))
+            .map(|v| {
+                let terms: Vec<NetId> = (0..n)
+                    .map(|i| if (v >> i) & 1 == 1 { sel[i] } else { inv[i] })
+                    .collect();
+                self.and_all(&terms)
+            })
+            .collect()
+    }
+
+    /// Combinational array multiplier (`a.len() × b.len()` →
+    /// `a.len() + b.len()` bits), built from AND partial products and
+    /// ripple-carry rows — the high-power datapath block of the paper's core.
+    pub fn mul(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let (wa, wb) = (a.len(), b.len());
+        assert!(wa > 0 && wb > 0, "multiplier operands must be non-empty");
+        let zero = self.zero();
+        // Row 0.
+        let mut acc: Bus = a.iter().map(|&x| self.and(x, b[0])).collect();
+        acc.resize(wa + wb, zero);
+        for (i, &bi) in b.iter().enumerate().skip(1) {
+            let pp: Bus = a.iter().map(|&x| self.and(x, bi)).collect();
+            // Add pp shifted left by i into acc[i .. i+wa+1].
+            let window: Bus = acc[i..i + wa].to_vec();
+            let (sum, cout) = self.add(&window, &pp, None);
+            acc.splice(i..i + wa, sum);
+            if i + wa < wa + wb {
+                // Propagate carry into the remaining high bits.
+                let high: Bus = acc[i + wa..].to_vec();
+                let (hsum, _) = self.inc(&high, cout);
+                acc.splice(i + wa.., hsum);
+            }
+        }
+        acc
+    }
+
+    // ---- registers ----------------------------------------------------------
+
+    /// Declares a `width`-bit register named `name`, reset to 0.
+    ///
+    /// Returns the handle (to assign the next value) and the output bus `q`.
+    pub fn reg(&mut self, name: &str, width: usize) -> (RegHandle, Bus) {
+        let m = self.module;
+        let mname = self.nl.module_name(m).to_string();
+        let q: Bus = (0..width)
+            .map(|i| self.nl.add_net(format!("{mname}/{name}_q[{i}]")))
+            .collect();
+        self.regs.push(PendingReg {
+            name: name.to_string(),
+            q: q.clone(),
+            next: None,
+            module: m,
+        });
+        (RegHandle(self.regs.len() - 1), q)
+    }
+
+    /// Sets the next-state function of a register (updates every cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next value was already assigned or widths differ.
+    pub fn reg_next(&mut self, handle: RegHandle, d: &Bus) {
+        let r = &mut self.regs[handle.0];
+        assert!(r.next.is_none(), "register `{}` assigned twice", r.name);
+        assert_eq!(r.q.len(), d.len(), "register width mismatch");
+        r.next = Some((d.clone(), None));
+    }
+
+    /// Sets the next-state function of a register, gated by `en`.
+    pub fn reg_next_en(&mut self, handle: RegHandle, d: &Bus, en: NetId) {
+        let r = &mut self.regs[handle.0];
+        assert!(r.next.is_none(), "register `{}` assigned twice", r.name);
+        assert_eq!(r.q.len(), d.len(), "register width mismatch");
+        r.next = Some((d.clone(), Some(en)));
+    }
+
+    /// Read-only view of the wrapped netlist (for inspection before finish).
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Materializes all registers as flip-flop cells, validates, levelizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation (undriven nets,
+    /// combinational cycles, …). Registers whose next value was never
+    /// assigned hold their value.
+    pub fn finish(mut self) -> Result<Netlist, NetlistError> {
+        let rstn = self.rstn;
+        let regs = std::mem::take(&mut self.regs);
+        for r in regs {
+            let (d, en) = match r.next {
+                Some((d, en)) => (d, en),
+                None => (r.q.clone(), None), // hold forever
+            };
+            for (i, (&q, &db)) in r.q.iter().zip(&d).enumerate() {
+                let gname = format!("ff_{}_{}_{}", r.name, i, r.module.0);
+                match en {
+                    None => {
+                        self.nl
+                            .add_gate_in(CellKind::Dffr, gname, &[db, rstn], q, r.module)?;
+                    }
+                    Some(e) => {
+                        self.nl.add_gate_in(
+                            CellKind::Dffre,
+                            gname,
+                            &[db, e, rstn],
+                            q,
+                            r.module,
+                        )?;
+                    }
+                }
+            }
+        }
+        self.nl.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let mut r = Rtl::new("t");
+        let a = r.input("a", 4);
+        let b = r.input("b", 4);
+        let (s, c) = r.add(&a, &b, None);
+        r.output("s", &s);
+        r.output_bit("c", c);
+        let nl = r.finish().unwrap();
+        // 5 gates per bit + tie0.
+        assert_eq!(nl.gate_count(), 4 * 5 + 1);
+    }
+
+    #[test]
+    fn counter_with_enable() {
+        let mut r = Rtl::new("t");
+        let en = r.input_bit("en");
+        let (h, q) = r.reg("cnt", 8);
+        let one = r.one();
+        let (next, _) = r.inc(&q, one);
+        r.reg_next_en(h, &next, en);
+        r.output("q", &q);
+        let nl = r.finish().unwrap();
+        assert_eq!(nl.sequential_gates().len(), 8);
+    }
+
+    #[test]
+    fn decoder_is_onehot_shape() {
+        let mut r = Rtl::new("t");
+        let s = r.input("s", 3);
+        let hot = r.decode(&s);
+        assert_eq!(hot.len(), 8);
+        for (i, &h) in hot.iter().enumerate() {
+            r.output_bit(&format!("h{i}"), h);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn onehot_mux_width_checked() {
+        let mut r = Rtl::new("t");
+        let s0 = r.input_bit("s0");
+        let s1 = r.input_bit("s1");
+        let a = r.input("a", 4);
+        let b = r.input("b", 4);
+        let y = r.onehot_mux(&[s0, s1], &[a, b]);
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn unassigned_register_holds() {
+        let mut r = Rtl::new("t");
+        let (_h, q) = r.reg("keep", 2);
+        r.output("q", &q);
+        let nl = r.finish().unwrap();
+        assert_eq!(nl.sequential_gates().len(), 2);
+    }
+
+    #[test]
+    fn double_assignment_panics() {
+        let mut r = Rtl::new("t");
+        let d = r.input("d", 2);
+        let (h, _q) = r.reg("r", 2);
+        r.reg_next(h, &d);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.reg_next(h, &d);
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn module_scoping_applies_to_gates() {
+        let mut r = Rtl::new("t");
+        let a = r.input_bit("a");
+        r.set_module("alu");
+        let y = r.not(a);
+        r.output_bit("y", y);
+        let nl = r.finish().unwrap();
+        let g = &nl.gates()[0];
+        assert_eq!(nl.module_name(g.module()), "alu");
+    }
+
+    #[test]
+    fn probe_names_are_stable() {
+        let mut r = Rtl::new("t");
+        let a = r.input_bit("a");
+        let p = r.probe("frontend/branch_taken", a);
+        r.output_bit("p", p);
+        let nl = r.finish().unwrap();
+        assert!(nl.find_net("frontend/branch_taken").is_some());
+    }
+}

@@ -1,0 +1,480 @@
+//! Activity-based gate-level power analysis — the PrimeTime stand-in.
+//!
+//! Given a netlist, a cell library, and a per-cycle trace of net values
+//! ([`xbound_logic::Frame`]s), [`PowerAnalyzer`] computes:
+//!
+//! * the per-cycle power trace (dynamic switching energy × clock frequency
+//!   plus leakage),
+//! * per-module breakdowns (the paper's Fig 14 stacked bars),
+//! * total energy and normalized peak energy (J/cycle).
+//!
+//! The same computation PrimeTime performs in averaged/activity mode: each
+//! output transition of a gate contributes that cell's characterized rise or
+//! fall energy. Transitions to/from `X` are charged the *maximum* transition
+//! energy — conservative, and only reachable when callers analyze raw
+//! symbolic traces (Algorithm 2 resolves Xs before analysis).
+//!
+//! [`statics`] adds probabilistic (toggle-rate-based) analysis used by the
+//! design-specification baseline, and [`vcd`] provides VCD export/import.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_cells::CellLibrary;
+//! use xbound_netlist::rtl::Rtl;
+//! use xbound_power::PowerAnalyzer;
+//! use xbound_sim::Simulator;
+//!
+//! let mut r = Rtl::new("cnt");
+//! let (h, q) = r.reg("c", 8);
+//! let one = r.one();
+//! let (nx, _) = r.inc(&q, one);
+//! r.reg_next(h, &nx);
+//! r.output("q", &q);
+//! let nl = r.finish().unwrap();
+//!
+//! let mut sim = Simulator::new(&nl);
+//! sim.reset(1);
+//! let mut frames = Vec::new();
+//! for _ in 0..32 {
+//!     frames.push(sim.eval().unwrap().clone());
+//!     sim.commit();
+//! }
+//! let lib = CellLibrary::ulp65();
+//! let analyzer = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+//! let trace = analyzer.analyze(&frames);
+//! assert!(trace.peak_mw() > 0.0);
+//! assert!(trace.avg_mw() <= trace.peak_mw());
+//! ```
+
+pub mod statics;
+pub mod vcd;
+
+use xbound_cells::CellLibrary;
+use xbound_logic::{Frame, Lv};
+use xbound_netlist::{CellKind, Netlist};
+
+/// A per-cycle power trace produced by [`PowerAnalyzer::analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    per_cycle_mw: Vec<f64>,
+    per_module_mw: Vec<Vec<f64>>,
+    module_names: Vec<String>,
+    clock_hz: f64,
+    leakage_mw: f64,
+}
+
+impl PowerTrace {
+    /// Per-cycle total power, milliwatts.
+    pub fn per_cycle_mw(&self) -> &[f64] {
+        &self.per_cycle_mw
+    }
+
+    /// Per-cycle per-module power, `[module][cycle]`, milliwatts.
+    pub fn per_module_mw(&self) -> &[Vec<f64>] {
+        &self.per_module_mw
+    }
+
+    /// Module names, aligned with [`PowerTrace::per_module_mw`].
+    pub fn module_names(&self) -> &[String] {
+        &self.module_names
+    }
+
+    /// Number of cycles in the trace.
+    pub fn cycles(&self) -> usize {
+        self.per_cycle_mw.len()
+    }
+
+    /// Peak per-cycle power, milliwatts (0 for an empty trace).
+    pub fn peak_mw(&self) -> f64 {
+        self.per_cycle_mw.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Cycle index at which the peak occurs (0 for an empty trace).
+    pub fn peak_cycle(&self) -> usize {
+        self.per_cycle_mw
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("power is finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Average power over the trace, milliwatts.
+    pub fn avg_mw(&self) -> f64 {
+        if self.per_cycle_mw.is_empty() {
+            return 0.0;
+        }
+        self.per_cycle_mw.iter().sum::<f64>() / self.per_cycle_mw.len() as f64
+    }
+
+    /// Total energy over the trace, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.per_cycle_mw.iter().sum::<f64>() * 1e-3 / self.clock_hz
+    }
+
+    /// Energy per cycle averaged over the run (the paper's "normalized peak
+    /// energy" metric, J/cycle).
+    pub fn energy_per_cycle_j(&self) -> f64 {
+        if self.per_cycle_mw.is_empty() {
+            return 0.0;
+        }
+        self.total_energy_j() / self.per_cycle_mw.len() as f64
+    }
+
+    /// Constant leakage included in every cycle, milliwatts.
+    pub fn leakage_mw(&self) -> f64 {
+        self.leakage_mw
+    }
+
+    /// Clock frequency used for the analysis, hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Per-module energy at one cycle, `(module name, mW)`, descending.
+    pub fn module_breakdown_at(&self, cycle: usize) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .module_names
+            .iter()
+            .zip(&self.per_module_mw)
+            .map(|(n, t)| (n.clone(), t.get(cycle).copied().unwrap_or(0.0)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("power is finite"));
+        v
+    }
+}
+
+/// Multiplier applied to the summed flip-flop clock-pin energy to account
+/// for the clock distribution buffers of a placed-and-routed design.
+pub const CLOCK_TREE_FACTOR: f64 = 1.25;
+
+/// Activity-based power analyzer bound to a netlist + library + clock.
+#[derive(Debug, Clone)]
+pub struct PowerAnalyzer<'a> {
+    nl: &'a Netlist,
+    lib: &'a CellLibrary,
+    clock_hz: f64,
+    /// Per-gate (rise, fall, max) energies in femtojoules.
+    energies: Vec<(f64, f64, f64)>,
+    leakage_mw: f64,
+    clock_mw: f64,
+}
+
+impl<'a> PowerAnalyzer<'a> {
+    /// Creates an analyzer; precomputes per-gate energies and total leakage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive or the netlist is not finalized.
+    pub fn new(nl: &'a Netlist, lib: &'a CellLibrary, clock_hz: f64) -> PowerAnalyzer<'a> {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        assert!(nl.is_finalized(), "netlist must be finalized");
+        let energies = nl
+            .gates()
+            .iter()
+            .map(|g| {
+                let p = lib.power(g.kind());
+                (p.energy_rise_fj, p.energy_fall_fj, p.max_energy_fj())
+            })
+            .collect();
+        let leakage_nw: f64 = nl
+            .gates()
+            .iter()
+            .map(|g| lib.power(g.kind()).leakage_nw)
+            .sum();
+        // Clock network: every flip-flop's clock pin switches each cycle;
+        // the tree factor stands in for the distribution buffers. This is
+        // input-independent power, charged to every cycle like leakage.
+        let clock_fj: f64 = nl
+            .gates()
+            .iter()
+            .map(|g| lib.power(g.kind()).clock_pin_fj)
+            .sum();
+        PowerAnalyzer {
+            nl,
+            lib,
+            clock_hz,
+            energies,
+            leakage_mw: leakage_nw * 1e-6,
+            clock_mw: clock_fj * CLOCK_TREE_FACTOR * clock_hz * 1e-12,
+        }
+    }
+
+    /// The bound cell library.
+    pub fn library(&self) -> &CellLibrary {
+        self.lib
+    }
+
+    /// The clock frequency, hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Static leakage of the whole design, milliwatts.
+    pub fn leakage_mw(&self) -> f64 {
+        self.leakage_mw
+    }
+
+    /// Clock-network power (flip-flop clock pins × tree factor), milliwatts.
+    pub fn clock_mw(&self) -> f64 {
+        self.clock_mw
+    }
+
+    /// Input-independent per-cycle floor: leakage + clock network.
+    pub fn floor_mw(&self) -> f64 {
+        self.leakage_mw + self.clock_mw
+    }
+
+    /// Dynamic energy (femtojoules) of one gate transitioning `from → to`.
+    ///
+    /// `X` endpoints are charged the maximum transition energy.
+    #[inline]
+    fn transition_energy_fj(&self, gate_idx: usize, from: Lv, to: Lv) -> f64 {
+        let (rise, fall, max) = self.energies[gate_idx];
+        match (from, to) {
+            (Lv::Zero, Lv::One) => rise,
+            (Lv::One, Lv::Zero) => fall,
+            (Lv::X, _) | (_, Lv::X) => {
+                if from == to {
+                    0.0
+                } else {
+                    max
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Analyzes a frame sequence into a power trace.
+    ///
+    /// Cycle `c`'s dynamic power counts transitions between frames `c-1` and
+    /// `c` (cycle 0 has no transitions, only leakage). Per-module breakdowns
+    /// are always computed.
+    pub fn analyze(&self, frames: &[Frame]) -> PowerTrace {
+        let module_names = self.nl.modules().to_vec();
+        let nmods = module_names.len();
+        let ncycles = frames.len();
+        let mut per_cycle = vec![self.leakage_mw + self.clock_mw; ncycles];
+        let mut per_module = vec![vec![0.0f64; ncycles]; nmods];
+        let fj_to_mw = self.clock_hz * 1e-12; // fJ per cycle -> mW
+        for c in 1..ncycles {
+            let prev = &frames[c - 1];
+            let cur = &frames[c];
+            let mut cycle_fj = 0.0;
+            for &i in prev.diff_indices(cur).iter() {
+                let Some(gid) = self.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
+                    continue; // primary input toggles cost nothing themselves
+                };
+                let g = self.nl.gate(gid);
+                let e = self.transition_energy_fj(gid.index(), prev.get(i), cur.get(i));
+                cycle_fj += e;
+                per_module[g.module().index()][c] += e * fj_to_mw;
+            }
+            per_cycle[c] += cycle_fj * fj_to_mw;
+        }
+        PowerTrace {
+            per_cycle_mw: per_cycle,
+            per_module_mw: per_module,
+            module_names,
+            clock_hz: self.clock_hz,
+            leakage_mw: self.leakage_mw,
+        }
+    }
+
+    /// The design-specification "rated" peak power: every gate makes its
+    /// maximum-energy transition every cycle, milliwatts.
+    ///
+    /// This is the data-sheet bound of the paper's Chapter 1/2 (the most
+    /// conservative rating).
+    pub fn rated_peak_mw(&self) -> f64 {
+        let fj: f64 = self.energies.iter().map(|(_, _, m)| m).sum();
+        fj * self.clock_hz * 1e-12 + self.leakage_mw + self.clock_mw
+    }
+
+    /// Per-gate toggle counts across a frame sequence (for activity plots
+    /// like the paper's Fig 5/12).
+    pub fn toggle_counts(&self, frames: &[Frame]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.nl.gate_count()];
+        for c in 1..frames.len() {
+            for &i in frames[c - 1].diff_indices(&frames[c]).iter() {
+                if let Some(gid) = self.nl.driver_of(xbound_netlist::NetId(i as u32)) {
+                    counts[gid.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Expected power from per-gate toggle rates (toggles per cycle),
+/// milliwatts. Used by probabilistic (design-tool) analyses.
+pub fn power_from_rates(
+    nl: &Netlist,
+    lib: &CellLibrary,
+    clock_hz: f64,
+    rates: &[f64],
+) -> f64 {
+    assert_eq!(rates.len(), nl.gate_count(), "one rate per gate");
+    let mut fj = 0.0;
+    for (g, &rate) in nl.gates().iter().zip(rates) {
+        let p = lib.power(g.kind());
+        // A toggle is rise or fall with equal likelihood.
+        fj += rate * 0.5 * (p.energy_rise_fj + p.energy_fall_fj);
+    }
+    let leak_mw: f64 = nl
+        .gates()
+        .iter()
+        .map(|g| lib.power(g.kind()).leakage_nw)
+        .sum::<f64>()
+        * 1e-6;
+    let clock_mw: f64 = nl
+        .gates()
+        .iter()
+        .map(|g| lib.power(g.kind()).clock_pin_fj)
+        .sum::<f64>()
+        * CLOCK_TREE_FACTOR
+        * clock_hz
+        * 1e-12;
+    fj * clock_hz * 1e-12 + leak_mw + clock_mw
+}
+
+/// Returns `true` if kind `k` never toggles (tie cells).
+pub fn is_static_cell(k: CellKind) -> bool {
+    matches!(k, CellKind::Tie0 | CellKind::Tie1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbound_netlist::rtl::Rtl;
+    use xbound_sim::Simulator;
+
+    fn counter_frames(n: usize) -> (Netlist, Vec<Frame>) {
+        let mut r = Rtl::new("cnt");
+        r.set_module("datapath");
+        let (h, q) = r.reg("c", 8);
+        let one = r.one();
+        let (nx, _) = r.inc(&q, one);
+        r.reg_next(h, &nx);
+        r.output("q", &q);
+        let nl = r.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.reset(1);
+        let mut frames = Vec::new();
+        for _ in 0..n {
+            frames.push(sim.eval().unwrap().clone());
+            sim.commit();
+        }
+        (nl, frames)
+    }
+
+    #[test]
+    fn nonzero_dynamic_power_for_counting() {
+        let (nl, frames) = counter_frames(64);
+        let lib = CellLibrary::ulp65();
+        let a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        let t = a.analyze(&frames);
+        assert_eq!(t.cycles(), 64);
+        assert!(t.peak_mw() > t.leakage_mw());
+        assert!(t.avg_mw() > t.leakage_mw());
+        assert!(t.peak_mw() <= a.rated_peak_mw(), "rated power is a bound");
+        assert!(t.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn first_cycle_is_floor_only() {
+        let (nl, frames) = counter_frames(8);
+        let lib = CellLibrary::ulp65();
+        let a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        let t = a.analyze(&frames);
+        assert!((t.per_cycle_mw()[0] - a.floor_mw()).abs() < 1e-12);
+        assert!(a.clock_mw() > 0.0, "sequential design has clock power");
+    }
+
+    #[test]
+    fn lsb_toggles_most() {
+        let (nl, frames) = counter_frames(64);
+        let lib = CellLibrary::ulp65();
+        let a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        let counts = a.toggle_counts(&frames);
+        // The LSB flop toggles every cycle; find its gate.
+        let lsb_net = nl.find_net("datapath/c_q[0]").unwrap();
+        let msb_net = nl.find_net("datapath/c_q[7]").unwrap();
+        let lsb_gate = nl.driver_of(lsb_net).unwrap();
+        let msb_gate = nl.driver_of(msb_net).unwrap();
+        assert!(counts[lsb_gate.index()] > 10 * counts[msb_gate.index()].max(1));
+    }
+
+    #[test]
+    fn per_module_sums_to_total() {
+        let (nl, frames) = counter_frames(32);
+        let lib = CellLibrary::ulp65();
+        let a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        let t = a.analyze(&frames);
+        for c in 0..t.cycles() {
+            let module_sum: f64 = t.per_module_mw().iter().map(|m| m[c]).sum();
+            let dynamic = t.per_cycle_mw()[c] - a.floor_mw();
+            assert!(
+                (module_sum - dynamic).abs() < 1e-9,
+                "cycle {c}: {module_sum} vs {dynamic}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_clock_higher_power_same_energy() {
+        let (nl, frames) = counter_frames(32);
+        let lib = CellLibrary::ulp65();
+        let slow_a = PowerAnalyzer::new(&nl, &lib, 8.0e6);
+        let fast_a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        let slow = slow_a.analyze(&frames);
+        let fast = fast_a.analyze(&frames);
+        assert!(fast.peak_mw() > slow.peak_mw());
+        // Switching + clock energy is frequency-independent.
+        let se = slow.total_energy_j() - slow_a.leakage_mw() * 1e-3 / 8.0e6 * 32.0;
+        let fe = fast.total_energy_j() - fast_a.leakage_mw() * 1e-3 / 100.0e6 * 32.0;
+        assert!((se - fe).abs() / se < 1e-9);
+    }
+
+    #[test]
+    fn x_transitions_charged_max_energy() {
+        use xbound_logic::Lv;
+        let mut r = Rtl::new("t");
+        let a_in = r.input_bit("a");
+        let y = r.not(a_in);
+        r.output_bit("y", y);
+        let nl = r.finish().unwrap();
+        let lib = CellLibrary::ulp65();
+        let an = PowerAnalyzer::new(&nl, &lib, 1.0e6);
+        let mut f0 = Frame::new(nl.net_count());
+        let mut f1 = Frame::new(nl.net_count());
+        f0.set(y.index(), Lv::Zero);
+        f1.set(y.index(), Lv::X);
+        let t = an.analyze(&[f0, f1]);
+        let dyn_mw = t.per_cycle_mw()[1] - an.floor_mw();
+        let exp = lib.max_transition_energy_fj(CellKind::Inv) * 1.0e6 * 1e-12;
+        assert!((dyn_mw - exp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn module_breakdown_sorted() {
+        let (nl, frames) = counter_frames(16);
+        let lib = CellLibrary::ulp65();
+        let t = PowerAnalyzer::new(&nl, &lib, 100.0e6).analyze(&frames);
+        let b = t.module_breakdown_at(5);
+        for w in b.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn power_from_rates_scales_linearly() {
+        let (nl, _) = counter_frames(2);
+        let lib = CellLibrary::ulp65();
+        let low = power_from_rates(&nl, &lib, 100.0e6, &vec![0.1; nl.gate_count()]);
+        let high = power_from_rates(&nl, &lib, 100.0e6, &vec![0.2; nl.gate_count()]);
+        let floor = PowerAnalyzer::new(&nl, &lib, 100.0e6).floor_mw();
+        assert!((2.0 * (low - floor) - (high - floor)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Probabilistic (vectorless) activity analysis.
+//!
+//! The design-specification baseline of the paper ("design tool") rates a
+//! processor by running the EDA power tool with its **default input toggle
+//! rate** instead of simulation activity. This module reproduces that
+//! estimate: signal probabilities and transition densities are propagated
+//! from primary inputs (and sequential outputs) through the combinational
+//! logic under an input-independence assumption — the classic vectorless
+//! mode of PrimeTime/PrimePower.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_cells::CellLibrary;
+//! use xbound_netlist::rtl::Rtl;
+//! use xbound_power::statics::{vectorless_power_mw, VectorlessConfig};
+//!
+//! let mut r = Rtl::new("t");
+//! let a = r.input_bit("a");
+//! let b = r.input_bit("b");
+//! let y = r.and(a, b);
+//! r.output_bit("y", y);
+//! let nl = r.finish().unwrap();
+//! let lib = CellLibrary::ulp65();
+//! let mw = vectorless_power_mw(&nl, &lib, 100.0e6, &VectorlessConfig::default());
+//! assert!(mw > 0.0);
+//! ```
+
+use crate::power_from_rates;
+use xbound_cells::CellLibrary;
+use xbound_netlist::{CellKind, Netlist};
+
+/// Configuration of the vectorless analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorlessConfig {
+    /// Static probability of primary inputs being 1.
+    pub input_probability: f64,
+    /// Toggle rate of primary inputs, transitions per cycle.
+    pub input_toggle_rate: f64,
+    /// Toggle rate assumed for sequential outputs, transitions per cycle.
+    pub register_toggle_rate: f64,
+}
+
+impl Default for VectorlessConfig {
+    /// PrimeTime-style defaults: probability 0.5, toggle rate 0.2 on inputs
+    /// and registers.
+    fn default() -> VectorlessConfig {
+        VectorlessConfig {
+            input_probability: 0.5,
+            input_toggle_rate: 0.2,
+            register_toggle_rate: 0.2,
+        }
+    }
+}
+
+/// Per-net probability and transition density.
+#[derive(Debug, Clone, Copy, Default)]
+struct Act {
+    /// Probability the net is 1.
+    p: f64,
+    /// Expected transitions per cycle.
+    d: f64,
+}
+
+/// Propagates probabilities/densities; returns per-gate toggle rates.
+///
+/// Propagation uses the standard independence approximations:
+/// `P(and) = pa·pb`, `P(or) = pa + pb − pa·pb`, `P(xor) = pa + pb − 2·pa·pb`;
+/// transition densities propagate with Boolean-difference sensitivities
+/// (e.g. for AND, input `a` is observable with probability `pb`).
+pub fn propagate_rates(nl: &Netlist, cfg: &VectorlessConfig) -> Vec<f64> {
+    let mut acts = vec![Act::default(); nl.net_count()];
+    for &i in nl.inputs() {
+        acts[i.index()] = Act {
+            p: cfg.input_probability,
+            d: cfg.input_toggle_rate,
+        };
+    }
+    for &g in nl.sequential_gates() {
+        let out = nl.gate(g).output();
+        acts[out.index()] = Act {
+            p: 0.5,
+            d: cfg.register_toggle_rate,
+        };
+    }
+    let mut gate_rates = vec![0.0f64; nl.gate_count()];
+    for &gid in nl.topo_order() {
+        let g = nl.gate(gid);
+        let a = |k: usize| acts[g.inputs()[k].index()];
+        let out = match g.kind() {
+            CellKind::Tie0 => Act { p: 0.0, d: 0.0 },
+            CellKind::Tie1 => Act { p: 1.0, d: 0.0 },
+            CellKind::Buf => a(0),
+            CellKind::Inv => Act {
+                p: 1.0 - a(0).p,
+                d: a(0).d,
+            },
+            CellKind::And2 | CellKind::Nand2 => {
+                let (x, y) = (a(0), a(1));
+                let p = x.p * y.p;
+                let d = x.d * y.p + y.d * x.p;
+                Act {
+                    p: if g.kind() == CellKind::Nand2 { 1.0 - p } else { p },
+                    d,
+                }
+            }
+            CellKind::Or2 | CellKind::Nor2 => {
+                let (x, y) = (a(0), a(1));
+                let p = x.p + y.p - x.p * y.p;
+                let d = x.d * (1.0 - y.p) + y.d * (1.0 - x.p);
+                Act {
+                    p: if g.kind() == CellKind::Nor2 { 1.0 - p } else { p },
+                    d,
+                }
+            }
+            CellKind::Xor2 | CellKind::Xnor2 => {
+                let (x, y) = (a(0), a(1));
+                let p = x.p + y.p - 2.0 * x.p * y.p;
+                let d = x.d + y.d; // XOR is always sensitized
+                Act {
+                    p: if g.kind() == CellKind::Xnor2 { 1.0 - p } else { p },
+                    d,
+                }
+            }
+            CellKind::Mux2 => {
+                let (d0, d1, s) = (a(0), a(1), a(2));
+                let p = (1.0 - s.p) * d0.p + s.p * d1.p;
+                let d = (1.0 - s.p) * d0.d
+                    + s.p * d1.d
+                    + s.d * (d0.p * (1.0 - d1.p) + d1.p * (1.0 - d0.p));
+                Act { p, d }
+            }
+            CellKind::Aoi21 => {
+                // !((a & b) | c)
+                let (x, y, c) = (a(0), a(1), a(2));
+                let pab = x.p * y.p;
+                let p_or = pab + c.p - pab * c.p;
+                let d_ab = x.d * y.p + y.d * x.p;
+                let d = d_ab * (1.0 - c.p) + c.d * (1.0 - pab);
+                Act { p: 1.0 - p_or, d }
+            }
+            CellKind::Oai21 => {
+                // !((a | b) & c)
+                let (x, y, c) = (a(0), a(1), a(2));
+                let pab = x.p + y.p - x.p * y.p;
+                let p_and = pab * c.p;
+                let d_ab = x.d * (1.0 - y.p) + y.d * (1.0 - x.p);
+                let d = d_ab * c.p + c.d * pab;
+                Act { p: 1.0 - p_and, d }
+            }
+            CellKind::Dff | CellKind::Dffe | CellKind::Dffr | CellKind::Dffre => {
+                unreachable!("sequential gate in topo order")
+            }
+        };
+        // Clamp to physical bounds: a net cannot toggle more than once per
+        // cycle in a synchronous design.
+        let out = Act {
+            p: out.p.clamp(0.0, 1.0),
+            d: out.d.min(1.0),
+        };
+        acts[g.output().index()] = out;
+        gate_rates[gid.index()] = out.d;
+    }
+    // Sequential gate toggle rates.
+    for &gid in nl.sequential_gates() {
+        gate_rates[gid.index()] = cfg.register_toggle_rate;
+    }
+    gate_rates
+}
+
+/// The design-tool rating: vectorless expected power, milliwatts.
+pub fn vectorless_power_mw(
+    nl: &Netlist,
+    lib: &CellLibrary,
+    clock_hz: f64,
+    cfg: &VectorlessConfig,
+) -> f64 {
+    let rates = propagate_rates(nl, cfg);
+    power_from_rates(nl, lib, clock_hz, &rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbound_netlist::rtl::Rtl;
+
+    fn and_tree() -> Netlist {
+        let mut r = Rtl::new("t");
+        let a = r.input_bit("a");
+        let b = r.input_bit("b");
+        let c = r.input_bit("c");
+        let d = r.input_bit("d");
+        let ab = r.and(a, b);
+        let cd = r.and(c, d);
+        let y = r.and(ab, cd);
+        r.output_bit("y", y);
+        r.finish().unwrap()
+    }
+
+    #[test]
+    fn probabilities_attenuate_through_and_tree() {
+        let nl = and_tree();
+        let rates = propagate_rates(&nl, &VectorlessConfig::default());
+        // Deeper gates toggle less under AND attenuation.
+        assert!(rates[2] < rates[0], "root AND rate < leaf AND rate");
+        assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn xor_does_not_attenuate() {
+        let mut r = Rtl::new("t");
+        let a = r.input_bit("a");
+        let b = r.input_bit("b");
+        let y = r.xor(a, b);
+        r.output_bit("y", y);
+        let nl = r.finish().unwrap();
+        let cfg = VectorlessConfig::default();
+        let rates = propagate_rates(&nl, &cfg);
+        assert!((rates[0] - 2.0 * cfg.input_toggle_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_clamped_to_once_per_cycle() {
+        // A deep XOR chain would exceed 1 transition/cycle without clamping.
+        let mut r = Rtl::new("t");
+        let mut nets = Vec::new();
+        for i in 0..12 {
+            nets.push(r.input_bit(&format!("i{i}")));
+        }
+        let y = r.xor_bus(&vec![nets[0]; 1], &vec![nets[1]; 1])[0];
+        let mut acc = y;
+        for &n in &nets[2..] {
+            acc = r.xor(acc, n);
+        }
+        r.output_bit("y", acc);
+        let nl = r.finish().unwrap();
+        let rates = propagate_rates(&nl, &VectorlessConfig::default());
+        assert!(rates.iter().all(|&d| d <= 1.0));
+        assert!(rates.last().copied().unwrap() >= 0.99, "chain saturates");
+    }
+
+    #[test]
+    fn higher_input_rate_higher_power() {
+        let nl = and_tree();
+        let lib = xbound_cells::CellLibrary::ulp65();
+        let lo = vectorless_power_mw(
+            &nl,
+            &lib,
+            100.0e6,
+            &VectorlessConfig {
+                input_toggle_rate: 0.1,
+                ..VectorlessConfig::default()
+            },
+        );
+        let hi = vectorless_power_mw(
+            &nl,
+            &lib,
+            100.0e6,
+            &VectorlessConfig {
+                input_toggle_rate: 0.4,
+                ..VectorlessConfig::default()
+            },
+        );
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn ties_never_toggle() {
+        let mut r = Rtl::new("t");
+        let z = r.zero();
+        let o = r.one();
+        let y = r.or(z, o);
+        r.output_bit("y", y);
+        let nl = r.finish().unwrap();
+        let rates = propagate_rates(&nl, &VectorlessConfig::default());
+        // All gates driven only by ties have zero density.
+        assert!(rates.iter().all(|&d| d == 0.0));
+    }
+}

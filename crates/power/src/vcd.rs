@@ -1,0 +1,258 @@
+//! Value-change-dump (VCD) export and import.
+//!
+//! The paper's Algorithm 2 materializes even/odd activity assignments as VCD
+//! files consumed by PrimeTime. `xbound` operates on in-memory frames for
+//! speed but provides VCD interchange here: [`write`] emits a standard VCD
+//! (1 timestep per clock cycle, scalar nets, `x` for unknowns), and
+//! [`parse`] reads the same subset back.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_netlist::rtl::Rtl;
+//! use xbound_sim::Simulator;
+//! use xbound_power::vcd;
+//!
+//! let mut r = Rtl::new("cnt");
+//! let (h, q) = r.reg("c", 4);
+//! let one = r.one();
+//! let (nx, _) = r.inc(&q, one);
+//! r.reg_next(h, &nx);
+//! r.output("q", &q);
+//! let nl = r.finish().unwrap();
+//! let mut sim = Simulator::new(&nl);
+//! let mut frames = Vec::new();
+//! for _ in 0..8 {
+//!     frames.push(sim.eval().unwrap().clone());
+//!     sim.commit();
+//! }
+//! let text = vcd::write(&nl, &frames, 10_000);
+//! let (names, back) = vcd::parse(&text)?;
+//! assert_eq!(names.len(), nl.net_count());
+//! assert_eq!(back, frames);
+//! # Ok::<(), vcd::VcdError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use xbound_logic::{Frame, Lv};
+use xbound_netlist::Netlist;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcdError {
+    /// Structural problem in the VCD text.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A value change referenced an undeclared identifier code.
+    UnknownId {
+        /// The identifier code.
+        id: String,
+    },
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcdError::Syntax { line, message } => {
+                write!(f, "VCD syntax error at line {line}: {message}")
+            }
+            VcdError::UnknownId { id } => write!(f, "unknown VCD identifier `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+/// Short identifier code for net `i` (printable ASCII, VCD-style).
+fn id_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Serializes frames as a VCD document.
+///
+/// One VCD timestep of `timescale_ps` picoseconds per frame; every net of
+/// the netlist is declared as a scalar wire under a single scope.
+pub fn write(nl: &Netlist, frames: &[Frame], timescale_ps: u64) -> String {
+    let mut out = String::new();
+    out.push_str("$date xbound $end\n$version xbound-power $end\n");
+    out.push_str(&format!("$timescale {timescale_ps} ps $end\n"));
+    out.push_str(&format!("$scope module {} $end\n", nl.name()));
+    for i in 0..nl.net_count() {
+        let name = nl.net_name(xbound_netlist::NetId(i as u32));
+        out.push_str(&format!(
+            "$var wire 1 {} {} $end\n",
+            id_code(i),
+            name.replace(' ', "_")
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    let mut prev: Option<&Frame> = None;
+    for (t, f) in frames.iter().enumerate() {
+        out.push_str(&format!("#{t}\n"));
+        match prev {
+            None => {
+                out.push_str("$dumpvars\n");
+                for i in 0..f.len() {
+                    out.push(f.get(i).to_char());
+                    out.push_str(&id_code(i));
+                    out.push('\n');
+                }
+                out.push_str("$end\n");
+            }
+            Some(p) => {
+                for i in p.diff_indices(f) {
+                    out.push(f.get(i).to_char());
+                    out.push_str(&id_code(i));
+                    out.push('\n');
+                }
+            }
+        }
+        prev = Some(f);
+    }
+    out
+}
+
+/// Parses the VCD subset produced by [`write`].
+///
+/// Returns the declared net names (in declaration order) and one frame per
+/// timestep.
+///
+/// # Errors
+///
+/// Returns [`VcdError`] on malformed declarations or unknown identifiers.
+pub fn parse(text: &str) -> Result<(Vec<String>, Vec<Frame>), VcdError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut ids: HashMap<String, usize> = HashMap::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cur: Option<Frame> = None;
+    let mut in_defs = true;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let t = raw.trim();
+        if t.is_empty() || t == "$end" || t == "$dumpvars" {
+            continue;
+        }
+        if in_defs {
+            if t.starts_with("$var") {
+                let parts: Vec<&str> = t.split_whitespace().collect();
+                if parts.len() < 5 {
+                    return Err(VcdError::Syntax {
+                        line,
+                        message: "malformed $var".into(),
+                    });
+                }
+                let id = parts[3].to_string();
+                ids.insert(id, names.len());
+                names.push(parts[4].to_string());
+            } else if t.starts_with("$enddefinitions") {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = t.strip_prefix('#') {
+            let _: u64 = ts.parse().map_err(|_| VcdError::Syntax {
+                line,
+                message: format!("bad timestep `{ts}`"),
+            })?;
+            if let Some(f) = cur.take() {
+                frames.push(f);
+            }
+            let next = frames
+                .last()
+                .cloned()
+                .unwrap_or_else(|| Frame::new(names.len()));
+            cur = Some(next);
+            continue;
+        }
+        // Scalar value change: <value><id>
+        let mut chars = t.chars();
+        let vc = chars.next().ok_or(VcdError::Syntax {
+            line,
+            message: "empty change".into(),
+        })?;
+        let v = Lv::from_char(vc).ok_or(VcdError::Syntax {
+            line,
+            message: format!("bad value `{vc}`"),
+        })?;
+        let id: String = chars.collect();
+        let idx = *ids.get(&id).ok_or(VcdError::UnknownId { id })?;
+        if let Some(f) = cur.as_mut() {
+            f.set(idx, v);
+        } else {
+            return Err(VcdError::Syntax {
+                line,
+                message: "value change before first timestep".into(),
+            });
+        }
+    }
+    if let Some(f) = cur.take() {
+        frames.push(f);
+    }
+    Ok((names, frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c), "duplicate id for {i}");
+        }
+    }
+
+    #[test]
+    fn round_trip_with_x() {
+        let mut f0 = Frame::new(5);
+        f0.set(0, Lv::One);
+        f0.set(3, Lv::X);
+        let mut f1 = f0.clone();
+        f1.set(3, Lv::Zero);
+        f1.set(4, Lv::One);
+        let mut nl = Netlist::new("t");
+        for i in 0..5 {
+            nl.add_input(format!("n{i}"));
+        }
+        let nl = nl.finalize().unwrap();
+        let text = write(&nl, &[f0.clone(), f1.clone()], 10_000);
+        let (names, frames) = parse(&text).unwrap();
+        assert_eq!(names.len(), 5);
+        assert_eq!(frames, vec![f0, f1]);
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1%\n";
+        assert!(matches!(parse(text), Err(VcdError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#0\nq!\n";
+        assert!(matches!(parse(text), Err(VcdError::Syntax { .. })));
+    }
+
+    #[test]
+    fn empty_document_parses() {
+        let (names, frames) = parse("$enddefinitions $end\n").unwrap();
+        assert!(names.is_empty());
+        assert!(frames.is_empty());
+    }
+}

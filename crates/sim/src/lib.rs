@@ -1,0 +1,1051 @@
+//! Levelized three-valued cycle simulator.
+//!
+//! This crate is the `xbound` substitute for the commercial gate-level
+//! simulator of the paper's flow. It simulates a finalized
+//! [`xbound_netlist::Netlist`] cycle by cycle over the three-valued domain of
+//! [`xbound_logic::Lv`], with:
+//!
+//! * **X-capable behavioral memories** ([`MemRegion`]) attached through a
+//!   single external bus ([`BusSpec`]) — program ROM, data RAM, and the
+//!   input-port region whose reads return `X` during symbolic analysis;
+//! * **net forcing** ([`Simulator::force`]) used by the symbolic explorer to
+//!   constrain fork nets (e.g. `branch_taken`) when the next PC carries X;
+//! * **state save/restore** ([`Simulator::machine_state`] /
+//!   [`Simulator::set_machine_state`]) used for depth-first exploration of
+//!   the execution tree;
+//! * a split [`Simulator::eval`] / [`Simulator::commit`] cycle so callers can
+//!   inspect flip-flop next-values *before* the clock edge.
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_netlist::rtl::Rtl;
+//! use xbound_sim::Simulator;
+//! use xbound_logic::Lv;
+//!
+//! // A 4-bit counter.
+//! let mut r = Rtl::new("cnt");
+//! let (h, q) = r.reg("c", 4);
+//! let one = r.one();
+//! let (nx, _) = r.inc(&q, one);
+//! r.reg_next(h, &nx);
+//! r.output("q", &q);
+//! let nl = r.finish().unwrap();
+//!
+//! let mut sim = Simulator::new(&nl);
+//! sim.reset(2);
+//! for _ in 0..2 {
+//!     sim.step(); // reset cycles
+//! }
+//! for _ in 0..5 {
+//!     sim.step();
+//! }
+//! sim.eval().unwrap();
+//! let q0 = nl.find_net("top/c_q[0]").unwrap();
+//! assert_eq!(sim.value(q0), Lv::One); // 5 = 0b0101
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use xbound_logic::{Frame, Lv, XWord};
+use xbound_netlist::{CellKind, NetId, Netlist};
+
+/// How a memory region behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Read-only (program memory); writes are ignored.
+    Rom,
+    /// Read-write data memory.
+    Ram,
+    /// Input port: read-only from the processor's perspective; contents are
+    /// set by the harness (concrete for profiling, all-X for symbolic runs).
+    Port,
+}
+
+/// A word-addressed behavioral memory region on the external bus.
+///
+/// Addresses are byte addresses (MSP430 convention); each region holds
+/// 16-bit words; even alignment is assumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRegion {
+    name: String,
+    kind: RegionKind,
+    base: u16,
+    data: Vec<XWord>,
+}
+
+impl MemRegion {
+    /// Creates a region of `words` 16-bit words starting at byte address
+    /// `base`, initialized to all-X (uninitialized memory).
+    pub fn new(name: impl Into<String>, kind: RegionKind, base: u16, words: usize) -> MemRegion {
+        MemRegion {
+            name: name.into(),
+            kind,
+            base,
+            data: vec![XWord::ALL_X; words],
+        }
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Region kind.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// First byte address.
+    pub fn base(&self) -> u16 {
+        self.base
+    }
+
+    /// Size in 16-bit words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if byte address `addr` falls inside the region.
+    pub fn contains(&self, addr: u16) -> bool {
+        addr >= self.base && ((addr - self.base) as usize) / 2 < self.data.len()
+    }
+
+    /// Reads the word at byte address `addr` (X when out of range).
+    pub fn read(&self, addr: u16) -> XWord {
+        if addr < self.base {
+            return XWord::ALL_X;
+        }
+        let off = ((addr - self.base) as usize) / 2;
+        self.data.get(off).copied().unwrap_or(XWord::ALL_X)
+    }
+
+    /// Writes the word at byte address `addr` (out-of-range writes ignored).
+    pub fn write(&mut self, addr: u16, value: XWord) {
+        if addr < self.base {
+            return;
+        }
+        let off = ((addr - self.base) as usize) / 2;
+        if let Some(slot) = self.data.get_mut(off) {
+            *slot = value;
+        }
+    }
+
+    /// Fills the whole region with one value.
+    pub fn fill(&mut self, value: XWord) {
+        self.data.fill(value);
+    }
+
+    /// Loads consecutive words starting at byte address `addr`.
+    pub fn load(&mut self, addr: u16, words: &[u16]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write(addr.wrapping_add((i * 2) as u16), XWord::from_u16(*w));
+        }
+    }
+
+    /// Raw word storage.
+    pub fn data(&self) -> &[XWord] {
+        &self.data
+    }
+
+    /// Mutable raw word storage.
+    pub fn data_mut(&mut self) -> &mut [XWord] {
+        &mut self.data
+    }
+}
+
+/// Net-level description of the external memory bus of a design.
+///
+/// `rdata` nets must be primary inputs of the netlist; the simulator forces
+/// them each cycle from the memory regions. `addr`, `wdata` and `wen` are
+/// driven by the netlist and must not combinationally depend on `rdata`.
+#[derive(Debug, Clone, Default)]
+pub struct BusSpec {
+    /// Byte-address nets (LSB first, 16 nets).
+    pub addr: Vec<NetId>,
+    /// Write-data nets (LSB first, 16 nets).
+    pub wdata: Vec<NetId>,
+    /// Read-data nets — primary inputs forced by the simulator.
+    pub rdata: Vec<NetId>,
+    /// Write-enable net (no writes ever happen when `None`).
+    pub wen: Option<NetId>,
+}
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `rdata` feedback failed to settle: the bus address combinationally
+    /// depends on read data.
+    BusNotSettled,
+    /// A bus net list has the wrong width or wiring.
+    BadBusSpec {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BusNotSettled => {
+                write!(f, "bus address depends combinationally on read data")
+            }
+            SimError::BadBusSpec { message } => write!(f, "bad bus spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Snapshot of all architectural simulator state (flip-flops + memories).
+///
+/// Used by the symbolic explorer for DFS over the execution tree and for
+/// memoization keys (see [`MachineState::content_hash`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    ffs: Vec<Lv>,
+    mems: Vec<Vec<XWord>>,
+    cycle: u64,
+}
+
+impl MachineState {
+    /// Simulation cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Flip-flop values (ordered by the netlist's sequential gate list).
+    pub fn ffs(&self) -> &[Lv] {
+        &self.ffs
+    }
+
+    /// 64-bit content hash over flip-flops and memories (cycle excluded),
+    /// usable as a memoization key.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for v in &self.ffs {
+            mix(v.code() as u64 + 1);
+        }
+        for m in &self.mems {
+            for w in m {
+                mix(((w.val_plane() as u64) << 16) | w.unk_plane() as u64 | 1 << 40);
+            }
+        }
+        h
+    }
+
+    /// Lattice subsumption: `self` covers `other` when every flip-flop and
+    /// memory word covers the counterpart (equal, or X where they differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states come from differently-shaped machines.
+    pub fn covers(&self, other: &MachineState) -> bool {
+        assert_eq!(self.ffs.len(), other.ffs.len(), "machine shape mismatch");
+        if !self.ffs.iter().zip(&other.ffs).all(|(a, b)| a.covers(*b)) {
+            return false;
+        }
+        self.mems.iter().zip(&other.mems).all(|(ma, mb)| {
+            ma.len() == mb.len() && ma.iter().zip(mb).all(|(a, b)| a.covers(*b))
+        })
+    }
+
+    /// Lattice join (in place): after the call, `self` covers both inputs.
+    ///
+    /// The widening heuristic of the symbolic explorer uses this to merge
+    /// states at a hot fork PC — conservative per the paper's Chapter 6
+    /// (more Xs only widen the activity superset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states come from differently-shaped machines.
+    pub fn join_in_place(&mut self, other: &MachineState) {
+        assert_eq!(self.ffs.len(), other.ffs.len(), "machine shape mismatch");
+        for (a, b) in self.ffs.iter_mut().zip(&other.ffs) {
+            *a = a.join(*b);
+        }
+        for (ma, mb) in self.mems.iter_mut().zip(&other.mems) {
+            for (a, b) in ma.iter_mut().zip(mb) {
+                *a = a.join(*b);
+            }
+        }
+    }
+}
+
+/// Cycle simulator over a finalized netlist.
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    nl: &'n Netlist,
+    frame: Frame,
+    forces: Vec<Option<Lv>>,
+    drives: HashMap<NetId, Lv>,
+    bus: Option<BusSpec>,
+    mems: Vec<MemRegion>,
+    cycle: u64,
+    evaled: bool,
+    rstn_net: Option<NetId>,
+    reset_remaining: u32,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with no attached memories.
+    ///
+    /// Primary inputs default to `0`, except an input named `rstn`, which the
+    /// simulator drives low during [`Simulator::reset`] cycles and high
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not finalized.
+    pub fn new(nl: &'n Netlist) -> Simulator<'n> {
+        assert!(nl.is_finalized(), "netlist must be finalized");
+        let rstn_net = nl
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&n| nl.net_name(n) == "rstn");
+        Simulator {
+            nl,
+            frame: Frame::new(nl.net_count()),
+            forces: vec![None; nl.net_count()],
+            drives: HashMap::new(),
+            bus: None,
+            mems: Vec::new(),
+            cycle: 0,
+            evaled: false,
+            rstn_net,
+            reset_remaining: 0,
+        }
+    }
+
+    /// Attaches the external bus and its memory regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadBusSpec`] when bus widths are not 16 bits or
+    /// `rdata` nets are not primary inputs.
+    pub fn attach_bus(&mut self, bus: BusSpec, mems: Vec<MemRegion>) -> Result<(), SimError> {
+        if bus.addr.len() != 16 || bus.rdata.len() != 16 || bus.wdata.len() != 16 {
+            return Err(SimError::BadBusSpec {
+                message: format!(
+                    "expected 16-bit addr/rdata/wdata, got {}/{}/{}",
+                    bus.addr.len(),
+                    bus.rdata.len(),
+                    bus.wdata.len()
+                ),
+            });
+        }
+        for &n in &bus.rdata {
+            if !self.nl.inputs().contains(&n) {
+                return Err(SimError::BadBusSpec {
+                    message: format!(
+                        "rdata net `{}` is not a primary input",
+                        self.nl.net_name(n)
+                    ),
+                });
+            }
+        }
+        self.bus = Some(bus);
+        self.mems = mems;
+        self.evaled = false;
+        Ok(())
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.nl
+    }
+
+    /// Number of committed clock edges so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Reads the value of a net in the current frame.
+    ///
+    /// Meaningful for combinational nets only after [`Simulator::eval`].
+    pub fn value(&self, net: NetId) -> Lv {
+        self.frame.get(net.index())
+    }
+
+    /// Reads a bus (LSB-first net list) as an [`XWord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is longer than 16.
+    pub fn value_word(&self, nets: &[NetId]) -> XWord {
+        assert!(nets.len() <= 16, "bus wider than 16 bits");
+        let mut w = XWord::ZERO;
+        for (i, &n) in nets.iter().enumerate() {
+            w.set_bit(i, self.frame.get(n.index()));
+        }
+        w
+    }
+
+    /// The current value frame (all nets).
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Drives a primary input with a persistent value.
+    pub fn drive_input(&mut self, net: NetId, v: Lv) {
+        self.drives.insert(net, v);
+        self.evaled = false;
+    }
+
+    /// Forces (or releases, with `None`) a net to a value, overriding its
+    /// driver. Forces persist across cycles until released.
+    pub fn force(&mut self, net: NetId, v: Option<Lv>) {
+        self.forces[net.index()] = v;
+        self.evaled = false;
+    }
+
+    /// Schedules `cycles` of reset: `rstn` is held 0 for that many upcoming
+    /// cycles, then released to 1.
+    pub fn reset(&mut self, cycles: u32) {
+        self.reset_remaining = cycles;
+        self.evaled = false;
+    }
+
+    /// Memory regions.
+    pub fn mems(&self) -> &[MemRegion] {
+        &self.mems
+    }
+
+    /// Looks a region up by name.
+    pub fn mem(&self, name: &str) -> Option<&MemRegion> {
+        self.mems.iter().find(|m| m.name() == name)
+    }
+
+    /// Mutable access to a region by name.
+    pub fn mem_mut(&mut self, name: &str) -> Option<&mut MemRegion> {
+        self.evaled = false;
+        self.mems.iter_mut().find(|m| m.name() == name)
+    }
+
+    fn eval_gate(&self, kind: CellKind, ins: &[NetId]) -> Lv {
+        let v = |i: usize| self.frame.get(ins[i].index());
+        match kind {
+            CellKind::Tie0 => Lv::Zero,
+            CellKind::Tie1 => Lv::One,
+            CellKind::Buf => v(0),
+            CellKind::Inv => v(0).not(),
+            CellKind::And2 => v(0).and(v(1)),
+            CellKind::Or2 => v(0).or(v(1)),
+            CellKind::Nand2 => v(0).nand(v(1)),
+            CellKind::Nor2 => v(0).nor(v(1)),
+            CellKind::Xor2 => v(0).xor(v(1)),
+            CellKind::Xnor2 => v(0).xnor(v(1)),
+            CellKind::Mux2 => Lv::mux(v(2), v(0), v(1)),
+            CellKind::Aoi21 => v(0).and(v(1)).or(v(2)).not(),
+            CellKind::Oai21 => v(0).or(v(1)).and(v(2)).not(),
+            CellKind::Dff | CellKind::Dffe | CellKind::Dffr | CellKind::Dffre => {
+                unreachable!("sequential gate in combinational evaluation")
+            }
+        }
+    }
+
+    fn apply_inputs(&mut self) {
+        let rstn_v = if self.reset_remaining > 0 {
+            Lv::Zero
+        } else {
+            Lv::One
+        };
+        for &n in self.nl.inputs() {
+            let mut v = *self.drives.get(&n).unwrap_or(&Lv::Zero);
+            if Some(n) == self.rstn_net {
+                v = rstn_v;
+            }
+            if let Some(f) = self.forces[n.index()] {
+                v = f;
+            }
+            self.frame.set(n.index(), v);
+        }
+    }
+
+    fn eval_comb_once(&mut self) {
+        for &g in self.nl.topo_order() {
+            let gate = self.nl.gate(g);
+            let out = gate.output();
+            let v = match self.forces[out.index()] {
+                Some(f) => f,
+                None => self.eval_gate(gate.kind(), gate.inputs()),
+            };
+            self.frame.set(out.index(), v);
+        }
+    }
+
+    /// Memory lookup for a (possibly partially unknown) byte address.
+    fn mem_read(&self, addr: XWord) -> XWord {
+        match addr.to_u16() {
+            Some(a) => {
+                for m in &self.mems {
+                    if m.contains(a) {
+                        return m.read(a);
+                    }
+                }
+                XWord::ALL_X
+            }
+            None if addr.x_count() <= 4 => {
+                let mut acc: Option<XWord> = None;
+                for cand in enumerate_addresses(addr) {
+                    let v = self.mem_read(XWord::from_u16(cand));
+                    acc = Some(match acc {
+                        None => v,
+                        Some(prev) => prev.join(v),
+                    });
+                }
+                acc.unwrap_or(XWord::ALL_X)
+            }
+            None => XWord::ALL_X,
+        }
+    }
+
+    /// Settles the combinational logic for the current cycle.
+    ///
+    /// Idempotent until state changes. With an attached bus, read data is
+    /// iterated to a fixpoint (address → read data → address must be stable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BusNotSettled`] if the address keeps changing
+    /// after read-data forcing (combinational bus loop).
+    pub fn eval(&mut self) -> Result<&Frame, SimError> {
+        if self.evaled {
+            return Ok(&self.frame);
+        }
+        self.apply_inputs();
+        // Forces on flip-flop outputs take effect immediately (commit also
+        // honors them, keeping the forced value across edges).
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            if let Some(f) = self.forces[out.index()] {
+                self.frame.set(out.index(), f);
+            }
+        }
+        self.eval_comb_once();
+        if let Some(bus) = self.bus.clone() {
+            let mut last_addr = self.value_word(&bus.addr);
+            let mut settled = false;
+            for _ in 0..4 {
+                let rdata = self.mem_read(last_addr);
+                for (i, &n) in bus.rdata.iter().enumerate() {
+                    let v = match self.forces[n.index()] {
+                        Some(f) => f,
+                        None => rdata.bit(i),
+                    };
+                    self.frame.set(n.index(), v);
+                }
+                self.eval_comb_once();
+                let addr_now = self.value_word(&bus.addr);
+                if addr_now == last_addr {
+                    settled = true;
+                    break;
+                }
+                last_addr = addr_now;
+            }
+            if !settled {
+                return Err(SimError::BusNotSettled);
+            }
+        }
+        self.evaled = true;
+        Ok(&self.frame)
+    }
+
+    /// Computes the next value of every flip-flop from the settled frame.
+    ///
+    /// Exposed so the symbolic explorer can inspect next-state (e.g. the PC
+    /// register) *before* committing the clock edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Simulator::eval`] succeeded for this cycle.
+    pub fn ff_next_values(&self) -> Vec<Lv> {
+        assert!(self.evaled, "eval() before inspecting flip-flop inputs");
+        self.nl
+            .sequential_gates()
+            .iter()
+            .map(|&g| {
+                let gate = self.nl.gate(g);
+                let ins = gate.inputs();
+                let q = self.frame.get(gate.output().index());
+                let v = |i: usize| self.frame.get(ins[i].index());
+                match gate.kind() {
+                    CellKind::Dff => v(0),
+                    CellKind::Dffe => match v(1) {
+                        Lv::One => v(0),
+                        Lv::Zero => q,
+                        Lv::X => v(0).join(q),
+                    },
+                    CellKind::Dffr => match v(1) {
+                        Lv::Zero => Lv::Zero,
+                        Lv::One => v(0),
+                        Lv::X => v(0).join(Lv::Zero),
+                    },
+                    CellKind::Dffre => {
+                        let after_en = match v(1) {
+                            Lv::One => v(0),
+                            Lv::Zero => q,
+                            Lv::X => v(0).join(q),
+                        };
+                        match v(2) {
+                            Lv::Zero => Lv::Zero,
+                            Lv::One => after_en,
+                            Lv::X => after_en.join(Lv::Zero),
+                        }
+                    }
+                    _ => unreachable!("combinational gate in sequential list"),
+                }
+            })
+            .collect()
+    }
+
+    fn commit_memory_write(&mut self) {
+        let Some(bus) = self.bus.clone() else {
+            return;
+        };
+        let Some(wen_net) = bus.wen else {
+            return;
+        };
+        let wen = self.frame.get(wen_net.index());
+        if wen == Lv::Zero {
+            return;
+        }
+        let addr = self.value_word(&bus.addr);
+        let wdata = self.value_word(&bus.wdata);
+        let maybe = wen == Lv::X;
+        match addr.to_u16() {
+            Some(a) => {
+                for m in &mut self.mems {
+                    if m.contains(a) && m.kind() == RegionKind::Ram {
+                        let new = if maybe { m.read(a).join(wdata) } else { wdata };
+                        m.write(a, new);
+                    }
+                }
+            }
+            None if addr.x_count() <= 4 => {
+                // A bounded set of candidate addresses: each may be written.
+                for cand in enumerate_addresses(addr) {
+                    for m in &mut self.mems {
+                        if m.contains(cand) && m.kind() == RegionKind::Ram {
+                            let new = m.read(cand).join(wdata);
+                            m.write(cand, new);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Unknown address: conservatively smear all RAM regions.
+                for m in &mut self.mems {
+                    if m.kind() == RegionKind::Ram {
+                        for w in m.data_mut() {
+                            *w = w.join(wdata);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the clock edge: memory writes, flip-flop updates, cycle++.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`Simulator::eval`].
+    pub fn commit(&mut self) {
+        assert!(self.evaled, "eval() must succeed before commit()");
+        self.commit_memory_write();
+        let next = self.ff_next_values();
+        for (&g, v) in self.nl.sequential_gates().iter().zip(next) {
+            let out = self.nl.gate(g).output();
+            let v = match self.forces[out.index()] {
+                Some(f) => f,
+                None => v,
+            };
+            self.frame.set(out.index(), v);
+        }
+        if self.reset_remaining > 0 {
+            self.reset_remaining -= 1;
+        }
+        self.cycle += 1;
+        self.evaled = false;
+    }
+
+    /// `eval()` + `commit()` in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bus settle failure (use `eval`/`commit` to handle errors).
+    pub fn step(&mut self) {
+        self.eval().expect("bus settles");
+        self.commit();
+    }
+
+    /// Snapshot of flip-flops + memories + cycle.
+    pub fn machine_state(&self) -> MachineState {
+        MachineState {
+            ffs: self
+                .nl
+                .sequential_gates()
+                .iter()
+                .map(|&g| self.frame.get(self.nl.gate(g).output().index()))
+                .collect(),
+            mems: self.mems.iter().map(|m| m.data().to_vec()).collect(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Simulator::machine_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape does not match this machine.
+    pub fn set_machine_state(&mut self, s: &MachineState) {
+        assert_eq!(
+            s.ffs.len(),
+            self.nl.sequential_gates().len(),
+            "machine shape mismatch"
+        );
+        assert_eq!(s.mems.len(), self.mems.len(), "memory count mismatch");
+        for (&g, v) in self.nl.sequential_gates().iter().zip(&s.ffs) {
+            let out = self.nl.gate(g).output();
+            self.frame.set(out.index(), *v);
+        }
+        for (m, data) in self.mems.iter_mut().zip(&s.mems) {
+            m.data_mut().copy_from_slice(data);
+        }
+        self.cycle = s.cycle;
+        self.evaled = false;
+    }
+}
+
+/// Enumerates all concrete addresses matching a partially-X address.
+///
+/// Intended for small X counts; callers bound `addr.x_count()`.
+pub fn enumerate_addresses(addr: XWord) -> Vec<u16> {
+    let x_bits: Vec<usize> = (0..16).filter(|&i| addr.bit(i) == Lv::X).collect();
+    let base = addr.val_plane();
+    (0..(1u32 << x_bits.len()))
+        .map(|combo| {
+            let mut a = base;
+            for (j, &bit) in x_bits.iter().enumerate() {
+                if (combo >> j) & 1 == 1 {
+                    a |= 1 << bit;
+                }
+            }
+            a
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbound_netlist::rtl::Rtl;
+
+    fn counter() -> Netlist {
+        let mut r = Rtl::new("cnt");
+        let (h, q) = r.reg("c", 4);
+        let one = r.one();
+        let (nx, _) = r.inc(&q, one);
+        r.reg_next(h, &nx);
+        r.output("q", &q);
+        r.finish().unwrap()
+    }
+
+    fn reg_word(sim: &Simulator<'_>, nl: &Netlist, prefix: &str, width: usize) -> XWord {
+        let nets: Vec<NetId> = (0..width)
+            .map(|i| nl.find_net(&format!("{prefix}[{i}]")).unwrap())
+            .collect();
+        sim.value_word(&nets)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl);
+        sim.reset(2);
+        sim.step();
+        sim.step();
+        for expect in 0u16..10 {
+            sim.eval().unwrap();
+            assert_eq!(reg_word(&sim, &nl, "top/c_q", 4).to_u16(), Some(expect & 0xF));
+            sim.commit();
+        }
+    }
+
+    #[test]
+    fn force_and_release() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl);
+        let q0 = nl.find_net("top/c_q[0]").unwrap();
+        // Forcing a flip-flop output takes effect at eval and persists in the
+        // stored state after release (hardware force semantics).
+        sim.force(q0, Some(Lv::X));
+        sim.eval().unwrap();
+        assert_eq!(sim.value(q0), Lv::X);
+        sim.force(q0, None);
+        sim.eval().unwrap();
+        assert_eq!(sim.value(q0), Lv::X, "FF holds the forced value");
+
+        // Forcing a combinational net overrides its driver and releases
+        // cleanly: the increment carry chain recomputes from the FF values.
+        let mut sim = Simulator::new(&nl);
+        sim.reset(1);
+        sim.step();
+        sim.eval().unwrap();
+        let inc0 = nl.gate(nl.topo_order()[0]).output();
+        let natural = sim.value(inc0);
+        sim.force(inc0, Some(natural.not()));
+        sim.eval().unwrap();
+        assert_eq!(sim.value(inc0), natural.not());
+        sim.force(inc0, None);
+        sim.eval().unwrap();
+        assert_eq!(sim.value(inc0), natural);
+    }
+
+    #[test]
+    fn x_propagates_through_logic() {
+        let mut r = Rtl::new("t");
+        let a = r.input_bit("a");
+        let b = r.input_bit("b");
+        let y = r.and(a, b);
+        let z = r.or(a, b);
+        r.output_bit("y", y);
+        r.output_bit("z", z);
+        let nl = r.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let (an, bn) = (nl.find_net("a").unwrap(), nl.find_net("b").unwrap());
+        let (yn, zn) = (
+            nl.outputs()[0].1,
+            nl.outputs()[1].1,
+        );
+        sim.drive_input(an, Lv::X);
+        sim.drive_input(bn, Lv::Zero);
+        sim.eval().unwrap();
+        assert_eq!(sim.value(yn), Lv::Zero, "X AND 0 = 0");
+        assert_eq!(sim.value(zn), Lv::X, "X OR 0 = X");
+        sim.drive_input(bn, Lv::One);
+        sim.eval().unwrap();
+        assert_eq!(sim.value(yn), Lv::X, "X AND 1 = X");
+        assert_eq!(sim.value(zn), Lv::One, "X OR 1 = 1");
+    }
+
+    /// A little bus device: fetches ROM[pc], accumulates, pc += 2.
+    fn bus_device() -> (Netlist, Vec<String>) {
+        let mut r = Rtl::new("busdev");
+        let rdata = r.input("rdata", 16);
+        let (hp, pc) = r.reg("pc", 16);
+        let (ha, acc) = r.reg("acc", 16);
+        let two = r.lit(2, 16);
+        let (pcn, _) = r.add(&pc, &two, None);
+        r.reg_next(hp, &pcn);
+        let (sum, _) = r.add(&acc, &rdata, None);
+        r.reg_next(ha, &sum);
+        let hi = r.lit(0xF000, 16);
+        let addr = r.or_bus(&hi, &pc);
+        let zero = r.zero();
+        r.output("addr", &addr);
+        r.output("acc", &acc);
+        r.output_bit("wen", zero);
+        let nl = r.finish().unwrap();
+        (nl, vec![])
+    }
+
+    fn output_bus(nl: &Netlist, name: &str, width: usize) -> Vec<NetId> {
+        (0..width)
+            .map(|i| {
+                nl.outputs()
+                    .iter()
+                    .find(|(n, _)| n == &format!("{name}[{i}]"))
+                    .map(|(_, net)| *net)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bus_read_accumulates_rom() {
+        let (nl, _) = bus_device();
+        let addr = output_bus(&nl, "addr", 16);
+        let rdata: Vec<NetId> = (0..16)
+            .map(|i| nl.find_net(&format!("rdata[{i}]")).unwrap())
+            .collect();
+        let bus = BusSpec {
+            addr,
+            wdata: rdata.clone(), // unused (wen None)
+            rdata,
+            wen: None,
+        };
+        let mut rom = MemRegion::new("pmem", RegionKind::Rom, 0xF000, 8);
+        rom.load(0xF000, &[5, 7, 11, 13]);
+        let mut sim = Simulator::new(&nl);
+        sim.attach_bus(bus, vec![rom]).unwrap();
+        sim.reset(1);
+        sim.step();
+        for _ in 0..4 {
+            sim.step();
+        }
+        sim.eval().unwrap();
+        let acc = sim.value_word(&output_bus(&nl, "acc", 16));
+        assert_eq!(acc.to_u16(), Some(5 + 7 + 11 + 13));
+    }
+
+    #[test]
+    fn port_region_returns_x_when_unset() {
+        let (nl, _) = bus_device();
+        let addr = output_bus(&nl, "addr", 16);
+        let rdata: Vec<NetId> = (0..16)
+            .map(|i| nl.find_net(&format!("rdata[{i}]")).unwrap())
+            .collect();
+        let bus = BusSpec {
+            addr,
+            wdata: rdata.clone(),
+            rdata,
+            wen: None,
+        };
+        let port = MemRegion::new("inport", RegionKind::Port, 0xF000, 8);
+        let mut sim = Simulator::new(&nl);
+        sim.attach_bus(bus, vec![port]).unwrap();
+        sim.reset(1);
+        sim.step();
+        sim.step();
+        sim.step();
+        sim.eval().unwrap();
+        let acc = sim.value_word(&output_bus(&nl, "acc", 16));
+        assert!(acc.has_x(), "accumulating X port data yields X");
+    }
+
+    #[test]
+    fn bad_bus_spec_rejected() {
+        let (nl, _) = bus_device();
+        let mut sim = Simulator::new(&nl);
+        let err = sim.attach_bus(BusSpec::default(), vec![]).unwrap_err();
+        assert!(matches!(err, SimError::BadBusSpec { .. }));
+        // rdata not primary inputs:
+        let addr = output_bus(&nl, "addr", 16);
+        let err2 = sim
+            .attach_bus(
+                BusSpec {
+                    addr: addr.clone(),
+                    wdata: addr.clone(),
+                    rdata: addr.clone(),
+                    wen: None,
+                },
+                vec![],
+            )
+            .unwrap_err();
+        assert!(matches!(err2, SimError::BadBusSpec { .. }));
+    }
+
+    #[test]
+    fn machine_state_round_trip() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl);
+        sim.reset(1);
+        for _ in 0..5 {
+            sim.step();
+        }
+        let snap = sim.machine_state();
+        for _ in 0..7 {
+            sim.step();
+        }
+        let later = sim.machine_state();
+        assert_ne!(snap.content_hash(), later.content_hash());
+        sim.set_machine_state(&snap);
+        assert_eq!(sim.machine_state().content_hash(), snap.content_hash());
+        assert_eq!(sim.cycle(), snap.cycle());
+    }
+
+    #[test]
+    fn state_covers_and_join() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl);
+        sim.reset(1);
+        sim.step();
+        sim.step();
+        let a = sim.machine_state();
+        sim.step();
+        let b = sim.machine_state();
+        assert!(!a.covers(&b));
+        let mut j = a.clone();
+        j.join_in_place(&b);
+        assert!(j.covers(&a));
+        assert!(j.covers(&b));
+        assert!(a.covers(&a));
+    }
+
+    #[test]
+    fn enumerate_addresses_expands_x_bits() {
+        let mut a = XWord::from_u16(0x0200);
+        a.set_bit(1, Lv::X);
+        a.set_bit(2, Lv::X);
+        let mut addrs = enumerate_addresses(a);
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0x0200, 0x0202, 0x0204, 0x0206]);
+    }
+
+    #[test]
+    fn mem_region_rw() {
+        let mut m = MemRegion::new("dmem", RegionKind::Ram, 0x0200, 4);
+        assert!(m.contains(0x0200));
+        assert!(m.contains(0x0206));
+        assert!(!m.contains(0x0208));
+        assert!(!m.contains(0x01FE));
+        m.write(0x0202, XWord::from_u16(42));
+        assert_eq!(m.read(0x0202).to_u16(), Some(42));
+        assert_eq!(m.read(0x0204).to_u16(), None); // uninitialized = X
+        m.fill(XWord::from_u16(0));
+        assert_eq!(m.read(0x0204).to_u16(), Some(0));
+    }
+
+    #[test]
+    fn x_address_write_smears_ram() {
+        // Build a device that writes wdata to an X address.
+        let mut r = Rtl::new("wsmear");
+        let rdata = r.input("rdata", 16);
+        let wen_in = r.input_bit("wen_in");
+        let addr_in = r.input("addr_in", 16);
+        let data_in = r.input("data_in", 16);
+        // Pass-throughs so the bus sees netlist-driven values.
+        let addr: Vec<_> = addr_in.clone();
+        let _ = rdata;
+        r.output("addr", &addr);
+        r.output("wdata", &data_in);
+        r.output_bit("wen", wen_in);
+        let nl = r.finish().unwrap();
+        let bus = BusSpec {
+            addr: (0..16)
+                .map(|i| nl.find_net(&format!("addr_in[{i}]")).unwrap())
+                .collect(),
+            wdata: (0..16)
+                .map(|i| nl.find_net(&format!("data_in[{i}]")).unwrap())
+                .collect(),
+            rdata: (0..16)
+                .map(|i| nl.find_net(&format!("rdata[{i}]")).unwrap())
+                .collect(),
+            wen: nl.find_net("wen_in"),
+        };
+        let mut ram = MemRegion::new("dmem", RegionKind::Ram, 0x0200, 4);
+        ram.fill(XWord::from_u16(0));
+        let mut sim = Simulator::new(&nl);
+        sim.attach_bus(bus, vec![ram]).unwrap();
+        // Drive a write of 0xFFFF to a fully X address.
+        for i in 0..16 {
+            let n = nl.find_net(&format!("addr_in[{i}]")).unwrap();
+            sim.drive_input(n, Lv::X);
+            let d = nl.find_net(&format!("data_in[{i}]")).unwrap();
+            sim.drive_input(d, Lv::One);
+        }
+        sim.drive_input(nl.find_net("wen_in").unwrap(), Lv::One);
+        sim.step();
+        let dmem = sim.mem("dmem").unwrap();
+        for w in dmem.data() {
+            assert!(w.has_x(), "smeared word must be X where it differed");
+        }
+    }
+}

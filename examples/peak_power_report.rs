@@ -1,0 +1,48 @@
+//! Fig 16-style report: X-based bounds vs conventional techniques for the
+//! whole benchmark suite.
+//!
+//! ```text
+//! cargo run --release --example peak_power_report
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xbound::baselines::{design_tool, profiling, GUARDBAND};
+use xbound::core::{CoAnalysis, ExploreConfig, UlpSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = UlpSystem::openmsp430_class()?;
+    let rated = design_tool::rated_chip_mw(&system);
+    let dt = design_tool::design_tool_rating(&system);
+    println!("rated chip power : {rated:.4} mW");
+    println!("design-tool bound: {:.4} mW", dt.peak_mw);
+    println!();
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>9}",
+        "benchmark", "observed [mW]", "GB-in [mW]", "X-based", "sound"
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for bench in xbound::benchsuite::all() {
+        let prof = profiling::profile(&system, bench, 4, &mut rng)?;
+        let config = ExploreConfig {
+            widen_threshold: bench.widen_threshold(),
+            max_total_cycles: 5_000_000,
+            ..ExploreConfig::default()
+        };
+        let analysis = CoAnalysis::new(&system)
+            .config(config)
+            .energy_rounds(bench.energy_rounds())
+            .run(&bench.program()?)?;
+        let x = analysis.peak_power().peak_mw;
+        println!(
+            "{:<10} {:>14.4} {:>12.4} {:>12.4} {:>9}",
+            bench.name(),
+            prof.observed_peak_mw,
+            prof.observed_peak_mw * GUARDBAND,
+            x,
+            x >= prof.observed_peak_mw - 1e-9
+        );
+    }
+    println!("\n(`sound` = the input-independent bound dominates every observed run)");
+    Ok(())
+}

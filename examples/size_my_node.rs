@@ -1,0 +1,57 @@
+//! Size the energy harvester and battery of a sensor node from the
+//! analysis bounds (paper Chapter 1 / Tables 5.1–5.2).
+//!
+//! ```text
+//! cargo run --release --example size_my_node
+//! ```
+
+use xbound::baselines::{design_tool, GUARDBAND};
+use xbound::core::{CoAnalysis, ExploreConfig, UlpSystem};
+use xbound::sizing::{batteries, harvesters, savings, SystemType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = UlpSystem::openmsp430_class()?;
+    let bench = xbound::benchsuite::by_name("tHold").expect("suite benchmark");
+
+    // Bound the application.
+    let analysis = CoAnalysis::new(&system)
+        .config(ExploreConfig {
+            widen_threshold: bench.widen_threshold(),
+            ..ExploreConfig::default()
+        })
+        .energy_rounds(bench.energy_rounds())
+        .run(&bench.program()?)?;
+    let x_peak = analysis.peak_power().peak_mw;
+    let dt_peak = design_tool::design_tool_rating(&system).peak_mw;
+    println!("tHold peak power: X-based {x_peak:.4} mW vs design-tool {dt_peak:.4} mW");
+
+    // Type-1 node (direct harvesting): the harvester covers peak power.
+    assert_eq!(
+        SystemType::Type1.harvester_driver(),
+        Some(xbound::sizing::Requirement::PeakPower)
+    );
+    let pv = harvesters::by_name("Photovoltaic (indoor)").expect("in Table 1.2");
+    println!(
+        "indoor-PV harvester area: {:.1} cm^2 (X-based) vs {:.1} cm^2 (design tool)",
+        pv.area_cm2_for_mw(x_peak),
+        pv.area_cm2_for_mw(dt_peak)
+    );
+    println!(
+        "area reduction at 100%/50% processor contribution: {:.1}% / {:.1}%",
+        savings::reduction_pct(1.0, dt_peak, x_peak),
+        savings::reduction_pct(0.5, dt_peak, x_peak)
+    );
+
+    // Type-3 node (battery only): one year of duty-cycled operation,
+    // waking once per second for one run of tHold.
+    let energy = analysis.peak_energy();
+    let runs_per_year = 365.0 * 24.0 * 3600.0;
+    let budget_j = energy.peak_energy_j * runs_per_year * GUARDBAND;
+    let li = batteries::by_name("Li-ion").expect("in Table 1.1");
+    println!(
+        "1-year active-energy budget: {budget_j:.3} J -> Li-ion {:.3} mm^3, {:.4} g",
+        li.volume_l_for_joules(budget_j) * 1e6,
+        li.mass_g_for_joules(budget_j)
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Evolve a power-virus stressmark with the GA baseline (paper §4.2) and
+//! compare it with the benchmark suite's observed peaks.
+//!
+//! ```text
+//! cargo run --release --example stressmark_evolve
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xbound::baselines::stressmark::{evolve, GaConfig, StressTarget};
+use xbound::baselines::GUARDBAND;
+use xbound::core::UlpSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = UlpSystem::openmsp430_class()?;
+    let mut rng = StdRng::seed_from_u64(2017);
+    let result = evolve(&system, StressTarget::PeakPower, &GaConfig::default(), &mut rng)?;
+    println!("GA fitness per generation (peak mW): {:?}", result.history);
+    println!(
+        "champion: peak {:.4} mW, average {:.4} mW -> guardbanded rating {:.4} mW",
+        result.peak_mw,
+        result.avg_mw,
+        result.peak_mw * GUARDBAND
+    );
+    println!("\n== champion stressmark ==\n{}", result.source);
+    Ok(())
+}

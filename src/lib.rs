@@ -1,0 +1,84 @@
+//! # xbound — application-specific peak power & energy bounds for ULP processors
+//!
+//! `xbound` reproduces the ASPLOS 2017 technique *Determining
+//! Application-specific Peak Power and Energy Requirements for Ultra-low
+//! Power Processors*: a hardware–software co-analysis that symbolically
+//! simulates an application binary on the gate-level netlist of an
+//! ultra-low-power processor, propagating unknown values (X) for all inputs,
+//! and derives peak power and peak energy bounds that hold for **every**
+//! possible input.
+//!
+//! This facade crate re-exports the workspace crates; see each module for
+//! the subsystem documentation:
+//!
+//! * [`logic`] — three-valued (0/1/X) logic primitives.
+//! * [`netlist`] — gate-level netlist, Verilog-subset IO, RTL builder.
+//! * [`cells`] — Liberty-subset standard-cell libraries with power data.
+//! * [`sim`] — levelized three-valued cycle simulator with X-capable memories.
+//! * [`msp430`] — MSP430 ISA, assembler, and behavioral golden-model ISS.
+//! * [`cpu`] — the gate-level MSP430-class core under analysis.
+//! * [`power`] — VCD IO and activity-based power analysis.
+//! * [`core`] — the paper's contribution: symbolic co-analysis (Algorithm 1),
+//!   input-independent peak power (Algorithm 2), peak energy, COI analysis,
+//!   and the peak-power software optimizations.
+//! * [`benchsuite`] — the 14 paper benchmarks.
+//! * [`baselines`] — design-tool, GA-stressmark, and guardbanded-profiling
+//!   baselines.
+//! * [`sizing`] — harvester/battery sizing models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xbound::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The processor under analysis and its cell library.
+//! let system = UlpSystem::openmsp430_class()?;
+//!
+//! // A tiny program: read an input (symbolic X at analysis time), triple it.
+//! let program = assemble(
+//!     r#"
+//!     main:
+//!         mov &0x0020, r4   ; input port read
+//!         mov r4, r5
+//!         add r4, r5
+//!         add r4, r5
+//!         mov r5, &0x0200
+//!         jmp $
+//!     "#,
+//! )?;
+//!
+//! // Application-specific, input-independent bounds.
+//! let analysis = CoAnalysis::new(&system).run(&program)?;
+//! let peak = analysis.peak_power();
+//! assert!(peak.peak_mw > 0.0);
+//! let energy = analysis.peak_energy();
+//! assert!(energy.peak_energy_j > 0.0);
+//!
+//! // The bound is guaranteed over all inputs:
+//! let (_, measured) = system.profile_concrete(&program, &[0xFFFF], 10_000)?;
+//! assert!(measured.peak_mw() <= peak.peak_mw + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use xbound_baselines as baselines;
+pub use xbound_benchsuite as benchsuite;
+pub use xbound_cells as cells;
+pub use xbound_core as core;
+pub use xbound_cpu as cpu;
+pub use xbound_logic as logic;
+pub use xbound_msp430 as msp430;
+pub use xbound_netlist as netlist;
+pub use xbound_power as power;
+pub use xbound_sim as sim;
+pub use xbound_sizing as sizing;
+
+/// Commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use crate::core::{Analysis, CoAnalysis, ExploreConfig, UlpSystem};
+    pub use crate::logic::{Frame, Lv, XWord};
+    pub use crate::msp430::{assemble, Program};
+    pub use crate::netlist::{CellKind, Netlist};
+    pub use crate::power::PowerAnalyzer;
+}

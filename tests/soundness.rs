@@ -1,0 +1,115 @@
+//! Workspace integration tests: the paper's soundness invariants on real
+//! suite benchmarks, across all crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xbound::core::{CoAnalysis, ExploreConfig, UlpSystem};
+
+fn analysis_for<'s>(
+    system: &'s UlpSystem,
+    name: &str,
+) -> (xbound::core::Analysis<'s>, &'static xbound::benchsuite::Benchmark) {
+    let bench = xbound::benchsuite::by_name(name).expect("benchmark exists");
+    let config = ExploreConfig {
+        widen_threshold: bench.widen_threshold(),
+        max_total_cycles: 5_000_000,
+        ..ExploreConfig::default()
+    };
+    let analysis = CoAnalysis::new(system)
+        .config(config)
+        .energy_rounds(bench.energy_rounds())
+        .run(&bench.program().expect("assembles"))
+        .expect("analysis succeeds");
+    (analysis, bench)
+}
+
+/// Superset + dominance over random and extremal inputs for a benchmark
+/// with input-dependent control flow and one without.
+#[test]
+fn bounds_dominate_concrete_runs() {
+    let system = UlpSystem::openmsp430_class().expect("builds");
+    let mut rng = StdRng::seed_from_u64(1234);
+    for name in ["tHold", "intAVG", "div"] {
+        let (analysis, bench) = analysis_for(&system, name);
+        let program = bench.program().expect("assembles");
+        let mut input_sets = bench.stress_inputs();
+        for _ in 0..3 {
+            input_sets.push(bench.gen_inputs(&mut rng));
+        }
+        for inputs in input_sets {
+            let (frames, measured) = system
+                .profile_concrete(&program, &inputs, bench.max_concrete_cycles())
+                .expect("halts");
+            assert!(
+                measured.peak_mw() <= analysis.peak_power().peak_mw + 1e-9,
+                "{name}: measured {} exceeds bound {} for {inputs:?}",
+                measured.peak_mw(),
+                analysis.peak_power().peak_mw
+            );
+            let sup = analysis.check_superset(&frames);
+            assert!(
+                sup.is_sound(),
+                "{name}: {} superset violations for {inputs:?}",
+                sup.violations.len()
+            );
+            let dom = analysis
+                .check_dominance(&frames, &measured)
+                .expect("path stays inside the explored tree");
+            assert!(
+                dom.is_sound(),
+                "{name}: dominance violations at {:?} for {inputs:?}",
+                &dom.violations[..dom.violations.len().min(4)]
+            );
+        }
+    }
+}
+
+/// NPE bound dominates observed NPE (the Fig 17 soundness column).
+#[test]
+fn energy_bound_dominates_observed() {
+    let system = UlpSystem::openmsp430_class().expect("builds");
+    let mut rng = StdRng::seed_from_u64(77);
+    for name in ["intAVG", "ConvEn"] {
+        let (analysis, bench) = analysis_for(&system, name);
+        let program = bench.program().expect("assembles");
+        let bound_npe = analysis.peak_energy().npe_j_per_cycle;
+        for _ in 0..3 {
+            let inputs = bench.gen_inputs(&mut rng);
+            let (_, measured) = system
+                .profile_concrete(&program, &inputs, bench.max_concrete_cycles())
+                .expect("halts");
+            assert!(
+                measured.energy_per_cycle_j() <= bound_npe + 1e-18,
+                "{name}: observed NPE exceeds bound"
+            );
+        }
+    }
+}
+
+/// The analysis is deterministic: same program, same tree, same bound.
+#[test]
+fn analysis_is_deterministic() {
+    let system = UlpSystem::openmsp430_class().expect("builds");
+    let (a1, _) = analysis_for(&system, "binSearch");
+    let (a2, _) = analysis_for(&system, "binSearch");
+    assert_eq!(a1.peak_power().peak_mw, a2.peak_power().peak_mw);
+    assert_eq!(a1.tree().segments().len(), a2.tree().segments().len());
+    assert_eq!(a1.stats(), a2.stats());
+}
+
+/// Bounds are application-specific: different applications, different peaks
+/// (the paper's core motivation, Fig 5/7).
+#[test]
+fn bounds_are_application_specific() {
+    let system = UlpSystem::openmsp430_class().expect("builds");
+    let (tea8, _) = analysis_for(&system, "tea8");
+    let (mult, _) = analysis_for(&system, "mult");
+    // The multiplier-heavy kernel needs strictly more peak power than the
+    // ALU-only cipher.
+    assert!(
+        mult.peak_power().peak_mw > tea8.peak_power().peak_mw * 1.2,
+        "mult {} vs tea8 {}",
+        mult.peak_power().peak_mw,
+        tea8.peak_power().peak_mw
+    );
+}

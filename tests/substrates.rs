@@ -1,0 +1,117 @@
+//! Workspace integration tests across the substrate crates: the gate-level
+//! core round-trips through the Verilog writer/parser, VCD export matches
+//! simulation, and the golden-model ISS agrees with the gates on every
+//! suite benchmark.
+
+use xbound::cpu::Cpu;
+use xbound::msp430::iss::Iss;
+use xbound::netlist::verilog;
+use xbound::power::vcd;
+
+/// The full ~5.6k-cell core survives a Verilog round trip.
+#[test]
+fn cpu_netlist_verilog_round_trip() {
+    let cpu = Cpu::build().expect("builds");
+    let text = verilog::write(cpu.netlist());
+    assert!(text.len() > 100_000, "netlist text is substantial");
+    let back = verilog::parse(&text).expect("parses back");
+    assert_eq!(back.gate_count(), cpu.netlist().gate_count());
+    assert_eq!(back.net_count(), cpu.netlist().net_count());
+    assert_eq!(
+        back.sequential_gates().len(),
+        cpu.netlist().sequential_gates().len()
+    );
+    // Hierarchy survives.
+    let mods: Vec<&str> = back.modules().iter().map(|s| s.as_str()).collect();
+    for m in ["frontend", "exec_unit", "multiplier", "mem_backbone"] {
+        assert!(mods.contains(&m), "missing module {m}");
+    }
+}
+
+/// A simulated trace of the core survives a VCD round trip.
+#[test]
+fn cpu_trace_vcd_round_trip() {
+    let cpu = Cpu::build().expect("builds");
+    let bench = xbound::benchsuite::by_name("intAVG").expect("exists");
+    let program = bench.program().expect("assembles");
+    let mut sim = cpu.new_sim();
+    Cpu::load_program(&mut sim, &program, true);
+    let mut frames = Vec::new();
+    for _ in 0..64 {
+        frames.push(sim.eval().expect("settles").clone());
+        sim.commit();
+    }
+    let text = vcd::write(cpu.netlist(), &frames, 10_000);
+    let (names, back) = vcd::parse(&text).expect("parses");
+    assert_eq!(names.len(), cpu.netlist().net_count());
+    assert_eq!(back, frames);
+}
+
+/// Gate-level core and the behavioral ISS agree on the final architectural
+/// state and total cycles for every benchmark in the suite.
+#[test]
+fn iss_and_gates_agree_on_every_benchmark() {
+    let cpu = Cpu::build().expect("builds");
+    for bench in xbound::benchsuite::all() {
+        let program = bench.program().expect("assembles");
+        let inputs = bench
+            .stress_inputs()
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+
+        // Golden model.
+        let mut iss = Iss::new(&program);
+        iss.set_inputs(&inputs);
+        let outcome = iss.run(1_000_000).expect("iss runs");
+        assert!(outcome.halted, "{}: ISS did not halt", bench.name());
+
+        // Gate level: run the same number of machine cycles + reset/fetch
+        // overhead, then compare.
+        let mut sim = cpu.new_sim();
+        Cpu::load_program(&mut sim, &program, true);
+        Cpu::set_inputs(&mut sim, &inputs);
+        // 2 reset cycles + 1 vector-load cycle + program cycles.
+        for _ in 0..(3 + outcome.cycles) {
+            sim.step();
+        }
+        sim.eval().expect("settles");
+        let arch = cpu.arch_state(&sim);
+        assert_eq!(
+            arch.pc.to_u16(),
+            Some(iss.pc()),
+            "{}: PC mismatch after {} cycles",
+            bench.name(),
+            outcome.cycles
+        );
+        for rn in [1usize, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15] {
+            assert_eq!(
+                arch.regs[rn].to_u16(),
+                Some(iss.reg(rn as u8)),
+                "{}: r{rn} mismatch",
+                bench.name()
+            );
+        }
+        let dmem = sim.mem("dmem").expect("dmem");
+        for (i, w) in dmem.data().iter().enumerate() {
+            assert_eq!(
+                w.to_u16(),
+                Some(iss.dmem()[i]),
+                "{}: dmem[{i}] mismatch",
+                bench.name()
+            );
+        }
+    }
+}
+
+/// The embedded Liberty libraries drive a full power analysis of the core.
+#[test]
+fn library_to_power_pipeline() {
+    let cpu = Cpu::build().expect("builds");
+    for lib in [xbound::cells::CellLibrary::ulp65(), xbound::cells::CellLibrary::ulp130()] {
+        let analyzer = xbound::power::PowerAnalyzer::new(cpu.netlist(), &lib, 1.0e6);
+        assert!(analyzer.rated_peak_mw() > 0.0);
+        assert!(analyzer.leakage_mw() > 0.0);
+        assert!(analyzer.clock_mw() > 0.0);
+    }
+}
