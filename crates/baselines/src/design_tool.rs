@@ -44,10 +44,7 @@ pub fn design_tool_rating(system: &UlpSystem) -> DesignToolRating {
 }
 
 /// Runs the vectorless rating with explicit defaults.
-pub fn design_tool_rating_with(
-    system: &UlpSystem,
-    cfg: &VectorlessConfig,
-) -> DesignToolRating {
+pub fn design_tool_rating_with(system: &UlpSystem, cfg: &VectorlessConfig) -> DesignToolRating {
     let peak_mw = vectorless_power_mw(
         system.cpu().netlist(),
         system.library(),
@@ -69,7 +66,11 @@ mod tests {
         let sys = UlpSystem::openmsp430_class().unwrap();
         let rated = rated_chip_mw(&sys);
         let dt = design_tool_rating(&sys);
-        assert!(rated > dt.peak_mw, "rated {rated} vs design tool {}", dt.peak_mw);
+        assert!(
+            rated > dt.peak_mw,
+            "rated {rated} vs design tool {}",
+            dt.peak_mw
+        );
         assert!(dt.peak_mw > 0.0);
         assert!(dt.npe_j_per_cycle > 0.0);
     }

@@ -61,8 +61,7 @@ pub fn profile<R: RngExt>(
     let mut runs = Vec::with_capacity(n);
     for _ in 0..n {
         let inputs = bench.gen_inputs(rng);
-        let (_, trace) =
-            system.profile_concrete(&program, &inputs, bench.max_concrete_cycles())?;
+        let (_, trace) = system.profile_concrete(&program, &inputs, bench.max_concrete_cycles())?;
         runs.push(RunStat {
             inputs,
             peak_mw: trace.peak_mw(),
@@ -72,14 +71,8 @@ pub fn profile<R: RngExt>(
         });
     }
     let observed_peak_mw = runs.iter().map(|r| r.peak_mw).fold(0.0, f64::max);
-    let min_peak_mw = runs
-        .iter()
-        .map(|r| r.peak_mw)
-        .fold(f64::INFINITY, f64::min);
-    let observed_npe = runs
-        .iter()
-        .map(|r| r.npe_j_per_cycle)
-        .fold(0.0, f64::max);
+    let min_peak_mw = runs.iter().map(|r| r.peak_mw).fold(f64::INFINITY, f64::min);
+    let observed_npe = runs.iter().map(|r| r.npe_j_per_cycle).fold(0.0, f64::max);
     let min_npe = runs
         .iter()
         .map(|r| r.npe_j_per_cycle)

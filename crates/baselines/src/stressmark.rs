@@ -213,12 +213,16 @@ pub fn evolve<R: RngExt>(
     // the strongest known power virus on this core — the GA refines it.
     let pound: Vec<Gene> = (0..config.genome_len)
         .map(|i| match i % 6 {
-            0 => Gene::MpyOp1 { rs: 2 },  // r6 = 0xFFFF
+            0 => Gene::MpyOp1 { rs: 2 }, // r6 = 0xFFFF
             1 => Gene::MpyOp2 { rs: 2 },
             2 => Gene::MpyRead { rd: 0 },
-            3 => Gene::MpyOp1 { rs: 9 },  // r13 = 0
+            3 => Gene::MpyOp1 { rs: 9 }, // r13 = 0
             4 => Gene::MpyOp2 { rs: 9 },
-            _ => Gene::AluRR { op: 2, rs: 2, rd: 1 }, // xor r6, r5
+            _ => Gene::AluRR {
+                op: 2,
+                rs: 2,
+                rd: 1,
+            }, // xor r6, r5
         })
         .collect();
     if config.population >= 2 {
@@ -228,9 +232,7 @@ pub fn evolve<R: RngExt>(
         population[1] = alt;
     }
 
-    let fitness_of = |genome: &[Gene],
-                      system: &UlpSystem|
-     -> Result<(f64, f64), AnalysisError> {
+    let fitness_of = |genome: &[Gene], system: &UlpSystem| -> Result<(f64, f64), AnalysisError> {
         let src = render(genome);
         let program = assemble(&src).expect("rendered stressmark assembles");
         let (_, trace) = measure_cycles(system, &program, &[], config.eval_cycles)?;
@@ -290,7 +292,15 @@ pub fn evolve<R: RngExt>(
             StressTarget::AveragePower => avg,
         };
         if best.as_ref().map(|(f, _, _)| fit > *f).unwrap_or(true) {
-            best = Some((fit, if target == StressTarget::PeakPower { avg } else { peak }, genome.clone()));
+            best = Some((
+                fit,
+                if target == StressTarget::PeakPower {
+                    avg
+                } else {
+                    peak
+                },
+                genome.clone(),
+            ));
         }
     }
     let (fit, other, genome) = best.expect("non-empty population");

@@ -59,5 +59,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_algorithm1, bench_algorithm2, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_algorithm2,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_gate_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gate_level_simulation");
     g.sample_size(10);
     let cycles = 500u64;
-    g.throughput(Throughput::Elements(cycles * cpu.netlist().gate_count() as u64));
+    g.throughput(Throughput::Elements(
+        cycles * cpu.netlist().gate_count() as u64,
+    ));
     g.bench_function("tea8_500_cycles", |b| {
         b.iter(|| {
             let mut sim = cpu.new_sim();

@@ -80,19 +80,33 @@ fn tab1_1() {
             format!("{:.3}", b.energy_density_mj_per_l),
         ]);
     }
-    emit("tab1_1", "Battery energy densities (paper Table 1.1)", &t.render());
+    emit(
+        "tab1_1",
+        "Battery energy densities (paper Table 1.1)",
+        &t.render(),
+    );
 }
 
 fn tab1_2() {
     let mut t = Table::new(&["Harvester", "Power density [uW/cm^2]"]);
     for hv in xbound_sizing::harvesters::TABLE {
-        t.row(&[hv.name.to_string(), format!("{}", hv.power_density_uw_per_cm2)]);
+        t.row(&[
+            hv.name.to_string(),
+            format!("{}", hv.power_density_uw_per_cm2),
+        ]);
     }
-    emit("tab1_2", "Harvester power densities (paper Table 1.2)", &t.render());
+    emit(
+        "tab1_2",
+        "Harvester power densities (paper Table 1.2)",
+        &t.render(),
+    );
 }
 
 /// Counts potentially-active nets per module at the peak cycle.
-fn active_gates_at_peak(nl: &Netlist, analysis: &xbound_core::Analysis<'_>) -> Vec<(String, usize)> {
+fn active_gates_at_peak(
+    nl: &Netlist,
+    analysis: &xbound_core::Analysis<'_>,
+) -> Vec<(String, usize)> {
     let (sid, ci) = analysis.peak_power().peak_at;
     let seg = analysis.tree().segment(sid);
     let cur = &seg.frames[ci];
@@ -108,9 +122,7 @@ fn active_gates_at_peak(nl: &Netlist, analysis: &xbound_core::Analysis<'_>) -> V
     let mut per_module = vec![0usize; nl.modules().len()];
     for g in nl.gates() {
         let o = g.output().index();
-        let changed = prev.get(o) != cur.get(o)
-            || cur.get(o) == Lv::X
-            || prev.get(o) == Lv::X;
+        let changed = prev.get(o) != cur.get(o) || cur.get(o) == Lv::X || prev.get(o) == Lv::X;
         if changed {
             per_module[g.module().index()] += 1;
         }
@@ -143,9 +155,17 @@ fn fig1_5(h: &mut Harness) {
     }
     body.push_str(&format!(
         "\npaper: tHold 452 vs PI 743 active gates; shape check: PI > tHold -> {}\n",
-        if totals[1].1 > totals[0].1 { "OK" } else { "MISMATCH" }
+        if totals[1].1 > totals[0].1 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     ));
-    emit("fig1_5", "Active gates at the peak cycle, tHold vs PI (paper Fig 5/1.5)", &body);
+    emit(
+        "fig1_5",
+        "Active gates at the peak cycle, tHold vs PI (paper Fig 5/1.5)",
+        &body,
+    );
 }
 
 /// Chapter-2-style measurement table for a system: per-benchmark peak power
@@ -175,7 +195,14 @@ fn measurement_table(system: &UlpSystem, names: &[&str], salt: u64) -> Table {
 }
 
 const CH2_BENCHES: [&str; 8] = [
-    "autoCorr", "binSearch", "FFT", "intFilt", "mult", "PI", "tea8", "tHold",
+    "autoCorr",
+    "binSearch",
+    "FFT",
+    "intFilt",
+    "mult",
+    "PI",
+    "tea8",
+    "tHold",
 ];
 
 fn fig2_2(h: &mut Harness) {
@@ -246,7 +273,11 @@ fn fig3_2() {
                 (xbound-core peak_power tests) on the paper's 3-gate pattern;\n\
                 the production path runs it on every benchmark (fig3_3).\n\
                 Rule check:\n  (X,X) -> cell's max-energy transition\n  (v,X) -> !v\n  (X,v) -> !v in c-1\n";
-    emit("fig3_2", "Even/odd X-assignment example (paper Fig 10/3.2)", body);
+    emit(
+        "fig3_2",
+        "Even/odd X-assignment example (paper Fig 10/3.2)",
+        body,
+    );
 }
 
 fn fig3_3(h: &mut Harness) {
@@ -307,7 +338,11 @@ fn fig3_4(h: &mut Harness) {
         assert!(sup.is_sound(), "superset property violated");
     }
     body.push_str("\nvalidation: no net toggles concretely without being marked by the\nX-based analysis (paper Fig 12) — the hard soundness invariant.\n");
-    emit("fig3_4", "Toggle-superset validation for mult (paper Fig 12)", &body);
+    emit(
+        "fig3_4",
+        "Toggle-superset validation for mult (paper Fig 12)",
+        &body,
+    );
 }
 
 fn fig3_5(h: &mut Harness) {
@@ -335,7 +370,11 @@ fn fig3_5(h: &mut Harness) {
         assert!(dom.is_sound(), "dominance violated");
     }
     body.push_str("\nvalidation: the X-based trace upper-bounds every input-based power\ntrace cycle-by-cycle (paper Fig 13).\n");
-    emit("fig3_5", "Per-cycle power dominance for mult (paper Fig 13)", &body);
+    emit(
+        "fig3_5",
+        "Per-cycle power dominance for mult (paper Fig 13)",
+        &body,
+    );
 }
 
 fn fig3_6(h: &mut Harness) {
@@ -346,7 +385,11 @@ fn fig3_6(h: &mut Harness) {
         "{}\nEach COI reports the in-flight instruction, the FSM phase, and the\nper-module power split that identifies the culprit module (paper Fig 14).\n",
         xbound_core::coi::format_report(&cois)
     );
-    emit("fig3_6", "Cycles of interest for mult (paper Fig 14)", &body);
+    emit(
+        "fig3_6",
+        "Cycles of interest for mult (paper Fig 14)",
+        &body,
+    );
 }
 
 fn fig4_1(h: &mut Harness) {
@@ -466,7 +509,11 @@ fn fig5_1(data: &ComparisonData) {
         pct((x_vs_stress - 1.0) * 100.0),
         pct((x_vs_dt - 1.0) * 100.0),
     );
-    emit("fig5_1", "Peak power: conventional techniques vs X-based (paper Fig 16)", &body);
+    emit(
+        "fig5_1",
+        "Peak power: conventional techniques vs X-based (paper Fig 16)",
+        &body,
+    );
 }
 
 fn fig5_2(data: &ComparisonData) {
@@ -489,8 +536,16 @@ fn fig5_2(data: &ComparisonData) {
         ]);
     }
     let x_vs_gbin = geomean(data.rows.iter().map(|r| r.xbased_npe / r.gb_input_npe));
-    let x_vs_stress = geomean(data.rows.iter().map(|r| r.xbased_npe / data.stressmark_gb_npe));
-    let x_vs_dt = geomean(data.rows.iter().map(|r| r.xbased_npe / data.design_tool_npe));
+    let x_vs_stress = geomean(
+        data.rows
+            .iter()
+            .map(|r| r.xbased_npe / data.stressmark_gb_npe),
+    );
+    let x_vs_dt = geomean(
+        data.rows
+            .iter()
+            .map(|r| r.xbased_npe / data.design_tool_npe),
+    );
     let body = format!(
         "{}\nGB stressmark NPE: {}   design tool NPE: {}\n\n\
          X-based vs GB input-based (geomean): {} (paper: -17%)\n\
@@ -503,7 +558,11 @@ fn fig5_2(data: &ComparisonData) {
         pct((x_vs_stress - 1.0) * 100.0),
         pct((x_vs_dt - 1.0) * 100.0),
     );
-    emit("fig5_2", "Normalized peak energy comparison (paper Fig 17)", &body);
+    emit(
+        "fig5_2",
+        "Normalized peak energy comparison (paper Fig 17)",
+        &body,
+    );
 }
 
 fn savings_table(title: &str, id: &str, pairs: Vec<(f64, f64)>, labels: [&str; 3]) {
@@ -527,7 +586,11 @@ fn tab5_1(data: &ComparisonData) {
             .iter()
             .map(|r| (r.xbased / data.stressmark_gb_peak).min(1.0)),
     );
-    let dt = geomean(data.rows.iter().map(|r| (r.xbased / data.design_tool_peak).min(1.0)));
+    let dt = geomean(
+        data.rows
+            .iter()
+            .map(|r| (r.xbased / data.design_tool_peak).min(1.0)),
+    );
     savings_table(
         "Harvester-area reduction vs processor contribution (paper Table 4/5.1)",
         "tab5_1",
@@ -537,7 +600,11 @@ fn tab5_1(data: &ComparisonData) {
 }
 
 fn tab5_2(data: &ComparisonData) {
-    let gbin = geomean(data.rows.iter().map(|r| (r.xbased_npe / r.gb_input_npe).min(1.0)));
+    let gbin = geomean(
+        data.rows
+            .iter()
+            .map(|r| (r.xbased_npe / r.gb_input_npe).min(1.0)),
+    );
     let gbs = geomean(
         data.rows
             .iter()
@@ -559,7 +626,12 @@ fn tab5_2(data: &ComparisonData) {
 fn fig5_4_5_6(h: &mut Harness, overheads: bool) {
     let sys = h.sys65().clone();
     let mut t = if overheads {
-        Table::new(&["benchmark", "perf degradation", "energy overhead", "accepted"])
+        Table::new(&[
+            "benchmark",
+            "perf degradation",
+            "energy overhead",
+            "accepted",
+        ])
     } else {
         Table::new(&[
             "benchmark",
@@ -628,7 +700,11 @@ fn fig5_4_5_6(h: &mut Harness, overheads: bool) {
             avg,
             max
         );
-        emit("fig5_4", "Peak power reduction from OPT1/2/3 (paper Fig 19)", &body);
+        emit(
+            "fig5_4",
+            "Peak power reduction from OPT1/2/3 (paper Fig 19)",
+            &body,
+        );
     }
 }
 
@@ -714,10 +790,8 @@ fn ablation(h: &mut Harness) {
     for name in ["mult", "tea8", "tHold", "PI", "intAVG", "binSearch"] {
         let bench = xbound_benchsuite::by_name(name).expect("exists");
         let program = bench.program().expect("assembles");
-        let explorer = xbound_core::SymbolicExplorer::new(
-            sys.cpu(),
-            Harness::explore_config(bench),
-        );
+        let explorer =
+            xbound_core::SymbolicExplorer::new(sys.cpu(), Harness::explore_config(bench));
         let (tree, _) = explorer.explore(&program).expect("explores");
         let naive = xbound_core::peak_power::compute_peak_power_opts(
             sys.cpu().netlist(),
@@ -768,5 +842,9 @@ fn tab6_1() {
         t.render(),
         (xbound_sizing::landscape::deterministic_fraction() * 100.0) as u32
     );
-    emit("tab6_1", "Microarchitectural features in embedded processors (paper Table 6.1)", &body);
+    emit(
+        "tab6_1",
+        "Microarchitectural features in embedded processors (paper Table 6.1)",
+        &body,
+    );
 }

@@ -75,7 +75,10 @@ impl Harness {
     /// # Errors
     ///
     /// Propagates analysis errors.
-    pub fn analysis(&mut self, bench: &'static Benchmark) -> Result<&Analysis<'static>, AnalysisError> {
+    pub fn analysis(
+        &mut self,
+        bench: &'static Benchmark,
+    ) -> Result<&Analysis<'static>, AnalysisError> {
         if !self.analyses.contains_key(bench.name()) {
             let program = bench.program().expect("benchmark assembles");
             // SAFETY-free lifetime workaround: analyses borrow the system;

@@ -1,0 +1,28 @@
+; autoCorr — autocorrelation of the eight input samples at lags 0, 1, 2
+; with signed multiplies (MPYS). Low product words accumulate; r[k] is
+; stored at 0x0200 + 2k.
+
+main:
+        mov #0, r10             ; lag k
+lag:
+        mov #0x0020, r6         ; x[i]
+        mov r6, r7
+        add r10, r7
+        add r10, r7             ; x[i + k] (byte offset 2k)
+        mov #8, r8
+        sub r10, r8             ; 8 - k terms
+        mov #0, r9              ; accumulator
+term:
+        mov @r6+, &0x0132       ; signed op1 = x[i]
+        mov @r7+, &0x0138       ; op2 = x[i+k], triggers
+        add &0x013A, r9
+        dec r8
+        jnz term
+        mov r10, r4
+        add r4, r4
+        add #0x0200, r4
+        mov r9, 0(r4)           ; r[k]
+        inc r10
+        cmp #3, r10
+        jnz lag
+        jmp $

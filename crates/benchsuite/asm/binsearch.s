@@ -1,0 +1,38 @@
+; binSearch — binary search for the input key in a sorted 16-entry ROM
+; table. Stores the matching index at 0x0200, or 0xFFFF when absent.
+        .equ OUT, 0x0200
+
+main:
+        mov &0x0020, r4         ; key
+        mov #0, r5              ; lo
+        mov #15, r6             ; hi
+        mov #0xFFFF, r9         ; result = not found
+search:
+        cmp r5, r6              ; hi - lo
+        jl store                ; hi < lo: exhausted
+        mov r6, r7
+        add r5, r7
+        rra r7                  ; mid = (lo + hi) / 2
+        mov #tbl, r10
+        mov r7, r8
+        add r8, r8              ; word index -> byte offset
+        add r8, r10
+        mov @r10, r10           ; tbl[mid]
+        cmp r4, r10             ; tbl[mid] - key
+        jz found
+        jl go_right             ; tbl[mid] < key
+        mov r7, r6              ; hi = mid - 1
+        dec r6
+        jmp search
+go_right:
+        mov r7, r5              ; lo = mid + 1
+        inc r5
+        jmp search
+found:
+        mov r7, r9
+store:
+        mov r9, &OUT
+        jmp $
+
+tbl:    .word 2, 5, 9, 14, 21, 28, 33, 41
+        .word 47, 52, 60, 68, 75, 81, 90, 97

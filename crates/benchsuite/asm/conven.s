@@ -1,0 +1,41 @@
+; ConvEn — rate-1/2, constraint-length-3 convolutional encoder over the
+; low eight bits of the input word (G0 = 111, G1 = 101). The parity of
+; each generator tap set is computed branch-free with shift/xor chains;
+; each input bit emits one output word holding the two coded bits.
+
+main:
+        mov &0x0020, r4         ; input bits (LSB first)
+        mov #0, r5              ; encoder state
+        mov #8, r7              ; bits
+        mov #0x0200, r13        ; output pointer
+encbit:
+        mov r4, r6
+        and #1, r6              ; next input bit
+        rra r4
+        add r5, r5
+        bis r6, r5
+        and #7, r5              ; state = (state << 1 | bit) & 7
+        ; g0 = parity(state & 111b), branch-free
+        mov r5, r8
+        mov r5, r9
+        rra r9
+        xor r9, r8
+        rra r9
+        xor r9, r8
+        and #1, r8
+        ; g1 = parity(state & 101b), branch-free
+        mov r5, r10
+        and #5, r10
+        mov r10, r9
+        rra r9
+        xor r9, r10
+        rra r9
+        xor r9, r10
+        and #1, r10
+        add r8, r8
+        bis r10, r8             ; coded pair = g0 << 1 | g1
+        mov r8, 0(r13)
+        incd r13
+        dec r7
+        jnz encbit
+        jmp $

@@ -1,0 +1,24 @@
+; div — 16-bit restoring division (software divide; the MSP430 has no
+; divide unit). inputs: [dividend, divisor]; divisor is never zero.
+; Stores quotient at 0x0200 and remainder at 0x0202.
+
+main:
+        mov &0x0020, r4         ; dividend (becomes shifted-out bits)
+        mov &0x0022, r5         ; divisor
+        mov #0, r6              ; remainder
+        mov #0, r7              ; quotient
+        mov #16, r8             ; bit counter
+divbit:
+        add r4, r4              ; shift dividend left, C = old MSB
+        addc r6, r6             ; remainder = remainder << 1 | MSB
+        add r7, r7              ; quotient <<= 1
+        cmp r5, r6              ; remainder - divisor
+        jnc restore             ; borrow: remainder < divisor
+        sub r5, r6
+        bis #1, r7              ; set quotient bit
+restore:
+        dec r8
+        jnz divbit
+        mov r7, &0x0200
+        mov r6, &0x0202
+        jmp $

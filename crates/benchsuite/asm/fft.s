@@ -1,0 +1,37 @@
+; FFT — one 4-point decimation-in-time butterfly network over the four
+; input samples, with a Q15 twiddle multiply (cos(pi/4) = 0x5A82) on the
+; odd path through the signed hardware multiplier.
+
+main:
+        mov &0x0020, r4         ; x0
+        mov &0x0022, r5         ; x1
+        mov &0x0024, r6         ; x2
+        mov &0x0026, r7         ; x3
+        ; stage 1 butterflies
+        mov r4, r8
+        add r6, r8              ; a = x0 + x2
+        mov r4, r9
+        sub r6, r9              ; b = x0 - x2
+        mov r5, r10
+        add r7, r10             ; c = x1 + x3
+        mov r5, r11
+        sub r7, r11             ; d = x1 - x3
+        ; t = (0x5A82 * d) >> 15  (Q15 twiddle)
+        mov #0x5A82, &0x0132    ; signed op1
+        mov r11, &0x0138        ; op2 triggers
+        mov &0x013C, r12        ; high product word
+        add r12, r12            ; (hi << 1) ~= product >> 15
+        ; stage 2 outputs
+        mov r8, r13
+        add r10, r13
+        mov r13, &0x0200        ; X0 = a + c
+        mov r9, r13
+        add r12, r13
+        mov r13, &0x0202        ; X1 = b + t
+        mov r8, r13
+        sub r10, r13
+        mov r13, &0x0204        ; X2 = a - c
+        mov r9, r13
+        sub r12, r13
+        mov r13, &0x0206        ; X3 = b - t
+        jmp $

@@ -1,0 +1,32 @@
+; inSort — copies six input values into data RAM at 0x0300 and sorts them
+; in place, ascending (exchange sort with an early-exit swapped flag).
+        .equ ARR, 0x0300
+
+main:
+        mov #0x0020, r6         ; input pointer
+        mov #ARR, r7
+        mov #6, r8
+copy:
+        mov @r6+, 0(r7)
+        incd r7
+        dec r8
+        jnz copy
+pass:
+        mov #0, r11             ; swapped = 0
+        mov #ARR, r6
+        mov #5, r8              ; adjacent pairs
+cmppair:
+        mov @r6, r4
+        mov 2(r6), r5
+        cmp r4, r5              ; arr[i+1] - arr[i]
+        jc ordered              ; no borrow: arr[i+1] >= arr[i]
+        mov r5, 0(r6)
+        mov r4, 2(r6)
+        mov #1, r11
+ordered:
+        incd r6
+        dec r8
+        jnz cmppair
+        tst r11
+        jnz pass
+        jmp $

@@ -1,0 +1,17 @@
+; intAVG — arithmetic mean of eight input samples (samples are at most
+; 0x0FFF, so the sum stays positive and the arithmetic shifts divide
+; exactly by 8).
+
+main:
+        mov #0x0020, r6         ; input pointer
+        mov #8, r7
+        mov #0, r4              ; sum
+accum:
+        add @r6+, r4
+        dec r7
+        jnz accum
+        rra r4
+        rra r4
+        rra r4                  ; sum / 8
+        mov r4, &0x0200
+        jmp $

@@ -1,0 +1,30 @@
+; intFilt — 4-tap integer FIR filter ([1, 3, 3, 1]) slid over the eight
+; input samples; the five window outputs go to 0x0200... Uses the
+; hardware multiplier for the tap products.
+        .equ OUT, 0x0200
+
+main:
+        mov #5, r11             ; 8 samples - 4 taps + 1 windows
+        mov #0x0020, r12        ; window base
+        mov #OUT, r13           ; output pointer
+window:
+        mov r12, r6
+        mov #0, r9              ; accumulator
+        mov @r6+, &0x0130       ; tap 0, coefficient 1
+        mov #1, &0x0138
+        add &0x013A, r9
+        mov @r6+, &0x0130       ; tap 1, coefficient 3
+        mov #3, &0x0138
+        add &0x013A, r9
+        mov @r6+, &0x0130       ; tap 2, coefficient 3
+        mov #3, &0x0138
+        add &0x013A, r9
+        mov @r6+, &0x0130       ; tap 3, coefficient 1
+        mov #1, &0x0138
+        add &0x013A, r9
+        mov r9, 0(r13)
+        incd r13
+        incd r12                ; slide window one sample
+        dec r11
+        jnz window
+        jmp $

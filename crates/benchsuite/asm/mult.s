@@ -1,0 +1,24 @@
+; mult — multiply-accumulate over four input pairs using the hardware
+; multiplier. 32-bit accumulator in r9:r8; result stored to data RAM.
+        .equ INPORT, 0x0020
+        .equ MPY,    0x0130     ; unsigned multiply operand 1
+        .equ OP2,    0x0138     ; operand 2 (write triggers multiply)
+        .equ RESLO,  0x013A
+        .equ RESHI,  0x013C
+        .equ OUT,    0x0200
+
+main:
+        mov #INPORT, r6         ; input pointer
+        mov #4, r7              ; four (a, b) pairs
+        mov #0, r8              ; accumulator low
+        mov #0, r9              ; accumulator high
+pair:
+        mov @r6+, &0x0130       ; op1 = a
+        mov @r6+, &0x0138       ; op2 = b, triggers a*b
+        add &0x013A, r8         ; acc += product (32-bit)
+        addc &0x013C, r9
+        dec r7
+        jnz pair
+        mov r8, &OUT
+        mov r9, &0x0202
+        jmp $

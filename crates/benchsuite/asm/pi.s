@@ -1,0 +1,27 @@
+; PI — proportional-integral controller: input 0 is the setpoint, inputs
+; 1..3 are successive plant measurements. Each step runs two signed
+; multiplies (Kp * error, Ki * integral) and emits the control output.
+        .equ KP, 7
+        .equ KI, 3
+
+main:
+        mov &0x0020, r4         ; setpoint
+        mov #0x0022, r6         ; measurement pointer
+        mov #3, r7              ; control steps
+        mov #0, r8              ; integrator
+        mov #0x0200, r13        ; output pointer
+step:
+        mov r4, r5
+        sub @r6+, r5            ; error = setpoint - measurement
+        add r5, r8              ; integrator += error
+        mov #KP, &0x0132        ; Kp * error (signed)
+        mov r5, &0x0138
+        mov &0x013A, r9
+        mov #KI, &0x0132        ; Ki * integrator (signed)
+        mov r8, &0x0138
+        add &0x013A, r9
+        mov r9, 0(r13)          ; u = Kp*e + Ki*integral
+        incd r13
+        dec r7
+        jnz step
+        jmp $

@@ -1,0 +1,42 @@
+; rle — run-length encodes the eight input samples. When a run ends at
+; input position p, its [value, length] pair is written to the two-word
+; slot at 0x0300 + 4*p, so output placement is position-indexed (the
+; store addresses depend on input *values*, stressing the analysis).
+        .equ SLOTS, 0x0300
+
+main:
+        mov #0x0020, r6         ; input pointer
+        mov @r6+, r4            ; current run value
+        mov #1, r5              ; current run length
+        mov #1, r7              ; next input position
+scan:
+        cmp #8, r7
+        jz flush                ; all samples consumed
+        mov @r6+, r8
+        cmp r4, r8              ; next - current
+        jz extend
+        ; run ended at position r7 - 1: slot = SLOTS + 4 * (r7 - 1)
+        mov r7, r9
+        dec r9
+        add r9, r9
+        add r9, r9
+        add #SLOTS, r9
+        mov r4, 0(r9)
+        mov r5, 2(r9)
+        mov r8, r4              ; start new run
+        mov #1, r5
+        jmp advance
+extend:
+        inc r5
+advance:
+        inc r7
+        jmp scan
+flush:
+        ; final run ends at position 7
+        mov #7, r9
+        add r9, r9
+        add r9, r9
+        add #SLOTS, r9
+        mov r4, 0(r9)
+        mov r5, 2(r9)
+        jmp $

@@ -1,0 +1,46 @@
+; tea8 — eight rounds of a TEA-style mixing cipher over the two input
+; words, using only shifts, xors, and adds (no multiplier).
+        .equ DELTA, 0x9E37
+
+main:
+        mov &0x0020, r4         ; v0
+        mov &0x0022, r5         ; v1
+        mov #0, r6              ; sum
+        mov #8, r7              ; rounds
+round:
+        add #DELTA, r6
+        ; v0 += (v1 << 4) ^ (v1 >> 5) + sum
+        mov r5, r8
+        add r8, r8
+        add r8, r8
+        add r8, r8
+        add r8, r8              ; v1 << 4
+        mov r5, r9
+        rra r9
+        rra r9
+        rra r9
+        rra r9
+        rra r9                  ; v1 >> 5 (arithmetic)
+        xor r9, r8
+        add r6, r8
+        add r8, r4
+        ; v1 += (v0 << 4) ^ (v0 >> 5) + sum
+        mov r4, r8
+        add r8, r8
+        add r8, r8
+        add r8, r8
+        add r8, r8
+        mov r4, r9
+        rra r9
+        rra r9
+        rra r9
+        rra r9
+        rra r9
+        xor r9, r8
+        add r6, r8
+        add r8, r5
+        dec r7
+        jnz round
+        mov r4, &0x0200
+        mov r5, &0x0202
+        jmp $

@@ -1,0 +1,19 @@
+; tHold — counts how many of the eight input samples meet or exceed the
+; detection threshold; the count is the classic input-dependent-control
+; benchmark of the paper (each sample forks the symbolic execution tree).
+        .equ THRESH, 100
+
+main:
+        mov #0x0020, r6         ; input pointer
+        mov #8, r7              ; samples
+        mov #0, r8              ; count
+sample:
+        mov @r6+, r4
+        cmp #THRESH, r4         ; sample - threshold
+        jl below                ; sample < threshold
+        inc r8
+below:
+        dec r7
+        jnz sample
+        mov r8, &0x0200
+        jmp $

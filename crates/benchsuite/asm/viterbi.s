@@ -1,0 +1,41 @@
+; Viterbi — add-compare-select over a two-state trellis. Each of the
+; eight input words is a branch metric b in 0..15; the complementary
+; branch costs 15 - b. The surviving path metric is stored at 0x0200.
+
+main:
+        mov #0x0020, r6         ; metric pointer
+        mov #8, r7              ; trellis steps
+        mov #0, r4              ; path metric, state 0
+        mov #0, r5              ; path metric, state 1
+acs:
+        mov @r6+, r8            ; b
+        mov #15, r9
+        sub r8, r9              ; 15 - b
+        ; new m0 = min(m0 + b, m1 + (15 - b))
+        mov r4, r10
+        add r8, r10
+        mov r5, r11
+        add r9, r11
+        cmp r10, r11            ; (m1 + 15-b) - (m0 + b)
+        jc keep0                ; no borrow: first candidate wins
+        mov r11, r10
+keep0:
+        ; new m1 = min(m0 + (15 - b), m1 + b)
+        mov r4, r12
+        add r9, r12
+        mov r5, r13
+        add r8, r13
+        cmp r12, r13
+        jc keep1
+        mov r13, r12
+keep1:
+        mov r10, r4
+        mov r12, r5
+        dec r7
+        jnz acs
+        cmp r4, r5              ; m1 - m0
+        jc survivor             ; m1 >= m0: keep m0
+        mov r5, r4
+survivor:
+        mov r4, &0x0200
+        jmp $

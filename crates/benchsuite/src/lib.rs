@@ -121,7 +121,9 @@ impl Benchmark {
                 (0..n).map(|i| if i % 2 == 0 { hi } else { lo }).collect(),
                 // Pair-alternating: flips both operands of pair-consuming
                 // kernels (e.g. the multiplier operands of `mult`).
-                (0..n).map(|i| if (i / 2) % 2 == 0 { hi } else { lo }).collect(),
+                (0..n)
+                    .map(|i| if (i / 2) % 2 == 0 { hi } else { lo })
+                    .collect(),
             ],
             InputKind::Threshold { n, center, spread } => vec![
                 vec![center + spread; n],
@@ -157,9 +159,7 @@ impl Benchmark {
     /// Generates one input set for profiling.
     pub fn gen_inputs<R: RngExt>(&self, rng: &mut R) -> Vec<u16> {
         match self.inputs {
-            InputKind::Uniform { n, lo, hi } => {
-                (0..n).map(|_| rng.random_range(lo..=hi)).collect()
-            }
+            InputKind::Uniform { n, lo, hi } => (0..n).map(|_| rng.random_range(lo..=hi)).collect(),
             InputKind::Threshold { n, center, spread } => (0..n)
                 .map(|_| {
                     let lo = center.saturating_sub(spread);
@@ -191,9 +191,7 @@ pub fn all() -> &'static [Benchmark] {
 
 /// Looks a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<&'static Benchmark> {
-    SUITE
-        .iter()
-        .find(|b| b.name.eq_ignore_ascii_case(name))
+    SUITE.iter().find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 static SUITE: [Benchmark; 14] = [
@@ -217,7 +215,11 @@ static SUITE: [Benchmark; 14] = [
         description: "binary search for an input key in a sorted ROM table",
         category: Category::Sensor,
         source: include_str!("../asm/binsearch.s"),
-        inputs: InputKind::Uniform { n: 1, lo: 0, hi: 99 },
+        inputs: InputKind::Uniform {
+            n: 1,
+            lo: 0,
+            hi: 99,
+        },
         energy_rounds: 2_000,
         max_concrete_cycles: 50_000,
         uses_multiplier: false,
@@ -385,7 +387,11 @@ static SUITE: [Benchmark; 14] = [
         description: "add-compare-select over a 2-state trellis",
         category: Category::Eembc,
         source: include_str!("../asm/viterbi.s"),
-        inputs: InputKind::Uniform { n: 8, lo: 0, hi: 15 },
+        inputs: InputKind::Uniform {
+            n: 8,
+            lo: 0,
+            hi: 15,
+        },
         energy_rounds: 3_000,
         max_concrete_cycles: 50_000,
         uses_multiplier: false,

@@ -167,10 +167,7 @@ impl CellLibrary {
     }
 
     /// Total leakage of a gate population, nanowatts.
-    pub fn total_leakage_nw<'a>(
-        &self,
-        kinds: impl IntoIterator<Item = &'a CellKind>,
-    ) -> f64 {
+    pub fn total_leakage_nw<'a>(&self, kinds: impl IntoIterator<Item = &'a CellKind>) -> f64 {
         kinds.into_iter().map(|k| self.power(*k).leakage_nw).sum()
     }
 

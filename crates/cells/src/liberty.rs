@@ -97,9 +97,7 @@ impl<'a> P<'a> {
 
     fn skip_ws(&mut self) {
         loop {
-            while self.pos < self.src.len()
-                && (self.src[self.pos] as char).is_whitespace()
-            {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
                 if self.src[self.pos] == b'\n' {
                     self.line += 1;
                 }
@@ -247,10 +245,13 @@ impl<'a> P<'a> {
 fn get_num(g: &Group, key: &str, line: usize) -> Result<Option<f64>, LibertyError> {
     match g.attrs.get(key) {
         None => Ok(None),
-        Some(v) => v.parse::<f64>().map(Some).map_err(|_| LibertyError::BadNumber {
-            line,
-            attribute: key.to_string(),
-        }),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| LibertyError::BadNumber {
+                line,
+                attribute: key.to_string(),
+            }),
     }
 }
 

@@ -123,7 +123,10 @@ impl<'c> SymbolicExplorer<'c> {
     ///   `branch_taken` (e.g. a computed jump on unknown data);
     /// * [`AnalysisError::CycleBudget`] — the configured budgets were hit;
     /// * [`AnalysisError::Sim`] — the bus failed to settle.
-    pub fn explore(&self, program: &Program) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
+    pub fn explore(
+        &self,
+        program: &Program,
+    ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
         let mut sim = self.cpu.new_sim();
         Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
         sim.reset(self.config.reset_cycles);
@@ -243,9 +246,7 @@ impl<'c> SymbolicExplorer<'c> {
                     entry.visits += 1;
 
                     // Subsumption check.
-                    if let Some((_, owner)) =
-                        entry.seen.iter().find(|(s, _)| s.covers(&after))
-                    {
+                    if let Some((_, owner)) = entry.seen.iter().find(|(s, _)| s.covers(&after)) {
                         stats.merges += 1;
                         tree.get_mut(child).end = SegmentEnd::Merged {
                             into: *owner,
@@ -265,9 +266,7 @@ impl<'c> SymbolicExplorer<'c> {
                             w.join_in_place(s);
                         }
                         entry.widen_join = Some(w.clone());
-                        if let Some((_, owner)) =
-                            entry.seen.iter().find(|(s, _)| s.covers(&w))
-                        {
+                        if let Some((_, owner)) = entry.seen.iter().find(|(s, _)| s.covers(&w)) {
                             stats.merges += 1;
                             tree.get_mut(child).end = SegmentEnd::Merged {
                                 into: *owner,

@@ -56,9 +56,7 @@ use xbound_sim::SimError;
 
 pub use activity::{ExploreConfig, ExploreStats, SymbolicExplorer};
 pub use coi::{cycles_of_interest, CycleOfInterest};
-pub use peak_power::{
-    compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult,
-};
+pub use peak_power::{compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult};
 pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
 pub use validate::{DominanceReport, SupersetReport};
 
@@ -140,11 +138,7 @@ impl UlpSystem {
     ///
     /// Propagates netlist construction errors.
     pub fn openmsp430_class() -> Result<UlpSystem, AnalysisError> {
-        Ok(UlpSystem::new(
-            Cpu::build()?,
-            CellLibrary::ulp65(),
-            100.0e6,
-        ))
+        Ok(UlpSystem::new(Cpu::build()?, CellLibrary::ulp65(), 100.0e6))
     }
 
     /// The Chapter-2 measurement target: the core mapped to the 130 nm-class

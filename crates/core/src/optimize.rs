@@ -36,7 +36,11 @@ pub enum OptKind {
 
 impl OptKind {
     /// All transforms, in application order.
-    pub const ALL: [OptKind; 3] = [OptKind::IndexedLoad, OptKind::PopSplit, OptKind::MultiplierNop];
+    pub const ALL: [OptKind; 3] = [
+        OptKind::IndexedLoad,
+        OptKind::PopSplit,
+        OptKind::MultiplierNop,
+    ];
 
     /// Short name.
     pub fn name(self) -> &'static str {

@@ -140,9 +140,7 @@ pub fn stability(nl: &Netlist, prev: &Frame, cur: &Frame) -> Vec<bool> {
             stable[out] = true;
             continue;
         }
-        if gate.kind().input_count() > 0
-            && gate.inputs().iter().all(|n| stable[n.index()])
-        {
+        if gate.kind().input_count() > 0 && gate.inputs().iter().all(|n| stable[n.index()]) {
             stable[out] = true;
         }
         if matches!(
@@ -161,11 +159,7 @@ pub fn stability(nl: &Netlist, prev: &Frame, cur: &Frame) -> Vec<bool> {
 /// so the transition into the continuation cycle accounts for *any* of the
 /// merged predecessors (join only adds X — conservative).
 pub fn merge_adjusted_frames(tree: &ExecutionTree) -> Vec<Vec<Frame>> {
-    let mut adjusted: Vec<Vec<Frame>> = tree
-        .segments()
-        .iter()
-        .map(|s| s.frames.clone())
-        .collect();
+    let mut adjusted: Vec<Vec<Frame>> = tree.segments().iter().map(|s| s.frames.clone()).collect();
     for seg in tree.segments() {
         if let SegmentEnd::Merged { into, .. } = seg.end {
             if let Some(last) = seg.frames.last() {
@@ -506,7 +500,10 @@ mod tests {
             .map(|row| {
                 frame_of(
                     nl,
-                    &row.iter().enumerate().map(|(i, v)| (i, *v)).collect::<Vec<_>>(),
+                    &row.iter()
+                        .enumerate()
+                        .map(|(i, v)| (i, *v))
+                        .collect::<Vec<_>>(),
                 )
             })
             .collect();
@@ -521,7 +518,7 @@ mod tests {
 
     #[test]
     fn fig_3_2_style_assignment_rules() {
-        use Lv::{One, X, Zero};
+        use Lv::{One, Zero, X};
         let nl = toy();
         let lib = xbound_cells::CellLibrary::ulp65();
         // Nine cycles of overlapping Xs on every net (paper Fig 10 shape).
@@ -589,7 +586,7 @@ mod tests {
 
     #[test]
     fn stability_holds_for_enabled_registers() {
-        use Lv::{One, X, Zero};
+        use Lv::{One, Zero, X};
         let mut r = Rtl::new("t");
         let d = r.input("d", 4);
         let en = r.input_bit("en");

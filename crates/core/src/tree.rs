@@ -191,8 +191,7 @@ impl ExecutionTree {
                 // X endpoints can toggle even when structurally equal.
                 for i in 0..net_count {
                     if !out[i]
-                        && (cur.get(i) == xbound_logic::Lv::X
-                            || prev.get(i) == xbound_logic::Lv::X)
+                        && (cur.get(i) == xbound_logic::Lv::X || prev.get(i) == xbound_logic::Lv::X)
                     {
                         out[i] = true;
                     }

@@ -10,10 +10,7 @@ fn system() -> UlpSystem {
 #[test]
 fn straight_line_program_single_segment() {
     let sys = system();
-    let p = assemble(
-        "main: mov #5, r4\n add r4, r4\n mov r4, &0x0200\n jmp $\n",
-    )
-    .unwrap();
+    let p = assemble("main: mov #5, r4\n add r4, r4\n mov r4, &0x0200\n jmp $\n").unwrap();
     let analysis = CoAnalysis::new(&sys).run(&p).unwrap();
     assert_eq!(analysis.tree().segments().len(), 1);
     assert_eq!(analysis.stats().forks, 0);
@@ -114,7 +111,10 @@ fn input_dependent_loop_terminates_via_memoization() {
         ..ExploreConfig::default()
     };
     let analysis = CoAnalysis::new(&sys).config(cfg).run(&p).unwrap();
-    assert!(analysis.stats().merges > 0, "loop must merge via memoization");
+    assert!(
+        analysis.stats().merges > 0,
+        "loop must merge via memoization"
+    );
     // Concrete runs for several inputs stay inside the bound.
     for input in [0x8000u16, 0x0001, 0x0000, 0x4242] {
         let (frames, trace) = sys.profile_concrete(&p, &[input], 50_000).unwrap();
@@ -192,17 +192,19 @@ fn nonterminating_program_hits_budget() {
         ..ExploreConfig::default()
     };
     let err = CoAnalysis::new(&sys).config(cfg).run(&p).unwrap_err();
-    assert!(matches!(err, xbound_core::AnalysisError::CycleBudget { .. }));
+    assert!(matches!(
+        err,
+        xbound_core::AnalysisError::CycleBudget { .. }
+    ));
 }
 
 #[test]
 fn peak_energy_scales_with_program_length() {
     let sys = system();
     let short = assemble("main: mov #5, r4\n jmp $\n").unwrap();
-    let long = assemble(
-        "main: mov #5, r4\n add r4, r4\n add r4, r4\n add r4, r4\n add r4, r4\n jmp $\n",
-    )
-    .unwrap();
+    let long =
+        assemble("main: mov #5, r4\n add r4, r4\n add r4, r4\n add r4, r4\n add r4, r4\n jmp $\n")
+            .unwrap();
     let es = CoAnalysis::new(&sys).run(&short).unwrap().peak_energy();
     let el = CoAnalysis::new(&sys).run(&long).unwrap().peak_energy();
     assert!(el.peak_energy_j > es.peak_energy_j);

@@ -600,13 +600,10 @@ pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
     let (pc_branch, _) = r.add(&pc, &off_sext, None);
 
     // ---------------- FSM next-state ----------------
-    let route_dstidx = r.and(two_wb, ad); // CMP/BIT to memory skip write but still read
-    // Note: test-only ops with memory destination still go DST_IDX/DST_RD for
-    // the read; they just skip DST_WR. So routing uses is_two & Ad.
-    let route_dstidx = {
-        let _ = route_dstidx;
-        r.and(is_two, ad)
-    };
+    // Test-only ops (CMP/BIT) with a memory destination still go through
+    // DST_IDX/DST_RD for the read; they just skip DST_WR. So routing uses
+    // is_two & Ad, not two_wb & Ad.
+    let route_dstidx = r.and(is_two, ad);
     let route_push = one_pushcall;
     let route_exec = {
         let a = r.or(route_dstidx, route_push);

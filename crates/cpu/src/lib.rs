@@ -120,8 +120,18 @@ impl Cpu {
             wen: Some(self.io.bus_wen),
         };
         let mems = vec![
-            MemRegion::new("pmem", RegionKind::Rom, memmap::PMEM_BASE, memmap::PMEM_WORDS),
-            MemRegion::new("dmem", RegionKind::Ram, memmap::DMEM_BASE, memmap::DMEM_WORDS),
+            MemRegion::new(
+                "pmem",
+                RegionKind::Rom,
+                memmap::PMEM_BASE,
+                memmap::PMEM_WORDS,
+            ),
+            MemRegion::new(
+                "dmem",
+                RegionKind::Ram,
+                memmap::DMEM_BASE,
+                memmap::DMEM_WORDS,
+            ),
             MemRegion::new(
                 "inport",
                 RegionKind::Port,
@@ -176,10 +186,7 @@ impl Cpu {
     pub fn set_inputs(sim: &mut Simulator<'_>, values: &[u16]) {
         let port = sim.mem_mut("inport").expect("inport");
         for (i, v) in values.iter().enumerate() {
-            port.write(
-                memmap::INPORT_BASE + (i * 2) as u16,
-                XWord::from_u16(*v),
-            );
+            port.write(memmap::INPORT_BASE + (i * 2) as u16, XWord::from_u16(*v));
         }
     }
 
@@ -324,11 +331,7 @@ mod tests {
         // Final data memory comparison.
         let dmem = sim.mem("dmem").expect("dmem");
         for (i, w) in dmem.data().iter().enumerate() {
-            assert_eq!(
-                w.to_u16(),
-                Some(iss.dmem()[i]),
-                "dmem[{i}] mismatch at end"
-            );
+            assert_eq!(w.to_u16(), Some(iss.dmem()[i]), "dmem[{i}] mismatch at end");
         }
         sim.cycle() - first_fetch_cycle
     }
@@ -409,7 +412,10 @@ mod tests {
                 mov #0x1234, @r6      ; -> error? @rn not a dst: use indexed
                 jmp $
             "#
-            .replace("mov #0x1234, @r6      ; -> error? @rn not a dst: use indexed", "mov #0x1234, 0(r6)")
+            .replace(
+                "mov #0x1234, @r6      ; -> error? @rn not a dst: use indexed",
+                "mov #0x1234, 0(r6)",
+            )
             .as_str(),
             &[],
             64,
@@ -628,12 +634,7 @@ mod tests {
         // cross_check already asserts per-instruction cycle alignment; this
         // checks a whole-program total explicitly.
         let c = cpu();
-        let cycles = cross_check(
-            &c,
-            "main: mov #5, r4\n add r4, r4\n jmp $\n",
-            &[],
-            16,
-        );
+        let cycles = cross_check(&c, "main: mov #5, r4\n add r4, r4\n jmp $\n", &[], 16);
         // mov #5 (4) + add (3) + jmp (2); the final jmp $ boundary is
         // re-visited once before the checker stops.
         assert!(cycles >= 9, "got {cycles}");
@@ -642,10 +643,8 @@ mod tests {
     #[test]
     fn symbolic_input_x_propagates_but_fsm_stays_concrete() {
         let c = cpu();
-        let program = assemble(
-            "main: mov &0x0020, r4\n add r4, r4\n mov r4, &0x0200\n jmp $\n",
-        )
-        .unwrap();
+        let program =
+            assemble("main: mov &0x0020, r4\n add r4, r4\n mov r4, &0x0200\n jmp $\n").unwrap();
         let mut sim = c.new_sim();
         Cpu::load_program(&mut sim, &program, false); // dmem/inport stay X
         for _ in 0..40 {
@@ -690,9 +689,7 @@ mod tests {
         let mut saw_x_branch = false;
         for _ in 0..64 {
             sim.eval().expect("bus settles");
-            if c.state(&sim) == Some(State::Decode)
-                && sim.value(c.io().branch_taken) == Lv::X
-            {
+            if c.state(&sim) == Some(State::Decode) && sim.value(c.io().branch_taken) == Lv::X {
                 saw_x_branch = true;
                 // Next PC must carry X -> the fork condition of Algorithm 1.
                 let next = sim.ff_next_values();

@@ -26,14 +26,15 @@ const ONE: [&str; 4] = ["rra", "rrc", "swpb", "sxt"];
 
 fn arb_instr() -> impl Strategy<Value = RandInstr> {
     prop_oneof![
-        (0..ALU.len(), 0u8..10, 0u8..10)
-            .prop_map(|(op, rs, rd)| RandInstr::AluRR { op, rs, rd }),
-        (0..ALU.len(), any::<u16>(), 0u8..10)
-            .prop_map(|(op, imm, rd)| RandInstr::AluImm { op, imm, rd }),
+        (0..ALU.len(), 0u8..10, 0u8..10).prop_map(|(op, rs, rd)| RandInstr::AluRR { op, rs, rd }),
+        (0..ALU.len(), any::<u16>(), 0u8..10).prop_map(|(op, imm, rd)| RandInstr::AluImm {
+            op,
+            imm,
+            rd
+        }),
         (0u8..10, 0u8..8).prop_map(|(rs, slot)| RandInstr::MovAbs { rs, slot }),
         (0u8..8, 0u8..10).prop_map(|(slot, rd)| RandInstr::LoadAbs { slot, rd }),
-        (0i16..8, 0u8..10)
-            .prop_map(|(off, rd)| RandInstr::LoadIdx { off: off * 2, rd }),
+        (0i16..8, 0u8..10).prop_map(|(off, rd)| RandInstr::LoadIdx { off: off * 2, rd }),
         (0..ONE.len(), 0u8..10).prop_map(|(op, rd)| RandInstr::One { op, rd }),
         (0u8..10, 0u8..10).prop_map(|(rs, rd)| RandInstr::PushPop { rs, rd }),
     ]

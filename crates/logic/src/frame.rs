@@ -127,8 +127,7 @@ impl Frame {
         assert_eq!(self.len, other.len, "frame length mismatch");
         let mut n = 0usize;
         for w in 0..self.val.len() {
-            let differs =
-                (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
+            let differs = (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
             n += differs.count_ones() as usize;
         }
         n
@@ -139,8 +138,7 @@ impl Frame {
         assert_eq!(self.len, other.len, "frame length mismatch");
         let mut out = Vec::new();
         for w in 0..self.val.len() {
-            let mut differs =
-                (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
+            let mut differs = (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
             while differs != 0 {
                 let b = differs.trailing_zeros() as usize;
                 out.push(w * 64 + b);
@@ -160,8 +158,7 @@ impl Frame {
     pub fn covers(&self, other: &Frame) -> bool {
         assert_eq!(self.len, other.len, "frame length mismatch");
         for w in 0..self.val.len() {
-            let both_known_diff =
-                !self.unk[w] & !other.unk[w] & (self.val[w] ^ other.val[w]);
+            let both_known_diff = !self.unk[w] & !other.unk[w] & (self.val[w] ^ other.val[w]);
             let other_x_self_known = other.unk[w] & !self.unk[w];
             if both_known_diff != 0 || other_x_self_known != 0 {
                 return false;
@@ -174,8 +171,7 @@ impl Frame {
     pub fn join_in_place(&mut self, other: &Frame) {
         assert_eq!(self.len, other.len, "frame length mismatch");
         for w in 0..self.val.len() {
-            let unk =
-                self.unk[w] | other.unk[w] | (self.val[w] ^ other.val[w]);
+            let unk = self.unk[w] | other.unk[w] | (self.val[w] ^ other.val[w]);
             self.unk[w] = unk;
             self.val[w] &= !unk;
         }

@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn xor_truth_table() {
-        use Lv::{One, X, Zero};
+        use Lv::{One, Zero, X};
         assert_eq!(Zero.xor(Zero), Zero);
         assert_eq!(Zero.xor(One), One);
         assert_eq!(One.xor(One), Zero);

@@ -12,6 +12,8 @@ fn arb_xword() -> impl Strategy<Value = XWord> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     /// X-pessimism: a gate output computed with X inputs must cover the output
     /// computed with any concrete refinement of those inputs.
     #[test]

@@ -263,11 +263,7 @@ fn jump_cond(m: &str) -> Option<Cond> {
 }
 
 /// Expands emulated mnemonics; returns the statement(s) they stand for.
-fn expand_emulated(
-    m: &str,
-    ops: &[String],
-    line: usize,
-) -> Result<Option<Stmt>, AsmError> {
+fn expand_emulated(m: &str, ops: &[String], line: usize) -> Result<Option<Stmt>, AsmError> {
     let syntax = |msg: String| AsmError::Syntax { line, message: msg };
     let one_operand = |ops: &[String]| -> Result<POperand, AsmError> {
         if ops.len() != 1 {
@@ -282,7 +278,11 @@ fn expand_emulated(
             POperand::IndirectInc(Reg::SP),
             POperand::Reg(Reg::PC),
         ),
-        "pop" => Stmt::Two(TwoOp::Mov, POperand::IndirectInc(Reg::SP), one_operand(ops)?),
+        "pop" => Stmt::Two(
+            TwoOp::Mov,
+            POperand::IndirectInc(Reg::SP),
+            one_operand(ops)?,
+        ),
         "br" => Stmt::Two(TwoOp::Mov, one_operand(ops)?, POperand::Reg(Reg::PC)),
         "clr" => Stmt::Two(TwoOp::Mov, POperand::Imm(Expr::Num(0)), one_operand(ops)?),
         "inc" => Stmt::Two(TwoOp::Add, POperand::Imm(Expr::Num(1)), one_operand(ops)?),
@@ -299,28 +299,44 @@ fn expand_emulated(
             Stmt::Two(TwoOp::Addc, d.clone(), d)
         }
         "inv" => Stmt::Two(TwoOp::Xor, POperand::Imm(Expr::Num(-1)), one_operand(ops)?),
-        "clrc" => Stmt::Two(TwoOp::Bic, POperand::Imm(Expr::Num(1)), POperand::Reg(Reg::SR)),
-        "setc" => Stmt::Two(TwoOp::Bis, POperand::Imm(Expr::Num(1)), POperand::Reg(Reg::SR)),
+        "clrc" => Stmt::Two(
+            TwoOp::Bic,
+            POperand::Imm(Expr::Num(1)),
+            POperand::Reg(Reg::SR),
+        ),
+        "setc" => Stmt::Two(
+            TwoOp::Bis,
+            POperand::Imm(Expr::Num(1)),
+            POperand::Reg(Reg::SR),
+        ),
         _ => return Ok(None),
     };
     Ok(Some(stmt))
 }
 
-fn parse_line(number: usize, raw: &str) -> Result<Line, AsmError> {
-    let mut text = raw;
+/// Drops everything from the first `;` or `//` onward.
+fn strip_comment(line: &str) -> &str {
+    let mut text = line;
     if let Some(i) = text.find(';') {
         text = &text[..i];
     }
     if let Some(i) = text.find("//") {
         text = &text[..i];
     }
-    let mut text = text.trim();
+    text
+}
+
+fn parse_line(number: usize, raw: &str) -> Result<Line, AsmError> {
+    let mut text = strip_comment(raw).trim();
     let mut label = None;
     if let Some(colon) = text.find(':') {
         let (l, rest) = text.split_at(colon);
         let l = l.trim();
         let ok = !l.is_empty()
-            && l.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+            && l.chars()
+                .next()
+                .map(|c| c.is_ascii_alphabetic() || c == '_')
+                .unwrap_or(false)
             && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
         if !ok {
             return Err(AsmError::Syntax {
@@ -428,24 +444,20 @@ impl Resolver<'_> {
         match e {
             Expr::Num(v) => Ok(*v),
             Expr::Here => Ok(here as i32),
-            Expr::Sym(s) => self
-                .symbols
-                .get(s)
-                .map(|v| *v as i32)
-                .ok_or_else(|| AsmError::UndefinedSymbol {
-                    line,
-                    symbol: s.clone(),
-                }),
+            Expr::Sym(s) => {
+                self.symbols
+                    .get(s)
+                    .map(|v| *v as i32)
+                    .ok_or_else(|| AsmError::UndefinedSymbol {
+                        line,
+                        symbol: s.clone(),
+                    })
+            }
         }
     }
 
     /// `(operand, used a symbolic immediate)`.
-    fn operand(
-        &self,
-        p: &POperand,
-        here: u16,
-        line: usize,
-    ) -> Result<(Operand, bool), AsmError> {
+    fn operand(&self, p: &POperand, here: u16, line: usize) -> Result<(Operand, bool), AsmError> {
         Ok(match p {
             POperand::Reg(r) => (Operand::Reg(*r), false),
             POperand::Indirect(r) => (Operand::Indirect(*r), false),
@@ -479,7 +491,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut lines = Vec::new();
     for (i, raw) in source.lines().enumerate() {
         let number = i + 1;
-        let trimmed = raw.trim_start();
+        let trimmed = strip_comment(raw).trim_start();
         let lower = trimmed.to_ascii_lowercase();
         if lower.starts_with(".equ") {
             let rest = &trimmed[4..];
@@ -607,18 +619,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Stmt::Two(op, s, d) => {
                 let (src, ssym) = resolver.operand(s, here, line.number)?;
                 let (dst, dsym) = resolver.operand(d, here, line.number)?;
-                let enc = encode_opt(
-                    &Instr::Two {
-                        op: *op,
-                        src,
-                        dst,
+                let enc = encode_opt(&Instr::Two { op: *op, src, dst }, ssym || dsym).map_err(
+                    |source| AsmError::Encode {
+                        line: line.number,
+                        source,
                     },
-                    ssym || dsym,
-                )
-                .map_err(|source| AsmError::Encode {
-                    line: line.number,
-                    source,
-                })?;
+                )?;
                 for w in enc {
                     words.push((pc, w));
                     pc = pc.wrapping_add(2);
@@ -717,10 +723,7 @@ mod tests {
     #[test]
     fn word_directive_emits_data() {
         let p = assemble(".org 0xF800\ntbl: .word 1, 2, 0xBEEF\n").unwrap();
-        assert_eq!(
-            p.words(),
-            &[(0xF800, 1), (0xF802, 2), (0xF804, 0xBEEF)]
-        );
+        assert_eq!(p.words(), &[(0xF800, 1), (0xF802, 2), (0xF804, 0xBEEF)]);
         assert_eq!(p.symbol("tbl"), Some(0xF800));
     }
 

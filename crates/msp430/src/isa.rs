@@ -241,6 +241,11 @@ pub enum Operand {
     IndirectInc(Reg),
     /// Immediate (`#n`); encoded via constant generators when possible.
     Imm(i32),
+    /// Immediate carried in an extension word (`@pc+`), even when the value
+    /// has a constant-generator form. Produced when decoding such encodings
+    /// (the assembler emits them for forward-referenced symbols) so that
+    /// decode/encode round-trip to the identical words.
+    ImmExt(u16),
     /// Absolute: `&addr`.
     Abs(u16),
 }
@@ -253,6 +258,7 @@ impl fmt::Display for Operand {
             Operand::Indirect(r) => write!(f, "@{r}"),
             Operand::IndirectInc(r) => write!(f, "@{r}+"),
             Operand::Imm(v) => write!(f, "#{v}"),
+            Operand::ImmExt(v) => write!(f, "#{v}"),
             Operand::Abs(a) => write!(f, "&0x{a:04x}"),
         }
     }
@@ -354,6 +360,7 @@ fn encode_src_opt(src: Operand, force_imm_ext: bool) -> Result<(u8, u16, Option<
         Operand::Indirect(r) => (r.num(), 0b10, None),
         Operand::IndirectInc(r) => (r.num(), 0b11, None),
         Operand::Abs(a) => (Reg::SR.num(), 0b01, Some(a)),
+        Operand::ImmExt(v) => (Reg::PC.num(), 0b11, Some(v)),
         Operand::Imm(v) => {
             if !(-32768..=65535).contains(&v) {
                 return Err(IsaError::BadOperand {
@@ -416,11 +423,8 @@ pub fn encode_opt(instr: &Instr, force_imm_ext: bool) -> Result<Vec<u16>, IsaErr
         Instr::Two { op, src, dst } => {
             let (sreg, as_, sext) = encode_src_opt(src, force_imm_ext)?;
             let (dreg, ad, dext) = encode_dst(dst)?;
-            let w = (op.opcode() << 12)
-                | ((sreg as u16) << 8)
-                | (ad << 7)
-                | (as_ << 4)
-                | dreg as u16;
+            let w =
+                (op.opcode() << 12) | ((sreg as u16) << 8) | (ad << 7) | (as_ << 4) | dreg as u16;
             let mut out = vec![w];
             out.extend(sext);
             out.extend(dext);
@@ -433,13 +437,13 @@ pub fn encode_opt(instr: &Instr, force_imm_ext: bool) -> Result<Vec<u16>, IsaErr
                 Operand::Indirect(r) => (r.num(), 0b10, None),
                 Operand::IndirectInc(r) => (r.num(), 0b11, None),
                 Operand::Abs(a) => (Reg::SR.num(), 0b01, Some(a)),
-                Operand::Imm(v) => {
+                Operand::Imm(_) | Operand::ImmExt(_) => {
                     if op != OneOp::Push && op != OneOp::Call {
                         return Err(IsaError::BadOperand {
                             message: format!("immediate operand on {}", op.mnemonic()),
                         });
                     }
-                    let (r, m, e) = encode_src_opt(Operand::Imm(v), force_imm_ext)?;
+                    let (r, m, e) = encode_src_opt(dst, force_imm_ext)?;
                     (r, m, e)
                 }
             };
@@ -485,7 +489,15 @@ fn decode_src(reg: u8, as_: u16, ext: &mut ExtReader<'_>) -> Result<Operand, Isa
         (Reg::SR, 0b10) => Operand::Imm(4),
         (Reg::SR, 0b11) => Operand::Imm(8),
         (Reg::SR, 0b01) => Operand::Abs(ext.next()?),
-        (Reg::PC, 0b11) => Operand::Imm(ext.next()? as i32),
+        (Reg::PC, 0b11) => {
+            let v = ext.next()?;
+            match v {
+                // Non-canonical: the value has a constant-generator form, so
+                // keep the extension-word spelling for exact re-encoding.
+                0 | 1 | 2 | 4 | 8 | 0xFFFF => Operand::ImmExt(v),
+                _ => Operand::Imm(v as i32),
+            }
+        }
         (_, 0b00) => Operand::Reg(r),
         (_, 0b01) => Operand::Indexed(r, ext.next()? as i16),
         (_, 0b10) => Operand::Indirect(r),
@@ -530,7 +542,9 @@ pub fn decode(words: &[u16], pc: u16) -> Result<(Instr, usize), IsaError> {
         let dst = decode_src(reg, mode, &mut ext)?;
         // Constant-generator / immediate operands only make sense for
         // PUSH and CALL; the RMW forms are reserved encodings.
-        if !matches!(op, OneOp::Push | OneOp::Call) && matches!(dst, Operand::Imm(_)) {
+        if !matches!(op, OneOp::Push | OneOp::Call)
+            && matches!(dst, Operand::Imm(_) | Operand::ImmExt(_))
+        {
             return Err(IsaError::BadEncoding { word: w });
         }
         return Ok((Instr::One { op, dst }, 1 + ext.idx));
@@ -576,6 +590,7 @@ pub fn cycle_count(instr: &Instr) -> u64 {
                 0 | 1 | 2 | 4 | 8 | -1 => 0,
                 _ => 1,
             },
+            Operand::ImmExt(_) => 1,
             Operand::Indirect(_) | Operand::IndirectInc(_) => 1,
             Operand::Indexed(..) | Operand::Abs(_) => 2,
         }
@@ -598,7 +613,7 @@ pub fn cycle_count(instr: &Instr) -> u64 {
                     Operand::Reg(_) => 3,
                     Operand::Indirect(_) | Operand::IndirectInc(_) => 5,
                     Operand::Indexed(..) | Operand::Abs(_) => 6,
-                    Operand::Imm(_) => 3, // not encodable; defensive
+                    Operand::Imm(_) | Operand::ImmExt(_) => 3, // not encodable; defensive
                 }
             }
         },

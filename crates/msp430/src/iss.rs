@@ -255,9 +255,7 @@ impl Iss {
             a if (memmap::DMEM_BASE..dmem_end).contains(&a) => {
                 self.dmem[(a - memmap::DMEM_BASE) as usize / 2]
             }
-            a if a >= memmap::PMEM_BASE => {
-                self.pmem[(a - memmap::PMEM_BASE) as usize / 2]
-            }
+            a if a >= memmap::PMEM_BASE => self.pmem[(a - memmap::PMEM_BASE) as usize / 2],
             _ => {
                 return Err(IssError::BadAccess {
                     addr,
@@ -345,6 +343,7 @@ impl Iss {
             Operand::Reg(Reg::PC) => next_pc,
             Operand::Reg(r) => self.regs[r.num() as usize],
             Operand::Imm(v) => v as u16,
+            Operand::ImmExt(v) => v,
             Operand::Abs(a) => self.read_mem(a)?,
             Operand::Indexed(r, off) => {
                 let base = if r == Reg::PC {
@@ -367,7 +366,12 @@ impl Iss {
         })
     }
 
-    fn write_operand(&mut self, op: Operand, value: u16, next_pc: &mut u16) -> Result<(), IssError> {
+    fn write_operand(
+        &mut self,
+        op: Operand,
+        value: u16,
+        next_pc: &mut u16,
+    ) -> Result<(), IssError> {
         match op {
             Operand::Reg(Reg::PC) => *next_pc = value & !1,
             Operand::Reg(Reg::CG) => {} // constant generator: writes ignored
@@ -385,7 +389,7 @@ impl Iss {
                 let a = self.regs[r.num() as usize];
                 self.write_mem(a, value)?;
             }
-            Operand::Imm(_) => {} // not a real destination
+            Operand::Imm(_) | Operand::ImmExt(_) => {} // not a real destination
         }
         Ok(())
     }
@@ -473,8 +477,7 @@ impl Iss {
         let off = (pc - memmap::PMEM_BASE) as usize / 2;
         let window_end = (off + 3).min(self.pmem.len());
         let words = &self.pmem[off..window_end];
-        let (instr, used) =
-            decode(words, pc).map_err(|source| IssError::Decode { pc, source })?;
+        let (instr, used) = decode(words, pc).map_err(|source| IssError::Decode { pc, source })?;
         let mut next_pc = pc.wrapping_add((used * 2) as u16);
         match instr {
             Instr::Two { op, src, dst } => {
@@ -532,7 +535,7 @@ impl Iss {
                             self.regs[r.num() as usize] = a.wrapping_add(2);
                             Loc::Mem(a)
                         }
-                        Operand::Imm(_) => Loc::Discard,
+                        Operand::Imm(_) | Operand::ImmExt(_) => Loc::Discard,
                     };
                     let v = match &loc {
                         Loc::Reg(Reg::PC) => next_pc,
@@ -540,6 +543,7 @@ impl Iss {
                         Loc::Mem(a) => self.read_mem(*a)?,
                         Loc::Discard => match dst {
                             Operand::Imm(i) => i as u16,
+                            Operand::ImmExt(v) => v,
                             _ => 0,
                         },
                     };

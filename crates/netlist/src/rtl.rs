@@ -336,11 +336,7 @@ impl Rtl {
     /// Equality of two buses.
     pub fn eq(&mut self, a: &Bus, b: &Bus) -> NetId {
         assert_eq!(a.len(), b.len(), "bus width mismatch");
-        let bits: Vec<NetId> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor(x, y))
-            .collect();
+        let bits: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
         self.and_all(&bits)
     }
 
@@ -515,13 +511,8 @@ impl Rtl {
                             .add_gate_in(CellKind::Dffr, gname, &[db, rstn], q, r.module)?;
                     }
                     Some(e) => {
-                        self.nl.add_gate_in(
-                            CellKind::Dffre,
-                            gname,
-                            &[db, e, rstn],
-                            q,
-                            r.module,
-                        )?;
+                        self.nl
+                            .add_gate_in(CellKind::Dffre, gname, &[db, e, rstn], q, r.module)?;
                     }
                 }
             }

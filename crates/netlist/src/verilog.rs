@@ -106,7 +106,10 @@ fn emit_ident(name: &str) -> String {
 /// Serializes a netlist to the structural-Verilog subset.
 pub fn write(nl: &Netlist) -> String {
     let mut out = String::new();
-    out.push_str(&format!("// xbound structural netlist\nmodule {} (", nl.name()));
+    out.push_str(&format!(
+        "// xbound structural netlist\nmodule {} (",
+        nl.name()
+    ));
     // Output ports are emitted under their *net* names; alias names used at
     // the API level (`add_output`) are recorded as comments. Round-tripping
     // therefore preserves structure and hierarchy, not output aliases.
@@ -190,7 +193,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> VerilogError {
@@ -494,7 +501,8 @@ mod tests {
         let b = nl.add_input("b");
         let m = nl.add_module("alu");
         let y = nl.add_net("alu/y");
-        nl.add_gate_in(CellKind::Nand2, "u1", &[a, b], y, m).unwrap();
+        nl.add_gate_in(CellKind::Nand2, "u1", &[a, b], y, m)
+            .unwrap();
         nl.add_output("alu/y", y);
         let nl = nl.finalize().unwrap();
         let text = write(&nl);
@@ -567,7 +575,10 @@ mod tests {
         let src =
             "module m (a, y);\n input a;\n wire y;\n wire fl;\n AND2 u1 (.A(a), .B(fl), .Y(y));\nendmodule\n";
         let err = parse(src).unwrap_err();
-        assert!(matches!(err, VerilogError::Netlist(NetlistError::Undriven { .. })));
+        assert!(matches!(
+            err,
+            VerilogError::Netlist(NetlistError::Undriven { .. })
+        ));
     }
 
     #[test]

@@ -309,12 +309,7 @@ impl<'a> PowerAnalyzer<'a> {
 
 /// Expected power from per-gate toggle rates (toggles per cycle),
 /// milliwatts. Used by probabilistic (design-tool) analyses.
-pub fn power_from_rates(
-    nl: &Netlist,
-    lib: &CellLibrary,
-    clock_hz: f64,
-    rates: &[f64],
-) -> f64 {
+pub fn power_from_rates(nl: &Netlist, lib: &CellLibrary, clock_hz: f64, rates: &[f64]) -> f64 {
     assert_eq!(rates.len(), nl.gate_count(), "one rate per gate");
     let mut fj = 0.0;
     for (g, &rate) in nl.gates().iter().zip(rates) {

@@ -100,7 +100,11 @@ pub fn propagate_rates(nl: &Netlist, cfg: &VectorlessConfig) -> Vec<f64> {
                 let p = x.p * y.p;
                 let d = x.d * y.p + y.d * x.p;
                 Act {
-                    p: if g.kind() == CellKind::Nand2 { 1.0 - p } else { p },
+                    p: if g.kind() == CellKind::Nand2 {
+                        1.0 - p
+                    } else {
+                        p
+                    },
                     d,
                 }
             }
@@ -109,7 +113,11 @@ pub fn propagate_rates(nl: &Netlist, cfg: &VectorlessConfig) -> Vec<f64> {
                 let p = x.p + y.p - x.p * y.p;
                 let d = x.d * (1.0 - y.p) + y.d * (1.0 - x.p);
                 Act {
-                    p: if g.kind() == CellKind::Nor2 { 1.0 - p } else { p },
+                    p: if g.kind() == CellKind::Nor2 {
+                        1.0 - p
+                    } else {
+                        p
+                    },
                     d,
                 }
             }
@@ -118,7 +126,11 @@ pub fn propagate_rates(nl: &Netlist, cfg: &VectorlessConfig) -> Vec<f64> {
                 let p = x.p + y.p - 2.0 * x.p * y.p;
                 let d = x.d + y.d; // XOR is always sensitized
                 Act {
-                    p: if g.kind() == CellKind::Xnor2 { 1.0 - p } else { p },
+                    p: if g.kind() == CellKind::Xnor2 {
+                        1.0 - p
+                    } else {
+                        p
+                    },
                     d,
                 }
             }

@@ -249,9 +249,10 @@ impl MachineState {
         if !self.ffs.iter().zip(&other.ffs).all(|(a, b)| a.covers(*b)) {
             return false;
         }
-        self.mems.iter().zip(&other.mems).all(|(ma, mb)| {
-            ma.len() == mb.len() && ma.iter().zip(mb).all(|(a, b)| a.covers(*b))
-        })
+        self.mems
+            .iter()
+            .zip(&other.mems)
+            .all(|(ma, mb)| ma.len() == mb.len() && ma.iter().zip(mb).all(|(a, b)| a.covers(*b)))
     }
 
     /// Lattice join (in place): after the call, `self` covers both inputs.
@@ -342,10 +343,7 @@ impl<'n> Simulator<'n> {
         for &n in &bus.rdata {
             if !self.nl.inputs().contains(&n) {
                 return Err(SimError::BadBusSpec {
-                    message: format!(
-                        "rdata net `{}` is not a primary input",
-                        self.nl.net_name(n)
-                    ),
+                    message: format!("rdata net `{}` is not a primary input", self.nl.net_name(n)),
                 });
             }
         }
@@ -773,7 +771,10 @@ mod tests {
         sim.step();
         for expect in 0u16..10 {
             sim.eval().unwrap();
-            assert_eq!(reg_word(&sim, &nl, "top/c_q", 4).to_u16(), Some(expect & 0xF));
+            assert_eq!(
+                reg_word(&sim, &nl, "top/c_q", 4).to_u16(),
+                Some(expect & 0xF)
+            );
             sim.commit();
         }
     }
@@ -820,10 +821,7 @@ mod tests {
         let nl = r.finish().unwrap();
         let mut sim = Simulator::new(&nl);
         let (an, bn) = (nl.find_net("a").unwrap(), nl.find_net("b").unwrap());
-        let (yn, zn) = (
-            nl.outputs()[0].1,
-            nl.outputs()[1].1,
-        );
+        let (yn, zn) = (nl.outputs()[0].1, nl.outputs()[1].1);
         sim.drive_input(an, Lv::X);
         sim.drive_input(bn, Lv::Zero);
         sim.eval().unwrap();

@@ -216,8 +216,7 @@ pub mod savings {
     /// A full Table 5.1/5.2-style row: reductions at the paper's
     /// contribution percentages (10, 25, 50, 75, 90, 100 %).
     pub fn table_row(baseline: f64, ours: f64) -> [f64; 6] {
-        [0.10, 0.25, 0.50, 0.75, 0.90, 1.00]
-            .map(|f| reduction_pct(f, baseline, ours))
+        [0.10, 0.25, 0.50, 0.75, 0.90, 1.00].map(|f| reduction_pct(f, baseline, ours))
     }
 
     /// The paper's example node (Fig 2): harvester area 32.6 cm²,

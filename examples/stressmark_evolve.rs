@@ -14,7 +14,12 @@ use xbound::core::UlpSystem;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = UlpSystem::openmsp430_class()?;
     let mut rng = StdRng::seed_from_u64(2017);
-    let result = evolve(&system, StressTarget::PeakPower, &GaConfig::default(), &mut rng)?;
+    let result = evolve(
+        &system,
+        StressTarget::PeakPower,
+        &GaConfig::default(),
+        &mut rng,
+    )?;
     println!("GA fitness per generation (peak mW): {:?}", result.history);
     println!(
         "champion: peak {:.4} mW, average {:.4} mW -> guardbanded rating {:.4} mW",

@@ -8,7 +8,10 @@ use xbound::core::{CoAnalysis, ExploreConfig, UlpSystem};
 fn analysis_for<'s>(
     system: &'s UlpSystem,
     name: &str,
-) -> (xbound::core::Analysis<'s>, &'static xbound::benchsuite::Benchmark) {
+) -> (
+    xbound::core::Analysis<'s>,
+    &'static xbound::benchsuite::Benchmark,
+) {
     let bench = xbound::benchsuite::by_name(name).expect("benchmark exists");
     let config = ExploreConfig {
         widen_threshold: bench.widen_threshold(),

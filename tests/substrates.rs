@@ -54,11 +54,7 @@ fn iss_and_gates_agree_on_every_benchmark() {
     let cpu = Cpu::build().expect("builds");
     for bench in xbound::benchsuite::all() {
         let program = bench.program().expect("assembles");
-        let inputs = bench
-            .stress_inputs()
-            .into_iter()
-            .next()
-            .unwrap_or_default();
+        let inputs = bench.stress_inputs().into_iter().next().unwrap_or_default();
 
         // Golden model.
         let mut iss = Iss::new(&program);
@@ -108,7 +104,10 @@ fn iss_and_gates_agree_on_every_benchmark() {
 #[test]
 fn library_to_power_pipeline() {
     let cpu = Cpu::build().expect("builds");
-    for lib in [xbound::cells::CellLibrary::ulp65(), xbound::cells::CellLibrary::ulp130()] {
+    for lib in [
+        xbound::cells::CellLibrary::ulp65(),
+        xbound::cells::CellLibrary::ulp130(),
+    ] {
         let analyzer = xbound::power::PowerAnalyzer::new(cpu.netlist(), &lib, 1.0e6);
         assert!(analyzer.rated_peak_mw() > 0.0);
         assert!(analyzer.leakage_mw() > 0.0);

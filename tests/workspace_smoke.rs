@@ -1,0 +1,38 @@
+//! Workspace smoke test — a fast canary that the whole pipeline (assembler
+//! -> gate-level core -> symbolic co-analysis -> peak power/energy) is
+//! wired together. Kept to a tiny program so it runs in seconds.
+
+use xbound::prelude::*;
+
+#[test]
+fn tiny_program_gets_positive_bounds() {
+    let system = UlpSystem::openmsp430_class().expect("system builds");
+    // Nine instructions: read two input words, combine, store, halt.
+    let program = assemble(
+        r#"
+        main:
+            mov &0x0020, r4
+            mov &0x0022, r5
+            add r5, r4
+            xor r5, r4
+            add r4, r4
+            mov r4, &0x0200
+            jmp $
+        "#,
+    )
+    .expect("assembles");
+
+    let analysis = CoAnalysis::new(&system).run(&program).expect("analyzes");
+    let peak = analysis.peak_power();
+    assert!(peak.peak_mw > 0.0, "peak power bound must be positive");
+    let energy = analysis.peak_energy();
+    assert!(
+        energy.peak_energy_j > 0.0,
+        "peak energy bound must be positive"
+    );
+    // The bound must dominate an arbitrary concrete run of the same program.
+    let (_, measured) = system
+        .profile_concrete(&program, &[0xFFFF, 0x1234], 10_000)
+        .expect("profiles");
+    assert!(measured.peak_mw() <= peak.peak_mw + 1e-9);
+}

@@ -1,0 +1,94 @@
+//! Test configuration, RNG, and failure type for the `proptest!` harness.
+
+use std::fmt;
+
+/// Per-test configuration. Only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run for each property.
+    pub cases: u32,
+}
+
+/// Default number of cases when neither `with_cases` nor `PROPTEST_CASES`
+/// says otherwise. The real proptest default is 256; 64 keeps the gate-level
+/// simulation properties fast in CI.
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// The case count actually used: `PROPTEST_CASES` (if set and parseable)
+    /// acts as a global ceiling over the configured count so CI can bound
+    /// suite runtime without inflating cheap tests.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => s.parse().map_or(self.cases, |cap: u32| self.cases.min(cap)),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A failed property case (carried out of the test body by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test RNG (SplitMix64 seeded from the test name, XORed
+/// with `PROPTEST_SEED` when set, so soak runs can explore new cases).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable, well-mixed base seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng { state: h ^ env }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

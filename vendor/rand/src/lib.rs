@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access to a crates
+//! registry, so the handful of `rand` APIs the workspace uses are provided
+//! here as a small, deterministic, dependency-free implementation. The
+//! surface intentionally mirrors the real crate (`rngs::StdRng`,
+//! [`SeedableRng`], and a [`RngExt`] extension trait with `random_range`), so
+//! swapping the real `rand` back in is a one-line change in the workspace
+//! manifest.
+//!
+//! Randomness quality: `StdRng` is a SplitMix64 generator. That is far weaker
+//! than the real `StdRng` (ChaCha12) but statistically more than adequate for
+//! what the workspace needs it for — seeding benchmark input campaigns and
+//! driving a genetic-algorithm baseline — and it is fully reproducible from a
+//! `u64` seed on every platform.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+///
+/// Implemented for `Range`/`RangeInclusive` over the integer types the
+/// workspace samples, and `Range<f64>` for mutation probabilities.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from `self`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (0.0f64..1.0).sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): passes BigCrush when
+            // used as a 64-bit stream; one add + two xor-shift-multiplies.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u16..=9);
+            assert!((3..=9).contains(&v));
+            let w = rng.random_range(0..11u32);
+            assert!(w < 11);
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let s = rng.random_range(1usize..2);
+            assert_eq!(s, 1);
+        }
+    }
+
+    #[test]
+    fn full_u16_range_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_hi = false;
+        for _ in 0..200_000 {
+            let v = rng.random_range(0..=u16::MAX);
+            if v > 0xFF00 {
+                seen_hi = true;
+            }
+        }
+        assert!(seen_hi);
+    }
+}
