@@ -179,17 +179,22 @@ fn measurement_table(system: &UlpSystem, names: &[&str], salt: u64) -> Table {
         "NPE min [J/cyc]",
         "NPE max [J/cyc]",
     ]);
-    for name in names {
+    // Profiling campaigns are independent per benchmark: fan out, render in
+    // suite order.
+    let rows = xbound_core::par::par_map(0, names.to_vec(), |_, name| {
         let bench = xbound_benchsuite::by_name(name).expect("exists");
         let prof = Harness::campaign(system, bench, salt).expect("profiles");
-        t.row(&[
+        [
             name.to_string(),
             mw(prof.min_peak_mw),
             mw(prof.observed_peak_mw),
             pct((prof.observed_peak_mw / prof.min_peak_mw - 1.0) * 100.0),
             npe(prof.min_npe),
             npe(prof.observed_npe),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t
 }
@@ -447,9 +452,15 @@ impl ComparisonData {
             .expect("GA runs");
             sma.avg_mw * 1e-3 / sys.clock_hz() * GUARDBAND
         };
+        // Profiling campaigns fan out across the pool; the cached X-based
+        // analyses are then attached sequentially in suite order.
+        let profs = xbound_core::par::par_map(
+            0,
+            xbound_benchsuite::all().iter().collect::<Vec<_>>(),
+            |_, bench| Harness::campaign(&sys, bench, 51).expect("profiles"),
+        );
         let mut rows = Vec::new();
-        for bench in xbound_benchsuite::all() {
-            let prof = Harness::campaign(&sys, bench, 51).expect("profiles");
+        for (bench, prof) in xbound_benchsuite::all().iter().zip(profs) {
             let analysis = h.analysis(bench).expect("analyzes");
             rows.push(BenchComparison {
                 name: bench.name(),
@@ -643,22 +654,29 @@ fn fig5_4_5_6(h: &mut Harness, overheads: bool) {
         ])
     };
     let mut reductions = Vec::new();
+    // Draw every benchmark's inputs from the shared stream first (keeps the
+    // published tables identical), then optimize benchmarks in parallel.
     let mut rng = StdRng::seed_from_u64(SEED ^ 54);
-    for bench in xbound_benchsuite::all() {
-        let inputs = bench.gen_inputs(&mut rng);
+    let jobs: Vec<_> = xbound_benchsuite::all()
+        .iter()
+        .map(|bench| (bench, bench.gen_inputs(&mut rng)))
+        .collect();
+    let reports = xbound_core::par::par_map(0, jobs, |_, (bench, inputs)| {
         let opts = OptimizeOptions {
             scratch_reg: Some(14),
             iss_inputs: inputs,
             ..OptimizeOptions::default()
         };
-        let report = optimize_program(
-            &sys,
-            bench.source(),
-            Harness::explore_config(bench),
-            bench.energy_rounds(),
-            &opts,
-        )
-        .expect("optimizer runs");
+        // One layer of parallelism at a time: benchmarks already fan out
+        // here, so each optimizer run explores single-threaded.
+        let config = xbound_core::ExploreConfig {
+            threads: 1,
+            ..Harness::explore_config(bench)
+        };
+        optimize_program(&sys, bench.source(), config, bench.energy_rounds(), &opts)
+            .expect("optimizer runs")
+    });
+    for (bench, report) in xbound_benchsuite::all().iter().zip(&reports) {
         let accepted: Vec<&str> = report.accepted.iter().map(|k| k.name()).collect();
         let range_red = if report.original_dynamic_range_mw > 0.0 {
             (1.0 - report.optimized_dynamic_range_mw / report.original_dynamic_range_mw) * 100.0

@@ -3,37 +3,125 @@
 //! analysis runtime) — a quick health check of the full pipeline.
 //!
 //! ```text
-//! cargo run --release -p xbound-bench --bin suite_summary
+//! cargo run --release -p xbound_bench --bin suite_summary [-- OPTIONS] [BENCH...]
 //! ```
+//!
+//! Options:
+//!
+//! * `--oracle` — run on the full-levelized evaluation engine (equivalent
+//!   to `XBOUND_SIM_ENGINE=levelized`); result columns are byte-identical
+//!   to the default event-driven engine, only timings differ.
+//! * `--threads N` — suite-level worker pool size (default: auto, see
+//!   `XBOUND_THREADS`); benchmarks fan out across workers and print in
+//!   deterministic suite order regardless.
+//! * `--json PATH` — additionally write per-benchmark wall-clock numbers
+//!   as JSON (used to regenerate `BENCH_sim.json`).
+//! * positional names — restrict the run to those benchmarks (the CI smoke
+//!   invocation runs a fast subset).
 use std::time::Instant;
-use xbound_core::{CoAnalysis, ExploreConfig, UlpSystem};
+use xbound_core::{par, CoAnalysis, ExploreConfig, UlpSystem};
+
+struct Row {
+    name: &'static str,
+    line: String,
+    seconds: f64,
+}
 
 fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut threads = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--oracle" => std::env::set_var("XBOUND_SIM_ENGINE", "levelized"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+            }
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            other => names.push(other.to_string()),
+        }
+    }
+    let benches: Vec<&'static xbound_benchsuite::Benchmark> = xbound_benchsuite::all()
+        .iter()
+        .filter(|b| names.is_empty() || names.iter().any(|n| n == b.name()))
+        .collect();
+    for n in &names {
+        assert!(
+            xbound_benchsuite::by_name(n).is_some(),
+            "unknown benchmark `{n}`"
+        );
+    }
+
     let sys = UlpSystem::openmsp430_class().unwrap();
     println!("gates: {}", sys.cpu().netlist().gate_count());
-    for b in xbound_benchsuite::all() {
+    let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
+    // One layer of parallelism at a time: when benchmarks already fan out
+    // across the pool, each analysis explores single-threaded.
+    let explore_threads = if suite_workers > 1 { 1 } else { 0 };
+    let t_suite = Instant::now();
+    let rows = par::par_map(suite_workers, benches, |_, b| {
         let t0 = Instant::now();
         let program = b.program().unwrap();
         let r = CoAnalysis::new(&sys)
             .config(ExploreConfig {
                 widen_threshold: b.widen_threshold(),
                 max_total_cycles: 5_000_000,
+                threads: explore_threads,
                 ..ExploreConfig::default()
             })
             .energy_rounds(b.energy_rounds())
             .run(&program);
-        match r {
+        let seconds = t0.elapsed().as_secs_f64();
+        let line = match r {
             Ok(a) => {
                 let s = a.stats();
                 let e = a.peak_energy();
-                println!(
+                format!(
                     "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={} [{:.2?}]",
                     b.name(), a.peak_power().peak_mw, e.npe_j_per_cycle,
                     a.tree().segments().len(), s.cycles, s.forks, s.merges, s.widenings,
                     e.converged, t0.elapsed()
-                );
+                )
             }
-            Err(e) => println!("{:10} ERROR: {e} [{:.2?}]", b.name(), t0.elapsed()),
+            Err(e) => format!("{:10} ERROR: {e} [{:.2?}]", b.name(), t0.elapsed()),
+        };
+        Row {
+            name: b.name(),
+            line,
+            seconds,
         }
+    });
+    for row in &rows {
+        println!("{}", row.line);
+    }
+    let total = t_suite.elapsed().as_secs_f64();
+    println!(
+        "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {})",
+        rows.len(),
+        suite_workers,
+        if suite_workers == 1 { "" } else { "s" },
+        match xbound_sim::EvalMode::from_env() {
+            xbound_sim::EvalMode::EventDriven => "event-driven",
+            xbound_sim::EvalMode::Levelized => "levelized oracle",
+        }
+    );
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{}\n",
+                row.name,
+                row.seconds,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!("  ],\n  \"total_seconds\": {total:.6}\n}}\n"));
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
     }
 }

@@ -13,14 +13,30 @@
 //! everything seen there); widening only adds Xs and is therefore
 //! conservative, exactly the kind of heuristic the paper's Chapter 6
 //! prescribes for scalability.
+//!
+//! # Parallel exploration
+//!
+//! Simulating one fork-free run of cycles is a *pure function* of its
+//! starting [`MachineState`] (the program image lives in the snapshot's
+//! memories, and the simulator applies no other persistent stimulus), so
+//! independent execution-tree branches can be simulated speculatively on a
+//! worker pool while the main thread **commits results in strict
+//! depth-first order**. All order-sensitive bookkeeping — segment
+//! numbering, the memoization table, subsumption, widening, statistics —
+//! happens only at commit time on the main thread, which makes the tree,
+//! the statistics, and every downstream peak-power table **bit-identical
+//! at any thread count** (including one). `ExploreConfig::threads`
+//! controls the pool; the default resolves via
+//! [`crate::par::resolve_threads`].
 
 use crate::tree::{ExecutionTree, ForkChoice, Segment, SegmentEnd, SegmentId};
 use crate::AnalysisError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 use xbound_cpu::Cpu;
-use xbound_logic::{Lv, XWord};
+use xbound_logic::{Frame, Lv, XWord};
 use xbound_msp430::Program;
-use xbound_sim::MachineState;
+use xbound_sim::{MachineState, SimError, Simulator};
 
 /// Tunables for the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +51,10 @@ pub struct ExploreConfig {
     pub widen_threshold: u32,
     /// Reset cycles applied before execution starts.
     pub reset_cycles: u32,
+    /// Worker threads for speculative branch exploration. `0` (the
+    /// default) resolves via [`crate::par::resolve_threads`]; `1` disables
+    /// the pool. Results are identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for ExploreConfig {
@@ -44,6 +64,7 @@ impl Default for ExploreConfig {
             max_total_cycles: 2_000_000,
             widen_threshold: 4,
             reset_cycles: 2,
+            threads: 0,
         }
     }
 }
@@ -51,7 +72,8 @@ impl Default for ExploreConfig {
 /// Statistics from one exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExploreStats {
-    /// Total simulated cycles.
+    /// Total simulated cycles (committed to the tree; speculative work that
+    /// was discarded does not count).
     pub cycles: u64,
     /// Forks encountered.
     pub forks: u64,
@@ -76,9 +98,85 @@ pub struct SymbolicExplorer<'c> {
     pc_ff_positions: Vec<usize>,
 }
 
+/// One simulated fork direction: the re-simulated branch cycle's frame and
+/// the machine state after committing it.
+struct ForkDir {
+    first_frame: Frame,
+    after: MachineState,
+    pc_after: Option<u16>,
+    cycle_after: u64,
+}
+
+/// How a fork-free run ended.
+enum PathEnd {
+    /// Reached the final self-loop.
+    Halt,
+    /// Hit the per-segment cycle budget.
+    Truncated,
+    /// PC went X outside a `branch_taken` fork (or a branch PC was not
+    /// concrete).
+    Unresolved { cycle: u64, state: String },
+    /// Simulator error (bus failed to settle).
+    Sim(SimError),
+    /// Input-dependent branch; both directions pre-simulated.
+    Fork { branch_pc: u16, dirs: Vec<ForkDir> },
+    /// A worker panicked; the payload is re-thrown on the main thread.
+    Panicked(String),
+}
+
+/// The result of simulating one fork-free run: the settled frames (the
+/// branch-cycle frame already popped for forks) plus how it ended.
+struct PathResult {
+    frames: Vec<Frame>,
+    end: PathEnd,
+}
+
+/// A branch created at a fork but not yet explored.
 struct PendingPath {
     seg: SegmentId,
+    task: u64,
     state: MachineState,
+}
+
+/// Shared state of the speculative worker pool.
+struct Pool {
+    inner: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+struct PoolState {
+    /// Tasks not yet claimed by any thread: `(task id, start state)`.
+    queue: VecDeque<(u64, MachineState)>,
+    /// Finished speculative results, by task id.
+    results: HashMap<u64, PathResult>,
+    shutdown: bool,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            inner: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enqueue(&self, task: u64, state: MachineState) {
+        self.inner
+            .lock()
+            .expect("pool lock")
+            .queue
+            .push_back((task, state));
+        self.cv.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().expect("pool lock").shutdown = true;
+        self.cv.notify_all();
+    }
 }
 
 impl<'c> SymbolicExplorer<'c> {
@@ -115,6 +213,130 @@ impl<'c> SymbolicExplorer<'c> {
         self.pc_ff_positions.iter().any(|&p| next[p] == Lv::X)
     }
 
+    /// Simulates one fork-free run from `start` (or from the simulator's
+    /// current state when `None`) until halt, fork, or the segment budget.
+    ///
+    /// This is a pure function of the start state: it touches no explorer
+    /// bookkeeping, so it can run speculatively on any thread.
+    /// `pre_frames` counts frames the owning segment already holds (the
+    /// fork-direction frame of a child segment) against the budget.
+    fn simulate_path(
+        &self,
+        sim: &mut Simulator<'_>,
+        start: Option<&MachineState>,
+        pre_frames: u64,
+    ) -> PathResult {
+        if let Some(s) = start {
+            sim.set_machine_state(s);
+        }
+        let bt = self.cpu.io().branch_taken;
+        let mut frames: Vec<Frame> = Vec::new();
+        loop {
+            if pre_frames + frames.len() as u64 >= self.config.max_segment_cycles {
+                return PathResult {
+                    frames,
+                    end: PathEnd::Truncated,
+                };
+            }
+            let frame = match sim.eval() {
+                Ok(f) => f.clone(),
+                Err(e) => {
+                    return PathResult {
+                        frames,
+                        end: PathEnd::Sim(e),
+                    }
+                }
+            };
+
+            // Halt detection: the DECODE of `jmp $` (0x3FFF).
+            let halted = self.cpu.state(sim) == Some(xbound_cpu::State::Decode)
+                && self.cpu.ir_word(sim).to_u16() == Some(0x3FFF);
+            frames.push(frame);
+            if halted {
+                return PathResult {
+                    frames,
+                    end: PathEnd::Halt,
+                };
+            }
+
+            let next = sim.ff_next_values();
+            if !self.pc_next_has_x(&next) {
+                sim.commit_with_next(&next);
+                continue;
+            }
+
+            // --- fork on branch_taken ---
+            if sim.value(bt) != Lv::X {
+                let st = self
+                    .cpu
+                    .state(sim)
+                    .map(|s| s.name().to_string())
+                    .unwrap_or_else(|| "unknown".to_string());
+                return PathResult {
+                    frames,
+                    end: PathEnd::Unresolved {
+                        cycle: sim.cycle(),
+                        state: st,
+                    },
+                };
+            }
+            // Remove the X-branch frame: each child re-simulates the branch
+            // cycle with a concrete direction.
+            frames.pop();
+            let branch_pc = match sim.value_word(&self.cpu.io().pc).to_u16() {
+                Some(pc) => pc,
+                None => {
+                    return PathResult {
+                        frames,
+                        end: PathEnd::Unresolved {
+                            cycle: sim.cycle(),
+                            state: "DECODE with unknown branch PC".to_string(),
+                        },
+                    }
+                }
+            };
+            let base = sim.machine_state();
+            let mut dirs = Vec::with_capacity(2);
+            for lv in [Lv::One, Lv::Zero] {
+                sim.set_machine_state(&base);
+                sim.force(bt, Some(lv));
+                let first_frame = match sim.eval() {
+                    Ok(f) => f.clone(),
+                    Err(e) => {
+                        sim.force(bt, None);
+                        return PathResult {
+                            frames,
+                            end: PathEnd::Sim(e),
+                        };
+                    }
+                };
+                sim.commit();
+                sim.force(bt, None);
+                let after = sim.machine_state();
+                let pc_after = self.pc_of_state(&after).to_u16();
+                dirs.push(ForkDir {
+                    first_frame,
+                    after,
+                    pc_after,
+                    cycle_after: sim.cycle(),
+                });
+            }
+            return PathResult {
+                frames,
+                end: PathEnd::Fork { branch_pc, dirs },
+            };
+        }
+    }
+
+    /// A worker-pool simulator prototype: program loaded, reset already
+    /// consumed (every speculative task starts from a post-reset snapshot).
+    fn proto_sim(&self, program: &Program) -> Simulator<'c> {
+        let mut sim = self.cpu.new_sim();
+        Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
+        sim.reset(0);
+        sim
+    }
+
     /// Runs the exploration; returns the annotated execution tree.
     ///
     /// # Errors
@@ -127,6 +349,102 @@ impl<'c> SymbolicExplorer<'c> {
         &self,
         program: &Program,
     ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
+        let threads = crate::par::resolve_threads(self.config.threads);
+        if threads <= 1 {
+            return self.explore_driver(program, None);
+        }
+        let pool = Pool::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads - 1 {
+                s.spawn(|| self.worker_loop(program, &pool));
+            }
+            // Shut the pool down even if the driver panics (including the
+            // re-throw of a captured worker panic): the scope joins every
+            // worker before propagating, and a parked worker only wakes on
+            // shutdown — without the guard the join would deadlock.
+            struct ShutdownGuard<'p>(&'p Pool);
+            impl Drop for ShutdownGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.shutdown();
+                }
+            }
+            let _guard = ShutdownGuard(&pool);
+            self.explore_driver(program, Some(&pool))
+        })
+    }
+
+    fn worker_loop(&self, program: &Program, pool: &Pool) {
+        let mut sim = self.proto_sim(program);
+        loop {
+            let job = {
+                let mut guard = pool.inner.lock().expect("pool lock");
+                loop {
+                    if guard.shutdown {
+                        return;
+                    }
+                    if let Some(job) = guard.queue.pop_front() {
+                        break job;
+                    }
+                    guard = pool.cv.wait(guard).expect("pool wait");
+                }
+            };
+            let (task, state) = job;
+            // A panic inside the gate-level simulator must not strand the
+            // main thread in `fetch`; capture it and re-throw at commit.
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.simulate_path(&mut sim, Some(&state), 1)
+            })) {
+                Ok(r) => r,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    // The simulator may be poisoned mid-eval; rebuild it.
+                    sim = self.proto_sim(program);
+                    PathResult {
+                        frames: Vec::new(),
+                        end: PathEnd::Panicked(msg),
+                    }
+                }
+            };
+            let mut guard = pool.inner.lock().expect("pool lock");
+            guard.results.insert(task, result);
+            pool.cv.notify_all();
+        }
+    }
+
+    /// Obtains the result for a pending path: from the pool if a worker
+    /// (has) finished it, inline on the main thread's simulator otherwise.
+    fn fetch(&self, pool: Option<&Pool>, sim: &mut Simulator<'_>, p: &PendingPath) -> PathResult {
+        let Some(pool) = pool else {
+            return self.simulate_path(sim, Some(&p.state), 1);
+        };
+        let mut guard = pool.inner.lock().expect("pool lock");
+        loop {
+            if let Some(r) = guard.results.remove(&p.task) {
+                return r;
+            }
+            if let Some(pos) = guard.queue.iter().position(|(id, _)| *id == p.task) {
+                // Not yet claimed by a worker: steal it and run inline.
+                guard.queue.remove(pos);
+                drop(guard);
+                return self.simulate_path(sim, Some(&p.state), 1);
+            }
+            // In flight on a worker; wait for it.
+            guard = pool.cv.wait(guard).expect("pool wait");
+        }
+    }
+
+    /// The deterministic commit loop: depth-first order, exactly the
+    /// sequential algorithm, with path simulation delegated to
+    /// [`SymbolicExplorer::simulate_path`] (inline or speculative).
+    fn explore_driver(
+        &self,
+        program: &Program,
+        pool: Option<&Pool>,
+    ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
         let mut sim = self.cpu.new_sim();
         Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
         sim.reset(self.config.reset_cycles);
@@ -134,6 +452,8 @@ impl<'c> SymbolicExplorer<'c> {
         let mut tree = ExecutionTree::new();
         let mut stats = ExploreStats::default();
         let mut pc_table: HashMap<u16, PcEntry> = HashMap::new();
+        let mut stack: Vec<PendingPath> = Vec::new();
+        let mut next_task: u64 = 0;
 
         let root = tree.push(Segment {
             parent: None,
@@ -141,163 +461,135 @@ impl<'c> SymbolicExplorer<'c> {
             frames: Vec::new(),
             end: SegmentEnd::Halt, // patched when the segment actually ends
         });
-        let mut stack: Vec<PendingPath> = Vec::new();
         let mut current = root;
         // Root starts from the simulator's power-on state.
-        let bt = self.cpu.io().branch_taken;
+        let mut result = self.simulate_path(&mut sim, None, 0);
 
-        'paths: loop {
-            // Explore `current` until halt / fork / budget.
-            loop {
-                if tree.segment(current).frames.len() as u64 >= self.config.max_segment_cycles
-                    || stats.cycles >= self.config.max_total_cycles
-                {
+        loop {
+            // Commit `result` into segment `current`.
+            stats.cycles += result.frames.len() as u64;
+            tree.get_mut(current).frames.append(&mut result.frames);
+            match result.end {
+                PathEnd::Halt => tree.get_mut(current).end = SegmentEnd::Halt,
+                PathEnd::Truncated => {
                     tree.get_mut(current).end = SegmentEnd::Truncated;
                     return Err(AnalysisError::CycleBudget {
                         cycles: stats.cycles,
                     });
                 }
-                let frame = sim.eval().map_err(AnalysisError::Sim)?.clone();
-                stats.cycles += 1;
-
-                // Halt detection: the DECODE of `jmp $` (0x3FFF).
-                let halted = self.cpu.state(&sim) == Some(xbound_cpu::State::Decode)
-                    && self.cpu.ir_word(&sim).to_u16() == Some(0x3FFF);
-                tree.get_mut(current).frames.push(frame);
-                if halted {
-                    tree.get_mut(current).end = SegmentEnd::Halt;
-                    break;
+                PathEnd::Unresolved { cycle, state } => {
+                    return Err(AnalysisError::UnresolvedPc { cycle, state });
                 }
+                PathEnd::Sim(e) => return Err(AnalysisError::Sim(e)),
+                PathEnd::Panicked(msg) => panic!("explorer worker panicked: {msg}"),
+                PathEnd::Fork { branch_pc, dirs } => {
+                    stats.forks += 1;
+                    let branch_frame_cycle = {
+                        let seg = tree.segment(current);
+                        seg.start_cycle + seg.frames.len() as u64
+                    };
+                    let mut children: [Option<SegmentId>; 2] = [None, None];
+                    for (slot, (dir, choice)) in dirs
+                        .into_iter()
+                        .zip([ForkChoice::Taken, ForkChoice::NotTaken])
+                        .enumerate()
+                    {
+                        stats.cycles += 1;
+                        let child = tree.push(Segment {
+                            parent: Some((current, choice)),
+                            start_cycle: branch_frame_cycle,
+                            frames: vec![dir.first_frame],
+                            end: SegmentEnd::Halt, // patched
+                        });
+                        children[slot] = Some(child);
 
-                let next = sim.ff_next_values();
-                if !self.pc_next_has_x(&next) {
-                    sim.commit();
-                    continue;
-                }
+                        // Memoization is keyed by the *post-branch* PC
+                        // (branch + direction) so that widening never joins
+                        // the two directions of one branch (which would X
+                        // the PC).
+                        let pc_after = dir.pc_after.ok_or(AnalysisError::UnresolvedPc {
+                            cycle: dir.cycle_after,
+                            state: "post-branch PC not concrete".to_string(),
+                        })?;
+                        let entry = pc_table.entry(pc_after).or_insert_with(|| PcEntry {
+                            seen: Vec::new(),
+                            visits: 0,
+                            widen_join: None,
+                        });
+                        entry.visits += 1;
 
-                // --- fork on branch_taken ---
-                if sim.value(bt) != Lv::X {
-                    let st = self
-                        .cpu
-                        .state(&sim)
-                        .map(|s| s.name().to_string())
-                        .unwrap_or_else(|| "unknown".to_string());
-                    return Err(AnalysisError::UnresolvedPc {
-                        cycle: sim.cycle(),
-                        state: st,
-                    });
-                }
-                stats.forks += 1;
-                // Remove the X-branch frame: each child re-simulates the
-                // branch cycle with a concrete direction.
-                let branch_frame_cycle = {
-                    let seg = tree.get_mut(current);
-                    seg.frames.pop();
-                    stats.cycles -= 1;
-                    seg.start_cycle + seg.frames.len() as u64
-                };
-                let branch_pc = {
-                    let pcw = sim.value_word(&self.cpu.io().pc);
-                    pcw.to_u16().ok_or(AnalysisError::UnresolvedPc {
-                        cycle: sim.cycle(),
-                        state: "DECODE with unknown branch PC".to_string(),
-                    })?
-                };
-                let base = sim.machine_state();
-                let mut children: [Option<SegmentId>; 2] = [None, None];
-                for (slot, (choice, lv)) in [
-                    (ForkChoice::Taken, Lv::One),
-                    (ForkChoice::NotTaken, Lv::Zero),
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    sim.set_machine_state(&base);
-                    sim.force(bt, Some(lv));
-                    let child_frame = sim.eval().map_err(AnalysisError::Sim)?.clone();
-                    sim.commit();
-                    sim.force(bt, None);
-                    let after = sim.machine_state();
-                    stats.cycles += 1;
-
-                    let child = tree.push(Segment {
-                        parent: Some((current, choice)),
-                        start_cycle: branch_frame_cycle,
-                        frames: vec![child_frame],
-                        end: SegmentEnd::Halt, // patched
-                    });
-                    children[slot] = Some(child);
-
-                    // Memoization is keyed by the *post-branch* PC (branch +
-                    // direction) so that widening never joins the two
-                    // directions of one branch (which would X the PC).
-                    let pc_after =
-                        self.pc_of_state(&after)
-                            .to_u16()
-                            .ok_or(AnalysisError::UnresolvedPc {
-                                cycle: sim.cycle(),
-                                state: "post-branch PC not concrete".to_string(),
-                            })?;
-                    let entry = pc_table.entry(pc_after).or_insert_with(|| PcEntry {
-                        seen: Vec::new(),
-                        visits: 0,
-                        widen_join: None,
-                    });
-                    entry.visits += 1;
-
-                    // Subsumption check.
-                    if let Some((_, owner)) = entry.seen.iter().find(|(s, _)| s.covers(&after)) {
-                        stats.merges += 1;
-                        tree.get_mut(child).end = SegmentEnd::Merged {
-                            into: *owner,
-                            at_pc: pc_after,
-                            widened: false,
-                        };
-                        continue;
-                    }
-                    let state_to_push = if entry.visits > self.config.widen_threshold {
-                        // Widen: join with everything seen at this PC.
-                        stats.widenings += 1;
-                        let mut w = after.clone();
-                        if let Some(j) = &entry.widen_join {
-                            w.join_in_place(j);
-                        }
-                        for (s, _) in &entry.seen {
-                            w.join_in_place(s);
-                        }
-                        entry.widen_join = Some(w.clone());
-                        if let Some((_, owner)) = entry.seen.iter().find(|(s, _)| s.covers(&w)) {
+                        // Subsumption check.
+                        if let Some((_, owner)) =
+                            entry.seen.iter().find(|(s, _)| s.covers(&dir.after))
+                        {
                             stats.merges += 1;
                             tree.get_mut(child).end = SegmentEnd::Merged {
                                 into: *owner,
                                 at_pc: pc_after,
-                                widened: true,
+                                widened: false,
                             };
                             continue;
                         }
-                        w
-                    } else {
-                        after.clone()
+                        let state_to_push = if entry.visits > self.config.widen_threshold {
+                            // Widen: join with everything seen at this PC.
+                            stats.widenings += 1;
+                            let mut w = dir.after.clone();
+                            if let Some(j) = &entry.widen_join {
+                                w.join_in_place(j);
+                            }
+                            for (s, _) in &entry.seen {
+                                w.join_in_place(s);
+                            }
+                            entry.widen_join = Some(w.clone());
+                            if let Some((_, owner)) = entry.seen.iter().find(|(s, _)| s.covers(&w))
+                            {
+                                stats.merges += 1;
+                                tree.get_mut(child).end = SegmentEnd::Merged {
+                                    into: *owner,
+                                    at_pc: pc_after,
+                                    widened: true,
+                                };
+                                continue;
+                            }
+                            w
+                        } else {
+                            dir.after
+                        };
+                        entry.seen.push((state_to_push.clone(), child));
+                        let task = next_task;
+                        next_task += 1;
+                        if let Some(pool) = pool {
+                            pool.enqueue(task, state_to_push.clone());
+                        }
+                        stack.push(PendingPath {
+                            seg: child,
+                            task,
+                            state: state_to_push,
+                        });
+                    }
+                    tree.get_mut(current).end = SegmentEnd::Fork {
+                        branch_pc,
+                        taken: children[0].expect("taken child"),
+                        not_taken: children[1].expect("not-taken child"),
                     };
-                    entry.seen.push((state_to_push.clone(), child));
-                    stack.push(PendingPath {
-                        seg: child,
-                        state: state_to_push,
-                    });
                 }
-                tree.get_mut(current).end = SegmentEnd::Fork {
-                    branch_pc,
-                    taken: children[0].expect("taken child"),
-                    not_taken: children[1].expect("not-taken child"),
-                };
-                break;
+            }
+
+            // Global budget: enforced at segment granularity.
+            if stats.cycles >= self.config.max_total_cycles {
+                if let Some(p) = stack.pop() {
+                    tree.get_mut(p.seg).end = SegmentEnd::Truncated;
+                }
+                return Err(AnalysisError::CycleBudget {
+                    cycles: stats.cycles,
+                });
             }
 
             // Pop the next unexplored path (depth-first).
             match stack.pop() {
-                None => break 'paths,
+                None => break,
                 Some(p) => {
-                    sim.set_machine_state(&p.state);
+                    result = self.fetch(pool, &mut sim, &p);
                     current = p.seg;
                 }
             }

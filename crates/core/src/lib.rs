@@ -38,9 +38,12 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod activity;
 pub mod coi;
 pub mod optimize;
+pub mod par;
 pub mod peak_power;
 pub mod tree;
 pub mod validate;

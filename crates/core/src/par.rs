@@ -1,0 +1,104 @@
+//! Minimal scoped worker-pool helpers (std-only, no external deps).
+//!
+//! Everything here is deliberately deterministic: [`par_map`] preserves
+//! input order in its output regardless of which worker finishes first, so
+//! callers produce identical artifacts at any thread count — including the
+//! degenerate single-core case where the pool collapses to a plain loop.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Upper bound on auto-detected worker counts ("a small worker pool").
+pub const MAX_AUTO_THREADS: usize = 8;
+
+/// Resolves a thread-count knob.
+///
+/// `0` means *auto*: the `XBOUND_THREADS` environment variable if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`],
+/// capped at [`MAX_AUTO_THREADS`]. Any positive value is used as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("XBOUND_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_AUTO_THREADS)
+}
+
+/// Order-preserving parallel map over `items` with a scoped worker pool.
+///
+/// `f` receives `(index, item)` and may run on any worker; the result
+/// vector is indexed like the input. `threads` follows
+/// [`resolve_threads`] (`0` = auto). With one thread (or one item) no
+/// threads are spawned at all. A panicking `f` propagates to the caller
+/// when the scope joins.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop_front();
+                let Some((i, x)) = job else { break };
+                let r = f(i, x);
+                results.lock().expect("results lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("pool joined")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(4, (0..100).collect::<Vec<i32>>(), |i, x| {
+            assert_eq!(i as i32, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_matches() {
+        let a = par_map(1, vec![1, 2, 3], |_, x| x + 1);
+        let b = par_map(3, vec![1, 2, 3], |_, x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+        assert!(resolve_threads(0) <= MAX_AUTO_THREADS);
+    }
+}

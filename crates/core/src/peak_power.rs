@@ -108,19 +108,39 @@ impl PeakPowerResult {
 /// X-valued cones (e.g. the hardware-multiplier array between multiplies)
 /// cannot toggle, because their registered operands are held.
 pub fn stability(nl: &Netlist, prev: &Frame, cur: &Frame) -> Vec<bool> {
-    let mut stable = vec![false; nl.net_count()];
-    // Primary inputs: stable iff concrete and equal.
-    for &n in nl.inputs() {
-        let (a, b) = (prev.get(n.index()), cur.get(n.index()));
-        stable[n.index()] = a == b && a.is_known();
-    }
-    // Sequential outputs.
+    let mut words = Vec::new();
+    stability_words_into(nl, prev, cur, &mut words);
+    (0..nl.net_count()).map(|i| bit(&words, i)).collect()
+}
+
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+/// Word-packed form of [`stability`] into a reusable bitset buffer — the
+/// per-cycle-pair kernel of Algorithm 2.
+///
+/// The dominant rule ("concrete and equal in both frames") is computed for
+/// every net at once with word-wide bit math over the packed frames; the
+/// held-flip-flop and combinational-propagation rules then only examine
+/// gates whose output is not already proven stable.
+pub fn stability_words_into(nl: &Netlist, prev: &Frame, cur: &Frame, stable: &mut Vec<u64>) {
+    // Base rule, all nets at once: known in both frames and equal. For
+    // primary inputs this is the complete rule; for gate outputs the
+    // remaining rules below can only add stability.
+    prev.known_equal_words_into(cur, stable);
+    // Sequential outputs: a flip-flop held by its enable keeps its stored
+    // value — stable even if that value is X.
     for &g in nl.sequential_gates() {
         let gate = nl.gate(g);
         let out = gate.output().index();
-        let (a, b) = (prev.get(out), cur.get(out));
-        if a == b && a.is_known() {
-            stable[out] = true;
+        if bit(stable, out) {
             continue;
         }
         let v = |k: usize| prev.get(gate.inputs()[k].index());
@@ -129,28 +149,30 @@ pub fn stability(nl: &Netlist, prev: &Frame, cur: &Frame) -> Vec<bool> {
             xbound_netlist::CellKind::Dffre => v(1) == Lv::Zero && v(2) == Lv::One,
             _ => false,
         };
-        stable[out] = held;
+        if held {
+            set_bit(stable, out);
+        }
     }
-    // Combinational propagation in topological order.
+    // Combinational propagation in topological order: a gate whose inputs
+    // are all stable produces the same value (combinational determinism).
     for &g in nl.topo_order() {
         let gate = nl.gate(g);
         let out = gate.output().index();
-        let (a, b) = (prev.get(out), cur.get(out));
-        if a == b && a.is_known() {
-            stable[out] = true;
+        if bit(stable, out) {
             continue;
         }
-        if gate.kind().input_count() > 0 && gate.inputs().iter().all(|n| stable[n.index()]) {
-            stable[out] = true;
-        }
-        if matches!(
+        let ok = if matches!(
             gate.kind(),
             xbound_netlist::CellKind::Tie0 | xbound_netlist::CellKind::Tie1
         ) {
-            stable[out] = true;
+            true
+        } else {
+            gate.kind().input_count() > 0 && gate.inputs().iter().all(|n| bit(stable, n.index()))
+        };
+        if ok {
+            set_bit(stable, out);
         }
     }
-    stable
 }
 
 /// Builds per-segment frame copies with **merge-boundary joins** applied:
@@ -214,35 +236,28 @@ pub fn assign_parity_opts(
     parity: Parity,
     use_stability: bool,
 ) -> ParityAssignment {
-    // Max transition (first, second) per net, by driver cell; primary
+    // Max transition (first, second) per net, by driver cell, packed as
+    // word-wide bitplanes for the word-parallel resolve kernel; primary
     // inputs default to (false, true).
-    let max_tr: Vec<(bool, bool)> = (0..nl.net_count())
-        .map(|i| match nl.driver_of(NetId(i as u32)) {
+    let words = nl.net_count().div_ceil(64);
+    let mut tr_first = vec![0u64; words];
+    let mut tr_second = vec![0u64; words];
+    for i in 0..nl.net_count() {
+        let (a, b) = match nl.driver_of(NetId(i as u32)) {
             Some(g) => lib.power(nl.gate(g).kind()).max_transition(),
             None => (false, true),
-        })
-        .collect();
-
-    let resolve_pair = |prev: &mut Frame, cur: &mut Frame, stable: &[bool]| {
-        for i in 0..prev.len() {
-            match (prev.get(i), cur.get(i)) {
-                (Lv::X, Lv::X) => {
-                    if stable[i] {
-                        // Provably unchanged: hold a common value.
-                        prev.set(i, Lv::Zero);
-                        cur.set(i, Lv::Zero);
-                    } else {
-                        let (a, b) = max_tr[i];
-                        prev.set(i, Lv::from_bool(a));
-                        cur.set(i, Lv::from_bool(b));
-                    }
-                }
-                (Lv::X, v) => prev.set(i, if stable[i] { v } else { v.not() }),
-                (v, Lv::X) => cur.set(i, if stable[i] { v } else { v.not() }),
-                _ => {}
-            }
+        };
+        if a {
+            tr_first[i / 64] |= 1 << (i % 64);
         }
-    };
+        if b {
+            tr_second[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    // Reusable stability bitset (all-zero when stability is disabled).
+    let mut st: Vec<u64> = Vec::new();
+    let no_stability = vec![0u64; words];
 
     let mut segments = Vec::with_capacity(tree.segments().len());
     for (si, seg) in tree.segments().iter().enumerate() {
@@ -257,48 +272,43 @@ pub fn assign_parity_opts(
             if !parity.matches(gc) || (ci == 0 && boundary.is_none()) {
                 continue;
             }
+            // Stability is computed on the *pre-assignment* frames; a pair
+            // with no X anywhere needs neither stability nor resolution.
+            let orig_prev = if ci == 0 {
+                seg.parent
+                    .and_then(|(pid, _)| adjusted[pid.index()].last())
+                    .expect("boundary exists")
+            } else {
+                &orig[ci - 1]
+            };
+            if orig_prev.x_count() == 0 && orig[ci].x_count() == 0 {
+                continue;
+            }
+            let stable: &[u64] = if use_stability {
+                stability_words_into(nl, orig_prev, &orig[ci], &mut st);
+                &st
+            } else {
+                &no_stability
+            };
             if ci == 0 {
                 let b = boundary.as_mut().expect("checked");
-                // Stability is computed on the *pre-assignment* frames.
-                let orig_prev = seg
-                    .parent
-                    .and_then(|(pid, _)| adjusted[pid.index()].last())
-                    .expect("boundary exists");
-                let st = if use_stability {
-                    stability(nl, orig_prev, &orig[0])
-                } else {
-                    vec![false; nl.net_count()]
-                };
-                resolve_pair(b, &mut frames[0], &st);
+                Frame::assign_x_pair(b, &mut frames[0], stable, &tr_first, &tr_second);
             } else {
-                let st = if use_stability {
-                    stability(nl, &orig[ci - 1], &orig[ci])
-                } else {
-                    vec![false; nl.net_count()]
-                };
                 let (a, b) = frames.split_at_mut(ci);
-                resolve_pair(&mut a[ci - 1], &mut b[0], &st);
+                Frame::assign_x_pair(&mut a[ci - 1], &mut b[0], stable, &tr_first, &tr_second);
             }
         }
         // Leftover Xs (off-parity positions and cycle 0) hold 0: their
         // cycles are discarded by the interleaving.
         if let Some(b) = boundary.as_mut() {
-            resolve_leftover(b);
+            b.resolve_x_to_zero();
         }
         for f in &mut frames {
-            resolve_leftover(f);
+            f.resolve_x_to_zero();
         }
         segments.push((boundary, frames));
     }
     ParityAssignment { parity, segments }
-}
-
-fn resolve_leftover(f: &mut Frame) {
-    for i in 0..f.len() {
-        if f.get(i) == Lv::X {
-            f.set(i, Lv::Zero);
-        }
-    }
 }
 
 /// Runs Algorithm 2 end-to-end: even/odd assignment, power analysis of
@@ -328,15 +338,7 @@ pub fn compute_peak_power_opts(
     let odd = assign_parity_opts(nl, lib, tree, &adjusted, Parity::Odd, use_stability);
 
     let analyze_segment = |(boundary, frames): &(Option<Frame>, Vec<Frame>)| -> PowerTrace {
-        match boundary {
-            Some(b) => {
-                let mut all = Vec::with_capacity(frames.len() + 1);
-                all.push(b.clone());
-                all.extend(frames.iter().cloned());
-                analyzer.analyze(&all)
-            }
-            None => analyzer.analyze(frames),
-        }
+        analyzer.analyze_with_boundary(boundary.as_ref(), frames)
     };
 
     let mut even_traces = Vec::new();

@@ -131,6 +131,57 @@ fn input_dependent_loop_terminates_via_memoization() {
 }
 
 #[test]
+fn parallel_exploration_is_thread_count_invariant() {
+    let sys = system();
+    // Fork-heavy: an input-dependent loop plus an input-dependent branch,
+    // so the speculative pool actually has pending paths to pick up.
+    let p = assemble(
+        r#"
+        main:
+            mov &0x0020, r4
+            mov #0, r5
+        loop:
+            bit #0x8000, r4
+            jnz done
+            add r4, r4
+            add #1, r5
+            cmp #16, r5
+            jnz loop
+        done:
+            mov r5, &0x0200
+            jmp $
+        "#,
+    )
+    .unwrap();
+    let explorer = |threads: usize| {
+        let cfg = ExploreConfig {
+            max_total_cycles: 500_000,
+            threads,
+            ..ExploreConfig::default()
+        };
+        xbound_core::SymbolicExplorer::new(sys.cpu(), cfg)
+            .explore(&p)
+            .expect("explores")
+    };
+    let (t1, s1) = explorer(1);
+    for threads in [2, 4] {
+        let (tn, sn) = explorer(threads);
+        assert_eq!(s1, sn, "stats differ at {threads} threads");
+        assert_eq!(
+            t1.segments().len(),
+            tn.segments().len(),
+            "segment count differs at {threads} threads"
+        );
+        for (a, b) in t1.segments().iter().zip(tn.segments()) {
+            assert_eq!(a.start_cycle, b.start_cycle);
+            assert_eq!(a.frames, b.frames, "frames differ at {threads} threads");
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.parent.map(|(p, _)| p), b.parent.map(|(p, _)| p));
+        }
+    }
+}
+
+#[test]
 fn tighter_than_rated_power() {
     let sys = system();
     let p = assemble("main: mov #5, r4\n add r4, r4\n jmp $\n").unwrap();

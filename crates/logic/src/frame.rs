@@ -118,6 +118,107 @@ impl Frame {
         }
     }
 
+    /// Writes net `i` and returns the previous value.
+    ///
+    /// The event-driven simulator uses this to decide whether a gate output
+    /// actually changed (and therefore whether its fanout must re-evaluate)
+    /// with a single locate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn replace(&mut self, i: usize, v: Lv) -> Lv {
+        let old = self.get(i);
+        if old != v {
+            self.set(i, v);
+        }
+        old
+    }
+
+    /// Number of 64-bit storage words per plane.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Fills `out` with one bit per net: set when the net is **known and
+    /// equal** in both frames (the word-wise base case of the stability
+    /// analysis). `out` is resized to [`Frame::word_count`] words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different lengths.
+    pub fn known_equal_words_into(&self, other: &Frame, out: &mut Vec<u64>) {
+        assert_eq!(self.len, other.len, "frame length mismatch");
+        out.clear();
+        out.extend(
+            (0..self.val.len())
+                .map(|w| !self.unk[w] & !other.unk[w] & !(self.val[w] ^ other.val[w])),
+        );
+        // Mask the tail so out-of-range bits never read as "stable".
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Word-parallel X-assignment of one consecutive frame pair — the
+    /// resolve kernel of Algorithm 2, applied to every net at once:
+    ///
+    /// * `(X, X)`: stable nets hold `0` in both frames; unstable nets take
+    ///   the per-net maximum-energy transition `(tr_first, tr_second)`;
+    /// * `(X, v)`: `prev` becomes `v` when stable, `!v` otherwise;
+    /// * `(v, X)`: `cur` becomes `v` when stable, `!v` otherwise;
+    /// * fully-known positions are untouched.
+    ///
+    /// `stable`, `tr_first` and `tr_second` are bitsets of
+    /// [`Frame::word_count`] words (one bit per net).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different lengths or a bitset is shorter
+    /// than [`Frame::word_count`].
+    pub fn assign_x_pair(
+        prev: &mut Frame,
+        cur: &mut Frame,
+        stable: &[u64],
+        tr_first: &[u64],
+        tr_second: &[u64],
+    ) {
+        assert_eq!(prev.len, cur.len, "frame length mismatch");
+        for w in 0..prev.val.len() {
+            let (pu, cu) = (prev.unk[w], cur.unk[w]);
+            if pu | cu == 0 {
+                continue;
+            }
+            let s = stable[w];
+            let xx = pu & cu;
+            let xv = pu & !cu;
+            let vx = !pu & cu;
+            // The value plane is zero wherever the unknown plane is set, so
+            // "assign" is OR-in the chosen bits and clear the unknown bits.
+            // `prev.val` is only written at prev-X positions, which are
+            // disjoint from the `vx` bits the `cur` update reads back.
+            prev.val[w] |= (tr_first[w] & xx & !s) | ((cur.val[w] ^ !s) & xv);
+            cur.val[w] |= (tr_second[w] & xx & !s) | ((prev.val[w] ^ !s) & vx);
+            prev.unk[w] &= !(xx | xv);
+            cur.unk[w] &= !(xx | vx);
+        }
+    }
+
+    /// Resolves every `X` net to `0`, word-wise.
+    ///
+    /// Algorithm 2 uses this for the leftover Xs at off-parity positions:
+    /// the packed representation keeps the value plane zero wherever the
+    /// unknown plane is set, so clearing the unknown plane is the whole
+    /// operation.
+    pub fn resolve_x_to_zero(&mut self) {
+        self.unk.fill(0);
+    }
+
     /// Number of nets whose value differs between the two frames.
     ///
     /// # Panics
@@ -135,17 +236,29 @@ impl Frame {
 
     /// Indices of nets whose value differs between the two frames.
     pub fn diff_indices(&self, other: &Frame) -> Vec<usize> {
-        assert_eq!(self.len, other.len, "frame length mismatch");
         let mut out = Vec::new();
+        self.for_each_diff(other, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` with the index of every net whose value differs between
+    /// the two frames, ascending — [`Frame::diff_indices`] without the
+    /// allocation, for per-cycle hot loops (power analysis, activity
+    /// annotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different lengths.
+    pub fn for_each_diff(&self, other: &Frame, mut f: impl FnMut(usize)) {
+        assert_eq!(self.len, other.len, "frame length mismatch");
         for w in 0..self.val.len() {
             let mut differs = (self.val[w] ^ other.val[w]) | (self.unk[w] ^ other.unk[w]);
             while differs != 0 {
                 let b = differs.trailing_zeros() as usize;
-                out.push(w * 64 + b);
+                f(w * 64 + b);
                 differs &= differs - 1;
             }
         }
-        out
     }
 
     /// Number of `X` nets in the frame.
@@ -295,6 +408,105 @@ mod tests {
         assert_ne!(a.content_hash(), b.content_hash());
         let c = a.clone();
         assert_eq!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut f = Frame::new(70);
+        assert_eq!(f.replace(69, Lv::X), Lv::Zero);
+        assert_eq!(f.replace(69, Lv::One), Lv::X);
+        assert_eq!(f.replace(69, Lv::One), Lv::One);
+        assert_eq!(f.get(69), Lv::One);
+    }
+
+    #[test]
+    fn known_equal_words_mask_tail() {
+        let mut a = Frame::new(70);
+        let mut b = Frame::new(70);
+        a.set(0, Lv::One);
+        b.set(0, Lv::One); // known equal
+        a.set(1, Lv::One); // known different
+        a.set(65, Lv::X); // X in one frame
+        let mut words = Vec::new();
+        a.known_equal_words_into(&b, &mut words);
+        assert_eq!(words.len(), a.word_count());
+        assert_eq!(words[0] & 1, 1);
+        assert_eq!((words[0] >> 1) & 1, 0);
+        assert_eq!((words[1] >> 1) & 1, 0);
+        // Bits past len() are never "stable".
+        assert_eq!(words[1] >> 6, 0);
+    }
+
+    #[test]
+    fn assign_x_pair_matches_per_bit_rules() {
+        let n = 200;
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..50 {
+            let mut prev = Frame::new(n);
+            let mut cur = Frame::new(n);
+            let mut stable = vec![0u64; prev.word_count()];
+            let mut tr_first = vec![0u64; prev.word_count()];
+            let mut tr_second = vec![0u64; prev.word_count()];
+            let lv = |x: u64| match x % 3 {
+                0 => Lv::Zero,
+                1 => Lv::One,
+                _ => Lv::X,
+            };
+            for i in 0..n {
+                prev.set(i, lv(next()));
+                cur.set(i, lv(next()));
+                if next() % 2 == 0 {
+                    stable[i / 64] |= 1 << (i % 64);
+                }
+                if next() % 2 == 0 {
+                    tr_first[i / 64] |= 1 << (i % 64);
+                }
+                if next() % 2 == 0 {
+                    tr_second[i / 64] |= 1 << (i % 64);
+                }
+            }
+            // Per-bit reference.
+            let (mut rp, mut rc) = (prev.clone(), cur.clone());
+            for i in 0..n {
+                let s = (stable[i / 64] >> (i % 64)) & 1 == 1;
+                let a = (tr_first[i / 64] >> (i % 64)) & 1 == 1;
+                let b = (tr_second[i / 64] >> (i % 64)) & 1 == 1;
+                match (rp.get(i), rc.get(i)) {
+                    (Lv::X, Lv::X) => {
+                        if s {
+                            rp.set(i, Lv::Zero);
+                            rc.set(i, Lv::Zero);
+                        } else {
+                            rp.set(i, Lv::from_bool(a));
+                            rc.set(i, Lv::from_bool(b));
+                        }
+                    }
+                    (Lv::X, v) => rp.set(i, if s { v } else { v.not() }),
+                    (v, Lv::X) => rc.set(i, if s { v } else { v.not() }),
+                    _ => {}
+                }
+            }
+            Frame::assign_x_pair(&mut prev, &mut cur, &stable, &tr_first, &tr_second);
+            assert_eq!(prev, rp, "prev plane diverges from per-bit rules");
+            assert_eq!(cur, rc, "cur plane diverges from per-bit rules");
+        }
+    }
+
+    #[test]
+    fn resolve_x_to_zero_only_touches_x() {
+        let mut f = Frame::new(70);
+        f.set(1, Lv::One);
+        f.set(69, Lv::X);
+        f.resolve_x_to_zero();
+        assert_eq!(f.get(1), Lv::One);
+        assert_eq!(f.get(69), Lv::Zero);
+        assert_eq!(f.x_count(), 0);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! assert_eq!(nl.gate_count(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod rtl;
 pub mod verilog;
 
@@ -333,6 +335,9 @@ pub struct Netlist {
     topo: Vec<GateId>,
     seq_gates: Vec<GateId>,
     fanout: Vec<Vec<GateId>>,
+    fanout_comb: Vec<Vec<GateId>>,
+    comb_level: Vec<u32>,
+    level_count: u32,
     finalized: bool,
 }
 
@@ -352,6 +357,9 @@ impl Netlist {
             topo: Vec::new(),
             seq_gates: Vec::new(),
             fanout: Vec::new(),
+            fanout_comb: Vec::new(),
+            comb_level: Vec::new(),
+            level_count: 0,
             finalized: false,
         }
     }
@@ -594,6 +602,36 @@ impl Netlist {
             .filter(|(_, g)| g.kind.is_sequential())
             .map(|(i, _)| GateId(i as u32))
             .collect();
+        // Fanout/cone index for event-driven evaluation: per-net
+        // combinational readers, and per-gate logic levels (a combinational
+        // gate's level is 1 + the max level of its combinational drivers;
+        // flip-flops and primary inputs are level-0 sources). The levels
+        // give the incremental simulator a bucket queue that processes a
+        // dirty cone in dependency order.
+        self.fanout_comb = fanout
+            .iter()
+            .map(|gs| {
+                gs.iter()
+                    .copied()
+                    .filter(|&g| !self.gates[g.index()].kind.is_sequential())
+                    .collect()
+            })
+            .collect();
+        self.comb_level = vec![0u32; self.gates.len()];
+        let mut max_level = 0u32;
+        for &g in &topo {
+            let mut lvl = 0u32;
+            for &inp in self.gates[g.index()].inputs() {
+                if let Some(drv) = self.driver[inp.index()] {
+                    if !self.gates[drv.index()].kind.is_sequential() {
+                        lvl = lvl.max(self.comb_level[drv.index()] + 1);
+                    }
+                }
+            }
+            self.comb_level[g.index()] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        self.level_count = if topo.is_empty() { 0 } else { max_level + 1 };
         self.topo = topo;
         self.fanout = fanout;
         self.finalized = true;
@@ -633,6 +671,43 @@ impl Netlist {
     pub fn fanout_of(&self, net: NetId) -> &[GateId] {
         assert!(self.finalized, "netlist not finalized");
         &self.fanout[net.index()]
+    }
+
+    /// Combinational gates reading `net` (flip-flop readers excluded).
+    ///
+    /// This is the edge set the event-driven simulator follows when a net
+    /// changes value: only combinational readers must re-evaluate within
+    /// the cycle (flip-flops sample at the clock edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has not been finalized.
+    pub fn fanout_comb_of(&self, net: NetId) -> &[GateId] {
+        assert!(self.finalized, "netlist not finalized");
+        &self.fanout_comb[net.index()]
+    }
+
+    /// Logic level of a gate: combinational gates are `1 +` the maximum
+    /// level of their combinational drivers; flip-flops (and gates fed only
+    /// by flip-flops or primary inputs) are level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has not been finalized.
+    pub fn comb_level(&self, g: GateId) -> u32 {
+        assert!(self.finalized, "netlist not finalized");
+        self.comb_level[g.index()]
+    }
+
+    /// Number of distinct combinational logic levels (0 for a purely
+    /// sequential netlist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has not been finalized.
+    pub fn comb_level_count(&self) -> usize {
+        assert!(self.finalized, "netlist not finalized");
+        self.level_count as usize
     }
 
     /// Per-module gate counts (index by [`ModuleId`]).
@@ -769,5 +844,45 @@ mod tests {
         assert_eq!(nl.fanout_of(a).len(), 1);
         let n1 = nl.find_net("n1").unwrap();
         assert_eq!(nl.fanout_of(n1).len(), 1);
+    }
+
+    #[test]
+    fn comb_fanout_excludes_flip_flops() {
+        let nl = tiny().finalize().unwrap();
+        let n1 = nl.find_net("n1").unwrap();
+        assert_eq!(nl.fanout_of(n1).len(), 1, "DFF reads n1");
+        assert!(nl.fanout_comb_of(n1).is_empty(), "no combinational readers");
+        let a = nl.find_net("a").unwrap();
+        assert_eq!(nl.fanout_comb_of(a).len(), 1, "NAND reads a");
+    }
+
+    #[test]
+    fn levels_follow_dependencies() {
+        // a -> inv -> and(b) -> dff; and is one level above inv.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_net("n1");
+        let n2 = nl.add_net("n2");
+        let q = nl.add_net("q");
+        let g_inv = nl.add_gate(CellKind::Inv, "u1", &[a], n1).unwrap();
+        let g_and = nl.add_gate(CellKind::And2, "u2", &[n1, b], n2).unwrap();
+        nl.add_gate(CellKind::Dff, "ff", &[n2], q).unwrap();
+        let nl = nl.finalize().unwrap();
+        assert_eq!(nl.comb_level(g_inv), 0);
+        assert_eq!(nl.comb_level(g_and), 1);
+        assert_eq!(nl.comb_level_count(), 2);
+        assert_eq!(nl.fanout_comb_of(a), &[g_inv]);
+        assert_eq!(nl.fanout_comb_of(n1), &[g_and]);
+        // Levels strictly increase along combinational edges.
+        for &g in nl.topo_order() {
+            for &inp in nl.gate(g).inputs() {
+                if let Some(drv) = nl.driver_of(inp) {
+                    if !nl.gate(drv).kind().is_sequential() {
+                        assert!(nl.comb_level(g) > nl.comb_level(drv));
+                    }
+                }
+            }
+        }
     }
 }

@@ -299,7 +299,7 @@ impl<'a> Lexer<'a> {
     }
 }
 
-/// Parses the structural-Verilog subset emitted by [`write`].
+/// Parses the structural-Verilog subset emitted by [`write()`].
 ///
 /// # Errors
 ///

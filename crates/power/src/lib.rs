@@ -252,25 +252,42 @@ impl<'a> PowerAnalyzer<'a> {
     /// `c` (cycle 0 has no transitions, only leakage). Per-module breakdowns
     /// are always computed.
     pub fn analyze(&self, frames: &[Frame]) -> PowerTrace {
+        self.analyze_with_boundary(None, frames)
+    }
+
+    /// [`PowerAnalyzer::analyze`] of the logical sequence `boundary ++
+    /// frames`, without materializing the concatenation.
+    ///
+    /// Algorithm 2 analyzes every execution-tree segment prefixed by its
+    /// parent's last frame; passing the boundary by reference avoids
+    /// cloning each segment's frames twice per run.
+    pub fn analyze_with_boundary(&self, boundary: Option<&Frame>, frames: &[Frame]) -> PowerTrace {
         let module_names = self.nl.modules().to_vec();
         let nmods = module_names.len();
-        let ncycles = frames.len();
+        let off = usize::from(boundary.is_some());
+        let ncycles = frames.len() + off;
+        let logical = |c: usize| -> &Frame {
+            match boundary {
+                Some(b) if c == 0 => b,
+                _ => &frames[c - off],
+            }
+        };
         let mut per_cycle = vec![self.leakage_mw + self.clock_mw; ncycles];
         let mut per_module = vec![vec![0.0f64; ncycles]; nmods];
         let fj_to_mw = self.clock_hz * 1e-12; // fJ per cycle -> mW
         for c in 1..ncycles {
-            let prev = &frames[c - 1];
-            let cur = &frames[c];
+            let prev = logical(c - 1);
+            let cur = logical(c);
             let mut cycle_fj = 0.0;
-            for &i in prev.diff_indices(cur).iter() {
+            prev.for_each_diff(cur, |i| {
                 let Some(gid) = self.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
-                    continue; // primary input toggles cost nothing themselves
+                    return; // primary input toggles cost nothing themselves
                 };
                 let g = self.nl.gate(gid);
                 let e = self.transition_energy_fj(gid.index(), prev.get(i), cur.get(i));
                 cycle_fj += e;
                 per_module[g.module().index()][c] += e * fj_to_mw;
-            }
+            });
             per_cycle[c] += cycle_fj * fj_to_mw;
         }
         PowerTrace {
@@ -297,11 +314,11 @@ impl<'a> PowerAnalyzer<'a> {
     pub fn toggle_counts(&self, frames: &[Frame]) -> Vec<u64> {
         let mut counts = vec![0u64; self.nl.gate_count()];
         for c in 1..frames.len() {
-            for &i in frames[c - 1].diff_indices(&frames[c]).iter() {
+            frames[c - 1].for_each_diff(&frames[c], |i| {
                 if let Some(gid) = self.nl.driver_of(xbound_netlist::NetId(i as u32)) {
                     counts[gid.index()] += 1;
                 }
-            }
+            });
         }
         counts
     }

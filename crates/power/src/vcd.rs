@@ -2,7 +2,7 @@
 //!
 //! The paper's Algorithm 2 materializes even/odd activity assignments as VCD
 //! files consumed by PrimeTime. `xbound` operates on in-memory frames for
-//! speed but provides VCD interchange here: [`write`] emits a standard VCD
+//! speed but provides VCD interchange here: [`write()`] emits a standard VCD
 //! (1 timestep per clock cycle, scalar nets, `x` for unknowns), and
 //! [`parse`] reads the same subset back.
 //!
@@ -125,7 +125,7 @@ pub fn write(nl: &Netlist, frames: &[Frame], timescale_ps: u64) -> String {
     out
 }
 
-/// Parses the VCD subset produced by [`write`].
+/// Parses the VCD subset produced by [`write()`].
 ///
 /// Returns the declared net names (in declaration order) and one frame per
 /// timestep.

@@ -45,10 +45,55 @@
 //! assert_eq!(sim.value(q0), Lv::One); // 5 = 0b0101
 //! ```
 
+#![warn(missing_docs)]
+
 use std::collections::HashMap;
 use std::fmt;
 use xbound_logic::{Frame, Lv, XWord};
-use xbound_netlist::{CellKind, NetId, Netlist};
+use xbound_netlist::{CellKind, GateId, NetId, Netlist};
+
+/// Which evaluation engine [`Simulator::eval`] uses.
+///
+/// Both engines settle the combinational logic to the same unique fixpoint
+/// (the netlist is validated acyclic, so gate values are a pure function of
+/// flip-flop, input, and forced values) and therefore produce bit-identical
+/// frames; they differ only in how much work a cycle costs. With an
+/// attached bus this guarantee relies on the [`BusSpec`] contract that the
+/// address must not combinationally depend on read data: the engines seed
+/// the read-data settle loop differently (the levelized oracle restarts
+/// `rdata` from the input drives each cycle, the event-driven engine keeps
+/// the previous cycle's settled values), which converges to the same
+/// unique fixpoint exactly when that contract holds. A contract-violating
+/// design may settle differently or be detected as
+/// [`SimError::BusNotSettled`] by only one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Event-driven incremental evaluation (the default): only the fanout
+    /// cone of nets that actually changed since the last settled frame is
+    /// re-evaluated, in level order via the netlist's
+    /// [`xbound_netlist::Netlist::fanout_comb_of`] /
+    /// [`xbound_netlist::Netlist::comb_level`] index.
+    #[default]
+    EventDriven,
+    /// Full levelized re-evaluation of every combinational gate each cycle.
+    /// Retained as the differential-testing oracle; select globally with
+    /// `XBOUND_SIM_ENGINE=levelized`.
+    Levelized,
+}
+
+impl EvalMode {
+    /// The process-wide default: [`EvalMode::Levelized`] when the
+    /// `XBOUND_SIM_ENGINE` environment variable is `levelized` (or
+    /// `oracle`), [`EvalMode::EventDriven`] otherwise.
+    pub fn from_env() -> EvalMode {
+        match std::env::var("XBOUND_SIM_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("levelized") || v.eq_ignore_ascii_case("oracle") => {
+                EvalMode::Levelized
+            }
+            _ => EvalMode::EventDriven,
+        }
+    }
+}
 
 /// How a memory region behaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +335,14 @@ pub struct Simulator<'n> {
     evaled: bool,
     rstn_net: Option<NetId>,
     reset_remaining: u32,
+    mode: EvalMode,
+    // Event-driven engine state: per-gate dirty flags and a bucket queue
+    // indexed by combinational level. `full_dirty` forces one complete
+    // evaluation (power-on, or after an engine switch).
+    dirty: Vec<bool>,
+    buckets: Vec<Vec<GateId>>,
+    is_rdata: Vec<bool>,
+    full_dirty: bool,
 }
 
 impl<'n> Simulator<'n> {
@@ -320,7 +373,31 @@ impl<'n> Simulator<'n> {
             evaled: false,
             rstn_net,
             reset_remaining: 0,
+            mode: EvalMode::from_env(),
+            dirty: vec![false; nl.gate_count()],
+            buckets: vec![Vec::new(); nl.comb_level_count()],
+            is_rdata: vec![false; nl.net_count()],
+            full_dirty: true,
         }
+    }
+
+    /// The evaluation engine in use.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Switches the evaluation engine.
+    ///
+    /// Switching to [`EvalMode::EventDriven`] schedules one full
+    /// re-evaluation so the incremental invariant (every clean gate's frame
+    /// value equals its function of the current frame) is re-established.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        if mode == self.mode {
+            return;
+        }
+        self.mode = mode;
+        self.full_dirty = true;
+        self.evaled = false;
     }
 
     /// Attaches the external bus and its memory regions.
@@ -346,6 +423,10 @@ impl<'n> Simulator<'n> {
                     message: format!("rdata net `{}` is not a primary input", self.nl.net_name(n)),
                 });
             }
+        }
+        self.is_rdata = vec![false; self.nl.net_count()];
+        for &n in &bus.rdata {
+            self.is_rdata[n.index()] = true;
         }
         self.bus = Some(bus);
         self.mems = mems;
@@ -399,6 +480,16 @@ impl<'n> Simulator<'n> {
     /// driver. Forces persist across cycles until released.
     pub fn force(&mut self, net: NetId, v: Option<Lv>) {
         self.forces[net.index()] = v;
+        if self.mode == EvalMode::EventDriven {
+            // The driving gate must re-evaluate (apply the force, or
+            // recompute the natural value on release). Forced inputs and
+            // flip-flop outputs are re-applied by every eval anyway.
+            if let Some(g) = self.nl.driver_of(net) {
+                if !self.nl.gate(g).kind().is_sequential() {
+                    self.mark_gate_dirty(g);
+                }
+            }
+        }
         self.evaled = false;
     }
 
@@ -477,6 +568,125 @@ impl<'n> Simulator<'n> {
         }
     }
 
+    // --- event-driven engine -------------------------------------------
+
+    fn mark_gate_dirty(&mut self, g: GateId) {
+        if !self.dirty[g.index()] {
+            self.dirty[g.index()] = true;
+            self.buckets[self.nl.comb_level(g) as usize].push(g);
+        }
+    }
+
+    /// Writes `net` and, when the value changed, marks its combinational
+    /// readers dirty.
+    fn set_net(&mut self, net: NetId, v: Lv) {
+        if self.frame.replace(net.index(), v) != v {
+            let nl = self.nl;
+            for &g in nl.fanout_comb_of(net) {
+                self.mark_gate_dirty(g);
+            }
+        }
+    }
+
+    /// Drains the dirty set in level order. A processed gate whose output
+    /// changes marks its readers dirty; readers are always at a strictly
+    /// higher level, so one ascending sweep settles the cone.
+    fn process_dirty(&mut self) {
+        let nl = self.nl;
+        for lvl in 0..self.buckets.len() {
+            let mut bucket = std::mem::take(&mut self.buckets[lvl]);
+            for &g in &bucket {
+                let gate = nl.gate(g);
+                let out = gate.output();
+                let v = match self.forces[out.index()] {
+                    Some(f) => f,
+                    None => self.eval_gate(gate.kind(), gate.inputs()),
+                };
+                self.dirty[g.index()] = false;
+                if self.frame.replace(out.index(), v) != v {
+                    for &succ in nl.fanout_comb_of(out) {
+                        self.mark_gate_dirty(succ);
+                    }
+                }
+            }
+            bucket.clear();
+            // Put the buffer back to keep its capacity for the next sweep.
+            self.buckets[lvl] = bucket;
+        }
+    }
+
+    fn apply_inputs_event(&mut self) {
+        let rstn_v = if self.reset_remaining > 0 {
+            Lv::Zero
+        } else {
+            Lv::One
+        };
+        let has_bus = self.bus.is_some();
+        for &n in self.nl.inputs() {
+            // Bus read-data inputs are owned by the settle loop: writing the
+            // default drive here would only inject a spurious 0 that the
+            // memory lookup overwrites a moment later, dirtying the (large)
+            // instruction-fetch cone twice per cycle.
+            if has_bus && self.is_rdata[n.index()] {
+                continue;
+            }
+            let mut v = *self.drives.get(&n).unwrap_or(&Lv::Zero);
+            if Some(n) == self.rstn_net {
+                v = rstn_v;
+            }
+            if let Some(f) = self.forces[n.index()] {
+                v = f;
+            }
+            self.set_net(n, v);
+        }
+    }
+
+    fn settle_bus_event(&mut self, bus: &BusSpec) -> Result<(), SimError> {
+        let mut last_addr = self.value_word(&bus.addr);
+        for _ in 0..4 {
+            let rdata = self.mem_read(last_addr);
+            for i in 0..bus.rdata.len() {
+                let n = bus.rdata[i];
+                let v = match self.forces[n.index()] {
+                    Some(f) => f,
+                    None => rdata.bit(i),
+                };
+                self.set_net(n, v);
+            }
+            self.process_dirty();
+            let addr_now = self.value_word(&bus.addr);
+            if addr_now == last_addr {
+                return Ok(());
+            }
+            last_addr = addr_now;
+        }
+        Err(SimError::BusNotSettled)
+    }
+
+    fn eval_event(&mut self) -> Result<(), SimError> {
+        if self.full_dirty {
+            let nl = self.nl;
+            for &g in nl.topo_order() {
+                self.mark_gate_dirty(g);
+            }
+            self.full_dirty = false;
+        }
+        self.apply_inputs_event();
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            if let Some(f) = self.forces[out.index()] {
+                self.set_net(out, f);
+            }
+        }
+        self.process_dirty();
+        if let Some(bus) = self.bus.take() {
+            let r = self.settle_bus_event(&bus);
+            self.bus = Some(bus);
+            r?;
+        }
+        Ok(())
+    }
+
     /// Memory lookup for a (possibly partially unknown) byte address.
     fn mem_read(&self, addr: XWord) -> XWord {
         match addr.to_u16() {
@@ -516,6 +726,15 @@ impl<'n> Simulator<'n> {
         if self.evaled {
             return Ok(&self.frame);
         }
+        match self.mode {
+            EvalMode::EventDriven => self.eval_event()?,
+            EvalMode::Levelized => self.eval_levelized()?,
+        }
+        self.evaled = true;
+        Ok(&self.frame)
+    }
+
+    fn eval_levelized(&mut self) -> Result<(), SimError> {
         self.apply_inputs();
         // Forces on flip-flop outputs take effect immediately (commit also
         // honors them, keeping the forced value across edges).
@@ -526,32 +745,33 @@ impl<'n> Simulator<'n> {
             }
         }
         self.eval_comb_once();
-        if let Some(bus) = self.bus.clone() {
-            let mut last_addr = self.value_word(&bus.addr);
-            let mut settled = false;
-            for _ in 0..4 {
-                let rdata = self.mem_read(last_addr);
-                for (i, &n) in bus.rdata.iter().enumerate() {
-                    let v = match self.forces[n.index()] {
-                        Some(f) => f,
-                        None => rdata.bit(i),
-                    };
-                    self.frame.set(n.index(), v);
-                }
-                self.eval_comb_once();
-                let addr_now = self.value_word(&bus.addr);
-                if addr_now == last_addr {
-                    settled = true;
-                    break;
-                }
-                last_addr = addr_now;
-            }
-            if !settled {
-                return Err(SimError::BusNotSettled);
-            }
+        if let Some(bus) = self.bus.take() {
+            let r = self.settle_bus_levelized(&bus);
+            self.bus = Some(bus);
+            r?;
         }
-        self.evaled = true;
-        Ok(&self.frame)
+        Ok(())
+    }
+
+    fn settle_bus_levelized(&mut self, bus: &BusSpec) -> Result<(), SimError> {
+        let mut last_addr = self.value_word(&bus.addr);
+        for _ in 0..4 {
+            let rdata = self.mem_read(last_addr);
+            for (i, &n) in bus.rdata.iter().enumerate() {
+                let v = match self.forces[n.index()] {
+                    Some(f) => f,
+                    None => rdata.bit(i),
+                };
+                self.frame.set(n.index(), v);
+            }
+            self.eval_comb_once();
+            let addr_now = self.value_word(&bus.addr);
+            if addr_now == last_addr {
+                return Ok(());
+            }
+            last_addr = addr_now;
+        }
+        Err(SimError::BusNotSettled)
     }
 
     /// Computes the next value of every flip-flop from the settled frame.
@@ -603,9 +823,14 @@ impl<'n> Simulator<'n> {
     }
 
     fn commit_memory_write(&mut self) {
-        let Some(bus) = self.bus.clone() else {
+        let Some(bus) = self.bus.take() else {
             return;
         };
+        self.commit_memory_write_inner(&bus);
+        self.bus = Some(bus);
+    }
+
+    fn commit_memory_write_inner(&mut self, bus: &BusSpec) {
         let Some(wen_net) = bus.wen else {
             return;
         };
@@ -655,16 +880,41 @@ impl<'n> Simulator<'n> {
     ///
     /// Panics if called before a successful [`Simulator::eval`].
     pub fn commit(&mut self) {
-        assert!(self.evaled, "eval() must succeed before commit()");
-        self.commit_memory_write();
         let next = self.ff_next_values();
-        for (&g, v) in self.nl.sequential_gates().iter().zip(next) {
+        self.commit_with_next(&next);
+    }
+
+    /// [`Simulator::commit`] with the flip-flop next-values computed by an
+    /// earlier [`Simulator::ff_next_values`] call on the same settled frame.
+    ///
+    /// Callers that already inspected the next state (the symbolic explorer
+    /// checks the PC for X every cycle) pass it back in rather than paying
+    /// for the full flip-flop sweep twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`Simulator::eval`], or if
+    /// `next` does not have one value per sequential gate.
+    pub fn commit_with_next(&mut self, next: &[Lv]) {
+        assert!(self.evaled, "eval() must succeed before commit()");
+        assert_eq!(
+            next.len(),
+            self.nl.sequential_gates().len(),
+            "one next-value per flip-flop"
+        );
+        self.commit_memory_write();
+        let event = self.mode == EvalMode::EventDriven;
+        for (&g, &v) in self.nl.sequential_gates().iter().zip(next) {
             let out = self.nl.gate(g).output();
             let v = match self.forces[out.index()] {
                 Some(f) => f,
                 None => v,
             };
-            self.frame.set(out.index(), v);
+            if event {
+                self.set_net(out, v);
+            } else {
+                self.frame.set(out.index(), v);
+            }
         }
         if self.reset_remaining > 0 {
             self.reset_remaining -= 1;
@@ -699,6 +949,12 @@ impl<'n> Simulator<'n> {
 
     /// Restores a snapshot taken by [`Simulator::machine_state`].
     ///
+    /// In [`EvalMode::EventDriven`], the snapshot is **diffed against the
+    /// current frame**: only flip-flops whose value actually differs mark
+    /// their fanout cones dirty, so restoring a nearby state (the common
+    /// case in depth-first exploration, where siblings share most state)
+    /// costs work proportional to the difference, not to the design.
+    ///
     /// # Panics
     ///
     /// Panics if the snapshot shape does not match this machine.
@@ -709,9 +965,14 @@ impl<'n> Simulator<'n> {
             "machine shape mismatch"
         );
         assert_eq!(s.mems.len(), self.mems.len(), "memory count mismatch");
+        let event = self.mode == EvalMode::EventDriven;
         for (&g, v) in self.nl.sequential_gates().iter().zip(&s.ffs) {
             let out = self.nl.gate(g).output();
-            self.frame.set(out.index(), *v);
+            if event {
+                self.set_net(out, *v);
+            } else {
+                self.frame.set(out.index(), *v);
+            }
         }
         for (m, data) in self.mems.iter_mut().zip(&s.mems) {
             m.data_mut().copy_from_slice(data);

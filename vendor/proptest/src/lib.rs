@@ -2,7 +2,7 @@
 //!
 //! The build environment for this workspace has no network access to a crates
 //! registry, so this crate implements the subset of proptest the workspace's
-//! property tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! property tests use: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
 //! `any::<T>()`, ranges and tuples as strategies, `prop_oneof!`, `Just`,
 //! `collection::vec`, `ProptestConfig::with_cases`, and the `prop_assert*`
 //! macros. Test cases are generated from a deterministic per-test RNG, so
