@@ -52,6 +52,43 @@ pub fn measure_cycles(
     Ok((frames.clone(), system.analyzer().analyze(&frames)))
 }
 
+/// Batched [`measure_cycles`]: runs up to [`xbound_logic::MAX_LANES`]
+/// *different* programs (one per lane, no inputs — the stressmark shape)
+/// for a fixed cycle count through one
+/// [`xbound_sim::BatchSimulator`], returning one measured power trace
+/// per program. Each trace is bit-identical to the corresponding scalar
+/// [`measure_cycles`] run — the GA's fitness ranking cannot depend on
+/// the lane width.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `programs` is empty or longer than
+/// [`xbound_logic::MAX_LANES`].
+pub fn measure_cycles_batch(
+    system: &UlpSystem,
+    programs: &[&xbound_msp430::Program],
+    cycles: u64,
+) -> Result<Vec<PowerTrace>, xbound_core::AnalysisError> {
+    let lanes = programs.len();
+    let mut sim = system.cpu().new_batch_sim(lanes);
+    for (lane, program) in programs.iter().enumerate() {
+        xbound_cpu::Cpu::load_program_lane(&mut sim, lane, program, true);
+    }
+    // Stream each settled cycle into the batched power accumulator —
+    // the frame sequence is never materialized.
+    let analyzer = system.analyzer();
+    let mut acc = analyzer.batch_accumulator(lanes);
+    for _ in 0..cycles {
+        acc.push(sim.eval()?);
+        sim.commit();
+    }
+    Ok(acc.finish(None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,13 @@ pub struct ProfilingResult {
 
 /// Profiles `bench` over `n` random input sets.
 ///
+/// The campaign's concrete runs go through the batched engine
+/// ([`UlpSystem::profile_concrete_population`]): the input population is
+/// chunked into lane groups and every group shares one gate pass per
+/// cycle. Lane groups run sequentially here — campaigns are typically
+/// already fanned out across benchmarks one level up — and the per-run
+/// statistics are bit-identical to scalar profiling at any lane width.
+///
 /// # Errors
 ///
 /// Propagates assembler/simulator errors ([`AnalysisError`] also covers a
@@ -58,18 +65,27 @@ pub fn profile<R: RngExt>(
     rng: &mut R,
 ) -> Result<ProfilingResult, AnalysisError> {
     let program = bench.program().expect("benchmark sources assemble");
-    let mut runs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let inputs = bench.gen_inputs(rng);
-        let (_, trace) = system.profile_concrete(&program, &inputs, bench.max_concrete_cycles())?;
-        runs.push(RunStat {
+    // Draw every input set first (same RNG stream as per-run profiling),
+    // then measure the whole population through the batch engine.
+    let input_sets: Vec<Vec<u16>> = (0..n).map(|_| bench.gen_inputs(rng)).collect();
+    let results = system.profile_concrete_population(
+        &program,
+        &input_sets,
+        bench.max_concrete_cycles(),
+        0,
+        1,
+    )?;
+    let runs: Vec<RunStat> = input_sets
+        .into_iter()
+        .zip(results)
+        .map(|(inputs, (_, trace))| RunStat {
             inputs,
             peak_mw: trace.peak_mw(),
             avg_mw: trace.avg_mw(),
             cycles: trace.cycles() as u64,
             npe_j_per_cycle: trace.energy_per_cycle_j(),
-        });
-    }
+        })
+        .collect();
     let observed_peak_mw = runs.iter().map(|r| r.peak_mw).fold(0.0, f64::max);
     let min_peak_mw = runs.iter().map(|r| r.peak_mw).fold(f64::INFINITY, f64::min);
     let observed_npe = runs.iter().map(|r| r.npe_j_per_cycle).fold(0.0, f64::max);

@@ -9,10 +9,10 @@
 //! average) power over a fixed window. Tournament selection, single-point
 //! crossover, per-gene mutation, and elitism evolve the population.
 
-use crate::measure_cycles;
+use crate::measure_cycles_batch;
 use rand::RngExt;
-use xbound_core::{AnalysisError, UlpSystem};
-use xbound_msp430::assemble;
+use xbound_core::{par, AnalysisError, UlpSystem};
+use xbound_msp430::{assemble, Program};
 
 /// What the GA maximizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,13 @@ pub struct GaConfig {
     pub elitism: usize,
     /// Cycles measured per fitness evaluation.
     pub eval_cycles: u64,
+    /// Lane width for the batched fitness evaluation (0 = auto, see
+    /// [`par::resolve_lanes`]); fitness values are bit-identical at any
+    /// width.
+    pub lanes: usize,
+    /// Worker-pool size for fitness lane groups (0 = auto, see
+    /// [`par::resolve_threads`]).
+    pub threads: usize,
 }
 
 impl Default for GaConfig {
@@ -49,6 +56,8 @@ impl Default for GaConfig {
             mutation_rate: 0.15,
             elitism: 2,
             eval_cycles: 400,
+            lanes: 0,
+            threads: 0,
         }
     }
 }
@@ -232,19 +241,39 @@ pub fn evolve<R: RngExt>(
         population[1] = alt;
     }
 
-    let fitness_of = |genome: &[Gene], system: &UlpSystem| -> Result<(f64, f64), AnalysisError> {
-        let src = render(genome);
-        let program = assemble(&src).expect("rendered stressmark assembles");
-        let (_, trace) = measure_cycles(system, &program, &[], config.eval_cycles)?;
-        Ok((trace.peak_mw(), trace.avg_mw()))
-    };
+    // The whole population is scored through the batched concrete engine:
+    // each lane executes one rendered genome, so a single gate pass per
+    // cycle measures up to a full lane group of individuals. Lane groups
+    // fan out across the worker pool (parallelism × bit-parallelism); the
+    // per-genome traces — and therefore every GA decision — are
+    // bit-identical to scalar evaluation at any lane width/thread count.
+    let score_population =
+        |population: &[Vec<Gene>], system: &UlpSystem| -> Result<Vec<(f64, f64)>, AnalysisError> {
+            let programs: Vec<Program> = population
+                .iter()
+                .map(|genome| assemble(&render(genome)).expect("rendered stressmark assembles"))
+                .collect();
+            let lanes = par::resolve_lanes(config.lanes);
+            let chunks: Vec<&[Program]> = programs.chunks(lanes).collect();
+            let results = par::par_map(config.threads, chunks, |_, chunk| {
+                let refs: Vec<&Program> = chunk.iter().collect();
+                measure_cycles_batch(system, &refs, config.eval_cycles)
+            });
+            let mut out = Vec::with_capacity(population.len());
+            for r in results {
+                out.extend(r?.into_iter().map(|t| (t.peak_mw(), t.avg_mw())));
+            }
+            Ok(out)
+        };
 
     let mut history = Vec::with_capacity(config.generations);
     let mut scored: Vec<(f64, f64, Vec<Gene>)> = Vec::new();
     for _gen in 0..config.generations {
         scored.clear();
-        for genome in &population {
-            let (peak, avg) = fitness_of(genome, system)?;
+        for (genome, (peak, avg)) in population
+            .iter()
+            .zip(score_population(&population, system)?)
+        {
             let fit = match target {
                 StressTarget::PeakPower => peak,
                 StressTarget::AveragePower => avg,
@@ -285,8 +314,10 @@ pub fn evolve<R: RngExt>(
     }
     // Final scoring pass to pick the champion.
     let mut best: Option<(f64, f64, Vec<Gene>)> = None;
-    for genome in &population {
-        let (peak, avg) = fitness_of(genome, system)?;
+    for (genome, (peak, avg)) in population
+        .iter()
+        .zip(score_population(&population, system)?)
+    {
         let fit = match target {
             StressTarget::PeakPower => peak,
             StressTarget::AveragePower => avg,

@@ -70,11 +70,63 @@ fn bench_cpu_construction(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar vs batched gate-kernel throughput on the ulp65-cell core:
+/// 32 concrete tea8 runs with diverging inputs, either as 32 scalar
+/// simulations or as one 32-lane batched simulation (identical results —
+/// see `crates/sim/tests/batch_differential.rs`). Throughput is counted
+/// in lane-cycles, so the reported ratio is the concrete-run speedup
+/// recorded in `BENCH_sim.json`.
+fn bench_batch_vs_scalar_sim(c: &mut Criterion) {
+    let cpu = Cpu::build().expect("builds");
+    let bench = xbound_benchsuite::by_name("tea8").expect("exists");
+    let program = bench.program().expect("assembles");
+    let cycles = 200u64;
+    let lanes = 32usize;
+    let inputs_of = |lane: usize| -> Vec<u16> {
+        (0..8)
+            .map(|i| (lane as u16).wrapping_mul(31).wrapping_add(i * 97))
+            .collect()
+    };
+    let mut g = c.benchmark_group("batched_concrete_simulation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles * lanes as u64));
+    g.bench_function("scalar_32_runs_200_cycles", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for lane in 0..lanes {
+                let mut sim = cpu.new_sim();
+                Cpu::load_program(&mut sim, &program, true);
+                Cpu::set_inputs(&mut sim, &inputs_of(lane));
+                for _ in 0..cycles {
+                    sim.step();
+                }
+                total += sim.cycle();
+            }
+            total
+        });
+    });
+    g.bench_function("batch_32_lanes_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = cpu.new_batch_sim(lanes);
+            Cpu::load_program_batch(&mut sim, &program, true);
+            for lane in 0..lanes {
+                Cpu::set_inputs_lane(&mut sim, lane, &inputs_of(lane));
+            }
+            for _ in 0..cycles {
+                sim.step();
+            }
+            sim.cycle()
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_gate_sim,
     bench_power_analysis,
     bench_assembler_and_liberty,
-    bench_cpu_construction
+    bench_cpu_construction,
+    bench_batch_vs_scalar_sim
 );
 criterion_main!(benches);

@@ -5,6 +5,15 @@
 //! cargo run --release -p xbound-bench --bin experiments -- fig5_1 fig5_2
 //! ```
 //!
+//! Population-size flags (the batched concrete engine makes large
+//! populations cheap — lane groups share one gate pass per cycle):
+//!
+//! * `--profile-runs N` — random input sets per profiling campaign
+//!   (default 8);
+//! * `--ga-pop N` — stressmark GA population per generation (default 16);
+//! * `--lanes N` — batch lane width (sets `XBOUND_LANES`; results are
+//!   bit-identical at any width).
+//!
 //! Each experiment prints its table and writes `results/<id>.txt`. See
 //! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! paper-vs-measured record.
@@ -20,7 +29,26 @@ use xbound_msp430::assemble;
 use xbound_netlist::{CellKind, Netlist};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        let flag_value = |it: &mut std::vec::IntoIter<String>, flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} N"))
+        };
+        match a.as_str() {
+            "--profile-runs" => {
+                xbound_bench::set_profile_runs(flag_value(&mut it, "--profile-runs"))
+            }
+            "--ga-pop" => xbound_bench::set_ga_population(flag_value(&mut it, "--ga-pop")),
+            "--lanes" => {
+                std::env::set_var("XBOUND_LANES", flag_value(&mut it, "--lanes").to_string())
+            }
+            _ => args.push(a),
+        }
+    }
     let mut ids: Vec<&str> = args.iter().map(String::as_str).collect();
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
@@ -66,6 +94,7 @@ fn main() {
             "fig5_6" => fig5_4_5_6(&mut h, true),
             "tab6_1" => tab6_1(),
             "ablation" => ablation(&mut h),
+            "ga_smoke" => ga_smoke(&mut h),
             other => eprintln!("unknown experiment id `{other}`"),
         }
     }
@@ -134,7 +163,7 @@ fn active_gates_at_peak(
         .zip(per_module)
         .filter(|(_, n)| *n > 0)
         .collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|b| std::cmp::Reverse(b.1));
     out
 }
 
@@ -181,18 +210,23 @@ fn measurement_table(system: &UlpSystem, names: &[&str], salt: u64) -> Table {
     ]);
     // Profiling campaigns are independent per benchmark: fan out, render in
     // suite order.
-    let rows = xbound_core::par::par_map(0, names.to_vec(), |_, name| {
-        let bench = xbound_benchsuite::by_name(name).expect("exists");
-        let prof = Harness::campaign(system, bench, salt).expect("profiles");
-        [
-            name.to_string(),
-            mw(prof.min_peak_mw),
-            mw(prof.observed_peak_mw),
-            pct((prof.observed_peak_mw / prof.min_peak_mw - 1.0) * 100.0),
-            npe(prof.min_npe),
-            npe(prof.observed_npe),
-        ]
-    });
+    let rows = xbound_core::par::par_map_labeled(
+        0,
+        names.to_vec(),
+        |_, name| name.to_string(),
+        |_, name| {
+            let bench = xbound_benchsuite::by_name(name).expect("exists");
+            let prof = Harness::campaign(system, bench, salt).expect("profiles");
+            [
+                name.to_string(),
+                mw(prof.min_peak_mw),
+                mw(prof.observed_peak_mw),
+                pct((prof.observed_peak_mw / prof.min_peak_mw - 1.0) * 100.0),
+                npe(prof.min_npe),
+                npe(prof.observed_npe),
+            ]
+        },
+    );
     for row in &rows {
         t.row(row);
     }
@@ -322,18 +356,21 @@ fn fig3_4(h: &mut Harness) {
     let sys = h.sys65().clone();
     let analysis = h.analysis(bench).expect("analyzes");
     let mut body = String::new();
-    // Low-activity and high-activity input sets.
-    for (label, inputs) in [
-        ("low-activity (all zeros)", vec![0u16; 8]),
-        (
-            "high-activity (alternating max)",
-            vec![0xFFFF, 0xFFFF, 0, 0, 0xFFFF, 0xFFFF, 0, 0],
-        ),
-    ] {
-        let (frames, _) = sys
-            .profile_concrete(&program, &inputs, bench.max_concrete_cycles())
-            .expect("runs");
-        let sup = analysis.check_superset(&frames);
+    // Low-activity and high-activity input sets — one batched gate pass
+    // simulates both concrete runs.
+    let labels = [
+        "low-activity (all zeros)",
+        "high-activity (alternating max)",
+    ];
+    let input_sets: Vec<Vec<u16>> = vec![
+        vec![0u16; 8],
+        vec![0xFFFF, 0xFFFF, 0, 0, 0xFFFF, 0xFFFF, 0, 0],
+    ];
+    let runs = sys
+        .profile_concrete_batch(&program, &input_sets, bench.max_concrete_cycles())
+        .expect("runs");
+    for (label, (frames, _)) in labels.iter().zip(&runs) {
+        let sup = analysis.check_superset(frames);
         body.push_str(&format!(
             "{label}: common {} nets, X-only {} nets, violations {}\n",
             sup.common,
@@ -357,13 +394,15 @@ fn fig3_5(h: &mut Harness) {
     let analysis = h.analysis(bench).expect("analyzes");
     let mut body = String::new();
     let mut rng = StdRng::seed_from_u64(SEED ^ 35);
-    for trial in 0..3 {
-        let inputs = bench.gen_inputs(&mut rng);
-        let (frames, trace) = sys
-            .profile_concrete(&program, &inputs, bench.max_concrete_cycles())
-            .expect("runs");
+    // Same RNG stream as per-trial profiling, one batched run for all
+    // three trials.
+    let input_sets: Vec<Vec<u16>> = (0..3).map(|_| bench.gen_inputs(&mut rng)).collect();
+    let runs = sys
+        .profile_concrete_batch(&program, &input_sets, bench.max_concrete_cycles())
+        .expect("runs");
+    for (trial, (frames, trace)) in runs.iter().enumerate() {
         let dom = analysis
-            .check_dominance(&frames, &trace)
+            .check_dominance(frames, trace)
             .expect("path inside tree");
         body.push_str(&format!(
             "inputs {trial}: cycles {}, min margin {} mW, mean bound/measured {:.2}, violations {}\n",
@@ -436,7 +475,7 @@ impl ComparisonData {
         let sm = stressmark::evolve(
             &sys,
             stressmark::StressTarget::PeakPower,
-            &stressmark::GaConfig::default(),
+            &xbound_bench::ga_config(),
             &mut rng,
         )
         .expect("GA runs");
@@ -446,7 +485,7 @@ impl ComparisonData {
             let sma = stressmark::evolve(
                 &sys,
                 stressmark::StressTarget::AveragePower,
-                &stressmark::GaConfig::default(),
+                &xbound_bench::ga_config(),
                 &mut rng,
             )
             .expect("GA runs");
@@ -454,9 +493,10 @@ impl ComparisonData {
         };
         // Profiling campaigns fan out across the pool; the cached X-based
         // analyses are then attached sequentially in suite order.
-        let profs = xbound_core::par::par_map(
+        let profs = xbound_core::par::par_map_labeled(
             0,
             xbound_benchsuite::all().iter().collect::<Vec<_>>(),
+            |_, bench| bench.name().to_string(),
             |_, bench| Harness::campaign(&sys, bench, 51).expect("profiles"),
         );
         let mut rows = Vec::new();
@@ -661,21 +701,26 @@ fn fig5_4_5_6(h: &mut Harness, overheads: bool) {
         .iter()
         .map(|bench| (bench, bench.gen_inputs(&mut rng)))
         .collect();
-    let reports = xbound_core::par::par_map(0, jobs, |_, (bench, inputs)| {
-        let opts = OptimizeOptions {
-            scratch_reg: Some(14),
-            iss_inputs: inputs,
-            ..OptimizeOptions::default()
-        };
-        // One layer of parallelism at a time: benchmarks already fan out
-        // here, so each optimizer run explores single-threaded.
-        let config = xbound_core::ExploreConfig {
-            threads: 1,
-            ..Harness::explore_config(bench)
-        };
-        optimize_program(&sys, bench.source(), config, bench.energy_rounds(), &opts)
-            .expect("optimizer runs")
-    });
+    let reports = xbound_core::par::par_map_labeled(
+        0,
+        jobs,
+        |_, (bench, _)| bench.name().to_string(),
+        |_, (bench, inputs)| {
+            let opts = OptimizeOptions {
+                scratch_reg: Some(14),
+                iss_inputs: inputs,
+                ..OptimizeOptions::default()
+            };
+            // One layer of parallelism at a time: benchmarks already fan out
+            // here, so each optimizer run explores single-threaded.
+            let config = xbound_core::ExploreConfig {
+                threads: 1,
+                ..Harness::explore_config(bench)
+            };
+            optimize_program(&sys, bench.source(), config, bench.energy_rounds(), &opts)
+                .expect("optimizer runs")
+        },
+    );
     for (bench, report) in xbound_benchsuite::all().iter().zip(&reports) {
         let accepted: Vec<&str> = report.accepted.iter().map(|k| k.name()).collect();
         let range_red = if report.original_dynamic_range_mw > 0.0 {
@@ -842,6 +887,44 @@ charging held registers (e.g. the idle multiplier array) every cycle.
     emit(
         "ablation",
         "Design-choice ablation: Algorithm 2 with/without stability analysis",
+        &body,
+    );
+}
+
+/// CI smoke for the batched stressmark path: a tiny GA whose population
+/// is scored one lane group at a time, plus a batched-validation pass on
+/// the champion's measured trace shape.
+fn ga_smoke(h: &mut Harness) {
+    let sys = h.sys65().clone();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 99);
+    // Population follows --ga-pop; everything else is shrunk for smoke.
+    let cfg = stressmark::GaConfig {
+        generations: 2,
+        genome_len: 8,
+        eval_cycles: 150,
+        ..xbound_bench::ga_config()
+    };
+    let result = stressmark::evolve(&sys, stressmark::StressTarget::PeakPower, &cfg, &mut rng)
+        .expect("GA runs");
+    assert!(result.peak_mw > 0.0 && result.avg_mw > 0.0);
+    assert_eq!(result.history.len(), cfg.generations);
+    let body = format!(
+        "batched GA: population {} × {} generations, {} eval cycles/individual\n\
+         champion peak {} mW, avg {} mW\nhistory: {:?}\n",
+        cfg.population,
+        cfg.generations,
+        cfg.eval_cycles,
+        mw(result.peak_mw),
+        mw(result.avg_mw),
+        result
+            .history
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>(),
+    );
+    emit(
+        "ga_smoke",
+        "Stressmark GA smoke on the batched concrete engine",
         &body,
     );
 }

@@ -14,10 +14,19 @@
 //! * `--threads N` — suite-level worker pool size (default: auto, see
 //!   `XBOUND_THREADS`); benchmarks fan out across workers and print in
 //!   deterministic suite order regardless.
+//! * `--validate N` — additionally validate each analysis against `N`
+//!   random concrete runs through the batched engine (Fig 12 toggle
+//!   superset + Fig 13 power dominance per run); the summary line gains a
+//!   `val=` column. Reports are identical at any lane width/thread count.
+//! * `--lanes N` — lane width for the batched validation runs (default:
+//!   auto, see `XBOUND_LANES`; clamped to 1..=64).
 //! * `--json PATH` — additionally write per-benchmark wall-clock numbers
-//!   as JSON (used to regenerate `BENCH_sim.json`).
+//!   as JSON, with engine / thread-count / lane-width metadata so
+//!   `BENCH_*.json` entries are self-describing.
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use xbound_core::{par, CoAnalysis, ExploreConfig, UlpSystem};
 
@@ -27,9 +36,22 @@ struct Row {
     seconds: f64,
 }
 
+/// Stable per-benchmark salt for validation input generation (FNV-1a, so
+/// subsets validate with the same inputs as full-suite runs).
+fn name_salt(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut threads = 0usize;
+    let mut lanes = 0usize;
+    let mut validate_runs = 0usize;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,6 +62,15 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--threads N");
+            }
+            "--lanes" => {
+                lanes = args.next().and_then(|v| v.parse().ok()).expect("--lanes N");
+            }
+            "--validate" => {
+                validate_runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--validate N");
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             other => names.push(other.to_string()),
@@ -59,59 +90,95 @@ fn main() {
     let sys = UlpSystem::openmsp430_class().unwrap();
     println!("gates: {}", sys.cpu().netlist().gate_count());
     let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
+    let lane_width = par::resolve_lanes(lanes);
     // One layer of parallelism at a time: when benchmarks already fan out
     // across the pool, each analysis explores single-threaded.
     let explore_threads = if suite_workers > 1 { 1 } else { 0 };
     let t_suite = Instant::now();
-    let rows = par::par_map(suite_workers, benches, |_, b| {
-        let t0 = Instant::now();
-        let program = b.program().unwrap();
-        let r = CoAnalysis::new(&sys)
-            .config(ExploreConfig {
-                widen_threshold: b.widen_threshold(),
-                max_total_cycles: 5_000_000,
-                threads: explore_threads,
-                ..ExploreConfig::default()
-            })
-            .energy_rounds(b.energy_rounds())
-            .run(&program);
-        let seconds = t0.elapsed().as_secs_f64();
-        let line = match r {
-            Ok(a) => {
-                let s = a.stats();
-                let e = a.peak_energy();
-                format!(
-                    "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={} [{:.2?}]",
-                    b.name(), a.peak_power().peak_mw, e.npe_j_per_cycle,
-                    a.tree().segments().len(), s.cycles, s.forks, s.merges, s.widenings,
-                    e.converged, t0.elapsed()
-                )
+    let rows = par::par_map_labeled(
+        suite_workers,
+        benches,
+        |_, b| b.name().to_string(),
+        |_, b| {
+            let t0 = Instant::now();
+            let program = b.program().unwrap();
+            let r = CoAnalysis::new(&sys)
+                .config(ExploreConfig {
+                    widen_threshold: b.widen_threshold(),
+                    max_total_cycles: 5_000_000,
+                    threads: explore_threads,
+                    ..ExploreConfig::default()
+                })
+                .energy_rounds(b.energy_rounds())
+                .run(&program);
+            let line = match r {
+                Ok(a) => {
+                    let val = if validate_runs > 0 {
+                        let mut rng =
+                            StdRng::seed_from_u64(xbound_bench::SEED ^ name_salt(b.name()));
+                        let input_sets: Vec<Vec<u16>> =
+                            (0..validate_runs).map(|_| b.gen_inputs(&mut rng)).collect();
+                        let checks = a
+                            .validate_population(
+                                &program,
+                                &input_sets,
+                                b.max_concrete_cycles(),
+                                lane_width,
+                                1,
+                            )
+                            .expect("validation runs");
+                        let sound = checks.iter().filter(|c| c.is_sound()).count();
+                        assert_eq!(
+                            sound,
+                            checks.len(),
+                            "{}: soundness violation in batched validation",
+                            b.name()
+                        );
+                        format!(" val={sound}/{} ok", checks.len())
+                    } else {
+                        String::new()
+                    };
+                    let s = a.stats();
+                    let e = a.peak_energy();
+                    format!(
+                        "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={}{val} [{:.2?}]",
+                        b.name(), a.peak_power().peak_mw, e.npe_j_per_cycle,
+                        a.tree().segments().len(), s.cycles, s.forks, s.merges, s.widenings,
+                        e.converged, t0.elapsed()
+                    )
+                }
+                Err(e) => format!("{:10} ERROR: {e} [{:.2?}]", b.name(), t0.elapsed()),
+            };
+            Row {
+                name: b.name(),
+                line,
+                seconds: t0.elapsed().as_secs_f64(),
             }
-            Err(e) => format!("{:10} ERROR: {e} [{:.2?}]", b.name(), t0.elapsed()),
-        };
-        Row {
-            name: b.name(),
-            line,
-            seconds,
-        }
-    });
+        },
+    );
     for row in &rows {
         println!("{}", row.line);
     }
     let total = t_suite.elapsed().as_secs_f64();
+    let engine = match xbound_sim::EvalMode::from_env() {
+        xbound_sim::EvalMode::EventDriven => "event-driven",
+        xbound_sim::EvalMode::Levelized => "levelized oracle",
+    };
     println!(
-        "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {})",
+        "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {engine}, batch lanes: {lane_width})",
         rows.len(),
         suite_workers,
         if suite_workers == 1 { "" } else { "s" },
-        match xbound_sim::EvalMode::from_env() {
-            xbound_sim::EvalMode::EventDriven => "event-driven",
-            xbound_sim::EvalMode::Levelized => "levelized oracle",
-        }
     );
 
     if let Some(path) = json_path {
-        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        // Self-describing metadata first, then the per-benchmark timings.
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"engine\": \"{}\",\n  \"threads\": {suite_workers},\n  \"batch_lanes\": {lane_width},\n  \"validate_runs\": {validate_runs},\n",
+            if engine == "event-driven" { "event-driven" } else { "levelized" },
+        ));
+        json.push_str("  \"benchmarks\": [\n");
         for (i, row) in rows.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{}\n",

@@ -12,15 +12,55 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xbound_baselines::profiling::{profile, ProfilingResult, RunStat};
+use xbound_baselines::stressmark::GaConfig;
 use xbound_benchsuite::Benchmark;
 use xbound_core::{Analysis, AnalysisError, CoAnalysis, ExploreConfig, UlpSystem};
 
 /// Seed for every randomized experiment (reproducible runs).
 pub const SEED: u64 = 0xA5F0_2017;
 
-/// Number of random input sets per profiling campaign.
+/// Default number of random input sets per profiling campaign.
 pub const PROFILE_RUNS: usize = 8;
+
+static PROFILE_RUNS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static GA_POPULATION_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of random input sets per profiling campaign
+/// ([`PROFILE_RUNS`] unless overridden by [`set_profile_runs`], e.g. the
+/// `experiments --profile-runs N` flag). The batched concrete engine
+/// makes large populations cheap: lane groups share one gate pass.
+pub fn profile_runs() -> usize {
+    match PROFILE_RUNS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => PROFILE_RUNS,
+        n => n,
+    }
+}
+
+/// Overrides the profiling population size for this process (0 restores
+/// the default).
+pub fn set_profile_runs(n: usize) {
+    PROFILE_RUNS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The stressmark GA configuration ([`GaConfig::default`] unless the
+/// population was overridden by [`set_ga_population`], e.g. the
+/// `experiments --ga-pop N` flag).
+pub fn ga_config() -> GaConfig {
+    let mut cfg = GaConfig::default();
+    if let n @ 1.. = GA_POPULATION_OVERRIDE.load(Ordering::Relaxed) {
+        cfg.population = n;
+        cfg.elitism = cfg.elitism.min(n.saturating_sub(1)).max(1);
+    }
+    cfg
+}
+
+/// Overrides the stressmark GA population size for this process (0
+/// restores the default).
+pub fn set_ga_population(n: usize) {
+    GA_POPULATION_OVERRIDE.store(n, Ordering::Relaxed);
+}
 
 /// The experiment harness context.
 pub struct Harness {
@@ -106,13 +146,20 @@ impl Harness {
         seed_salt: u64,
     ) -> Result<ProfilingResult, AnalysisError> {
         let mut rng = StdRng::seed_from_u64(SEED ^ seed_salt);
-        let mut result = profile(system, bench, PROFILE_RUNS, &mut rng)?;
+        let mut result = profile(system, bench, profile_runs(), &mut rng)?;
         // Extremal inputs join the campaign (legitimately part of choosing
-        // profiling inputs; raises the observed peak).
+        // profiling inputs; raises the observed peak). They batch into
+        // lane groups like the random population above.
         let program = bench.program().expect("assembles");
-        for inputs in bench.stress_inputs() {
-            let (_, trace) =
-                system.profile_concrete(&program, &inputs, bench.max_concrete_cycles())?;
+        let stress_sets = bench.stress_inputs();
+        let stress_runs = system.profile_concrete_population(
+            &program,
+            &stress_sets,
+            bench.max_concrete_cycles(),
+            0,
+            1,
+        )?;
+        for (inputs, (_, trace)) in stress_sets.into_iter().zip(stress_runs) {
             let stat = RunStat {
                 inputs,
                 peak_mw: trace.peak_mw(),

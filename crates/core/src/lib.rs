@@ -61,7 +61,7 @@ pub use activity::{ExploreConfig, ExploreStats, SymbolicExplorer};
 pub use coi::{cycles_of_interest, CycleOfInterest};
 pub use peak_power::{compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult};
 pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
-pub use validate::{DominanceReport, SupersetReport};
+pub use validate::{ConcreteRunCheck, DominanceReport, SupersetReport};
 
 /// Errors from the co-analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +212,138 @@ impl UlpSystem {
         let trace = self.analyzer().analyze(&frames);
         Ok((frames, trace))
     }
+
+    /// Batched [`UlpSystem::profile_concrete`]: runs up to
+    /// [`xbound_logic::MAX_LANES`] input sets of the same program through
+    /// one [`xbound_sim::BatchSimulator`] — one gate pass per cycle for
+    /// the whole group. Each returned `(frames, trace)` is bit-identical
+    /// to an independent [`UlpSystem::profile_concrete`] run of that
+    /// input set (lanes never interact; the per-lane power accumulation
+    /// replays the scalar order).
+    ///
+    /// Lanes halt independently; a lane's frames and trace stop at its
+    /// own `jmp $` self-loop even when other lanes run longer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::CycleBudget`] if any lane fails to halt
+    /// within `max_cycles`, or a simulator error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_sets` is empty or longer than
+    /// [`xbound_logic::MAX_LANES`].
+    pub fn profile_concrete_batch(
+        &self,
+        program: &Program,
+        input_sets: &[Vec<u16>],
+        max_cycles: u64,
+    ) -> Result<Vec<(Vec<Frame>, PowerTrace)>, AnalysisError> {
+        let lanes = input_sets.len();
+        assert!(
+            (1..=xbound_logic::MAX_LANES).contains(&lanes),
+            "input population of {lanes} exceeds one batch"
+        );
+        let mut sim = self.cpu.new_batch_sim(lanes);
+        Cpu::load_program_batch(&mut sim, program, true);
+        for (lane, inputs) in input_sets.iter().enumerate() {
+            Cpu::set_inputs_lane(&mut sim, lane, inputs);
+        }
+        let analyzer = self.analyzer();
+        // Power accumulates streaming (no batch-frame sequence is ever
+        // materialized), and each lane's scalar frame is reconstructed
+        // incrementally: only nets whose batch word changed since the
+        // previous cycle are rewritten, then the per-lane frame is stored
+        // by (cheap, word-packed) clone — the same storage the scalar
+        // path produces.
+        let mut acc = analyzer.batch_accumulator(lanes);
+        let mut prev: Option<xbound_logic::BatchFrame> = None;
+        let mut cur_lane: Vec<Frame> = Vec::new();
+        let mut lane_frames: Vec<Vec<Frame>> = vec![Vec::new(); lanes];
+        // One-past-the-halt-frame cycle count per lane (0 = still running).
+        let mut lane_cycles = vec![0usize; lanes];
+        let mut running = lanes;
+        for _ in 0..max_cycles {
+            sim.eval()?;
+            let bf = sim.frame();
+            match &mut prev {
+                None => {
+                    cur_lane = (0..lanes).map(|l| bf.lane_frame(l)).collect();
+                    prev = Some(bf.clone());
+                }
+                Some(prev) => {
+                    for i in 0..bf.len() {
+                        let p = prev.get(i);
+                        let q = bf.get(i);
+                        let mut changed = (p.val ^ q.val) | (p.unk ^ q.unk);
+                        while changed != 0 {
+                            let l = changed.trailing_zeros() as usize;
+                            cur_lane[l].set(i, q.get(l));
+                            changed &= changed - 1;
+                        }
+                    }
+                    prev.clone_from(bf);
+                }
+            }
+            acc.push(bf);
+            for (lane, n) in lane_cycles.iter_mut().enumerate() {
+                if *n == 0 {
+                    lane_frames[lane].push(cur_lane[lane].clone());
+                    let halt = self.cpu.state_lane(&sim, lane) == Some(xbound_cpu::State::Decode)
+                        && self.cpu.ir_word_lane(&sim, lane).to_u16() == Some(0x3FFF);
+                    if halt {
+                        *n = lane_frames[lane].len();
+                        running -= 1;
+                    }
+                }
+            }
+            if running == 0 {
+                break;
+            }
+            sim.commit();
+        }
+        if running > 0 {
+            return Err(AnalysisError::CycleBudget {
+                cycles: acc.cycles() as u64,
+            });
+        }
+        let traces = acc.finish(Some(&lane_cycles));
+        Ok(lane_frames.into_iter().zip(traces).collect())
+    }
+
+    /// Runs a whole population of input sets through the batched engine,
+    /// chunked into lane groups of `lanes` (0 = auto, see
+    /// [`par::resolve_lanes`]) that fan out across `threads` workers
+    /// (0 = auto) — parallelism × bit-parallelism. Output order matches
+    /// `input_sets`, and every entry is bit-identical to a scalar
+    /// [`UlpSystem::profile_concrete`] run at any lane width or thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing chunk's error in population order.
+    pub fn profile_concrete_population(
+        &self,
+        program: &Program,
+        input_sets: &[Vec<u16>],
+        max_cycles: u64,
+        lanes: usize,
+        threads: usize,
+    ) -> Result<Vec<(Vec<Frame>, PowerTrace)>, AnalysisError> {
+        if input_sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let lanes = par::resolve_lanes(lanes);
+        let chunks: Vec<&[Vec<u16>]> = input_sets.chunks(lanes).collect();
+        let results = par::par_map(threads, chunks, |_, chunk| {
+            self.profile_concrete_batch(program, chunk, max_cycles)
+        });
+        let mut out = Vec::with_capacity(input_sets.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
 }
 
 /// Builder for one co-analysis run.
@@ -336,5 +468,37 @@ impl Analysis<'_> {
             concrete_frames,
             measured.per_cycle_mw(),
         )
+    }
+
+    /// Validates the analysis against a whole population of concrete
+    /// runs through the batched engine (Figs 12 + 13 at scale): input
+    /// sets are chunked into lane groups (`lanes`, 0 = auto) that fan
+    /// out across `threads` workers (0 = auto), and each run is checked
+    /// for toggle-superset and power dominance. Reports are ordered like
+    /// `input_sets` and bit-identical to per-run scalar validation at
+    /// any lane width or thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates concrete-simulation errors (e.g. a run exceeding
+    /// `max_cycles`).
+    pub fn validate_population(
+        &self,
+        program: &Program,
+        input_sets: &[Vec<u16>],
+        max_cycles: u64,
+        lanes: usize,
+        threads: usize,
+    ) -> Result<Vec<ConcreteRunCheck>, AnalysisError> {
+        let runs = self
+            .system
+            .profile_concrete_population(program, input_sets, max_cycles, lanes, threads)?;
+        Ok(runs
+            .iter()
+            .map(|(frames, trace)| ConcreteRunCheck {
+                superset: self.check_superset(frames),
+                dominance: self.check_dominance(frames, trace),
+            })
+            .collect())
     }
 }

@@ -552,6 +552,7 @@ mod tests {
                 if !parity.matches(c as u64) {
                     continue;
                 }
+                #[allow(clippy::needless_range_loop)] // indexes three parallel rows
                 for i in 0..n {
                     let had_x = rows[c][i] == X || rows[c - 1][i] == X;
                     let driven = nl.driver_of(xbound_netlist::NetId(i as u32)).is_some();
@@ -630,8 +631,8 @@ mod tests {
         prev.set(rstn.index(), One);
         let cur = prev.clone();
         let st = stability(&nl, &prev, &cur);
-        for i in 0..nl.net_count() {
-            assert!(st[i], "net {i} should be stable");
+        for (i, stable) in st.iter().enumerate().take(nl.net_count()) {
+            assert!(stable, "net {i} should be stable");
         }
     }
 
@@ -643,10 +644,7 @@ mod tests {
         let n = nl.net_count();
         let rows: Vec<Vec<Lv>> = vec![vec![Zero; n]; 2];
         let root = {
-            let frames: Vec<Frame> = rows
-                .iter()
-                .map(|r0| r0.iter().enumerate().map(|(_, v)| *v).collect())
-                .collect();
+            let frames: Vec<Frame> = rows.iter().map(|r0| r0.iter().copied().collect()).collect();
             tree.push(Segment {
                 parent: None,
                 start_cycle: 0,

@@ -189,11 +189,11 @@ impl ExecutionTree {
                     out[i] = true;
                 }
                 // X endpoints can toggle even when structurally equal.
-                for i in 0..net_count {
-                    if !out[i]
+                for (i, o) in out.iter_mut().enumerate() {
+                    if !*o
                         && (cur.get(i) == xbound_logic::Lv::X || prev.get(i) == xbound_logic::Lv::X)
                     {
-                        out[i] = true;
+                        *o = true;
                     }
                 }
             }

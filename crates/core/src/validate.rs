@@ -111,6 +111,25 @@ pub fn follow_path(
     Some(out)
 }
 
+/// Soundness checks of one concrete run against an analysis, as produced
+/// by [`crate::Analysis::validate_population`] — the Fig 12 toggle
+/// superset and the Fig 13 power dominance in one record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcreteRunCheck {
+    /// Toggle-superset report (Fig 12).
+    pub superset: SupersetReport,
+    /// Power-dominance report (Fig 13); `None` when the concrete run left
+    /// the explored tree, which indicates an analysis bug.
+    pub dominance: Option<DominanceReport>,
+}
+
+impl ConcreteRunCheck {
+    /// `true` when both soundness properties hold for this run.
+    pub fn is_sound(&self) -> bool {
+        self.superset.is_sound() && self.dominance.as_ref().is_some_and(|d| d.is_sound())
+    }
+}
+
 /// Result of the power-dominance check (Fig 13).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DominanceReport {

@@ -1,0 +1,92 @@
+//! The batched concrete engine against the scalar one: frames, power
+//! traces, and validation reports must be bit-identical per input set at
+//! any lane width or thread count.
+
+use xbound_core::{CoAnalysis, UlpSystem};
+use xbound_msp430::assemble;
+
+fn system() -> UlpSystem {
+    UlpSystem::openmsp430_class().expect("system builds")
+}
+
+/// An input-dependent program: different inputs take different branches
+/// and touch different data, so lanes genuinely diverge.
+const SRC: &str = r#"
+main:
+    mov &0x0020, r4
+    mov &0x0022, r5
+    cmp r4, r5
+    jl  lesser
+    add r4, r5
+    mov r5, &0x0200
+    jmp done
+lesser:
+    xor r4, r5
+    mov r5, &0x0202
+done:
+    mov &0x0024, r6
+    add r6, r6
+    mov r6, &0x0204
+    jmp $
+"#;
+
+#[test]
+fn batched_runs_are_bit_identical_to_scalar_runs() {
+    let sys = system();
+    let program = assemble(SRC).unwrap();
+    let input_sets: Vec<Vec<u16>> = vec![
+        vec![0, 0, 0],
+        vec![1, 2, 3],
+        vec![0xFFFF, 0, 0xAAAA],
+        vec![7, 7, 7],
+        vec![0x8000, 0x7FFF, 1],
+    ];
+    let batched = sys
+        .profile_concrete_batch(&program, &input_sets, 10_000)
+        .expect("batch runs");
+    assert_eq!(batched.len(), input_sets.len());
+    for (inputs, (bframes, btrace)) in input_sets.iter().zip(&batched) {
+        let (sframes, strace) = sys
+            .profile_concrete(&program, inputs, 10_000)
+            .expect("scalar runs");
+        assert_eq!(bframes, &sframes, "frames differ for inputs {inputs:?}");
+        assert_eq!(btrace, &strace, "trace differs for inputs {inputs:?}");
+    }
+}
+
+#[test]
+fn population_results_independent_of_lane_width_and_threads() {
+    let sys = system();
+    let program = assemble(SRC).unwrap();
+    let input_sets: Vec<Vec<u16>> = (0..7).map(|i| vec![i * 31, 0xFFFF - i, i * i]).collect();
+    let reference = sys
+        .profile_concrete_population(&program, &input_sets, 10_000, 1, 1)
+        .expect("runs");
+    for (lanes, threads) in [(2, 1), (3, 2), (32, 4), (64, 1)] {
+        let got = sys
+            .profile_concrete_population(&program, &input_sets, 10_000, lanes, threads)
+            .expect("runs");
+        assert_eq!(
+            got, reference,
+            "population results differ at lanes={lanes} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn validate_population_is_sound_and_width_independent() {
+    let sys = system();
+    let program = assemble(SRC).unwrap();
+    let analysis = CoAnalysis::new(&sys).run(&program).expect("analyzes");
+    let input_sets: Vec<Vec<u16>> = (0..5).map(|i| vec![i, 1000 - i, i * 3]).collect();
+    let a = analysis
+        .validate_population(&program, &input_sets, 10_000, 2, 2)
+        .expect("validates");
+    let b = analysis
+        .validate_population(&program, &input_sets, 10_000, 5, 1)
+        .expect("validates");
+    assert_eq!(a, b, "reports depend on lane grouping");
+    for (i, check) in a.iter().enumerate() {
+        assert!(check.is_sound(), "run {i} violates soundness: {check:?}");
+    }
+}

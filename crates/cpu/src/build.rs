@@ -407,7 +407,7 @@ pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
     };
     let sxt_res: Bus = {
         let mut v: Bus = b_operand[0..8].to_vec();
-        v.extend(std::iter::repeat_n(b_operand[7], 8));
+        v.extend(std::iter::repeat(b_operand[7]).take(8));
         v
     };
 
@@ -594,7 +594,7 @@ pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
         v.push(r.zero()); // << 1
         v.extend_from_slice(&ir[0..10]);
         let sign = ir[9];
-        v.extend(std::iter::repeat_n(sign, 5));
+        v.extend(std::iter::repeat(sign).take(5));
         v
     };
     let (pc_branch, _) = r.add(&pc, &off_sext, None);
@@ -656,10 +656,7 @@ pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
         let a = r.and(s_srcrd, o_autoinc);
         r.and(a, oreg_is_pc)
     };
-    let dec_branch = {
-        let a = r.and(s_decode, branch_taken);
-        a
-    };
+    let dec_branch = r.and(s_decode, branch_taken);
     let call_now = r.and(s_pushwr, one_call);
     let pc_from_inc = {
         let a = r.or(s_fetch, s_srcidx);
@@ -837,10 +834,7 @@ pub fn build_cpu() -> Result<(Netlist, CpuIo), NetlistError> {
     let not_abs = r.not(idx_is_r2);
     let base = r.mask_bus(&base_raw, not_abs);
     let (idx_addr, _) = r.add(&mem_rdata, &base, None);
-    let mar_d = {
-        let dec = r.mux_bus(s_decode, &idx_addr, &regread);
-        dec
-    };
+    let mar_d = r.mux_bus(s_decode, &idx_addr, &regread);
     let mar_en = {
         let d = r.and(s_decode, o_ind);
         let i = r.or(s_srcidx, s_dstidx);

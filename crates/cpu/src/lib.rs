@@ -37,7 +37,10 @@ pub use build::{build_cpu, CpuIo, State};
 use xbound_logic::{Lv, XWord};
 use xbound_msp430::{memmap, Program};
 use xbound_netlist::{Netlist, NetlistError};
-use xbound_sim::{BusSpec, MemRegion, RegionKind, Simulator};
+use xbound_sim::{BatchSimulator, BusSpec, MemRegion, RegionKind, Simulator};
+
+/// Word writes destined for one memory region: `(byte address, value)`.
+type RegionImage = Vec<(u16, XWord)>;
 
 /// The built core: netlist + net-level interface.
 #[derive(Debug, Clone)]
@@ -143,6 +146,66 @@ impl Cpu {
         sim
     }
 
+    /// Creates a batched simulator ([`BatchSimulator`]) with `lanes`
+    /// independent copies of the standard memory map — one concrete run
+    /// per lane, one gate pass for all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the generated netlist and bus spec disagree (a bug),
+    /// or if `lanes` is outside the supported range.
+    pub fn new_batch_sim(&self, lanes: usize) -> BatchSimulator<'_> {
+        let mut sim = BatchSimulator::new(&self.nl, lanes);
+        let bus = BusSpec {
+            addr: self.io.bus_addr.clone(),
+            wdata: self.io.bus_wdata.clone(),
+            rdata: self.io.bus_rdata.clone(),
+            wen: Some(self.io.bus_wen),
+        };
+        let mems = vec![
+            MemRegion::new(
+                "pmem",
+                RegionKind::Rom,
+                memmap::PMEM_BASE,
+                memmap::PMEM_WORDS,
+            ),
+            MemRegion::new(
+                "dmem",
+                RegionKind::Ram,
+                memmap::DMEM_BASE,
+                memmap::DMEM_WORDS,
+            ),
+            MemRegion::new(
+                "inport",
+                RegionKind::Port,
+                memmap::INPORT_BASE,
+                memmap::INPORT_WORDS,
+            ),
+        ];
+        sim.attach_bus(bus, mems).expect("CPU bus spec is valid");
+        sim
+    }
+
+    /// Splits a program into its memory-region write lists: `(pmem,
+    /// dmem)` — the single home of the image-layout rules (ROM address
+    /// filter, data-section window, reset vector), shared by the scalar
+    /// and batched loaders so they cannot diverge.
+    fn program_images(program: &Program) -> (RegionImage, RegionImage) {
+        let mut pmem = Vec::new();
+        let mut dmem = Vec::new();
+        let dmem_end = memmap::DMEM_BASE + (memmap::DMEM_WORDS as u16) * 2;
+        for &(addr, w) in program.words() {
+            if addr >= memmap::PMEM_BASE {
+                pmem.push((addr, XWord::from_u16(w)));
+            }
+            if (memmap::DMEM_BASE..dmem_end).contains(&addr) {
+                dmem.push((addr, XWord::from_u16(w)));
+            }
+        }
+        pmem.push((memmap::RESET_VECTOR, XWord::from_u16(program.entry())));
+        (pmem, dmem)
+    }
+
     /// Loads a program image and schedules a 2-cycle reset.
     ///
     /// Image words at ROM addresses initialize `pmem`; words at RAM
@@ -151,6 +214,7 @@ impl Cpu {
     /// port are zero-filled to match the ISS initial state; otherwise they
     /// stay all-X (the paper's symbolic initial condition).
     pub fn load_program(sim: &mut Simulator<'_>, program: &Program, concrete: bool) {
+        let (pimg, dimg) = Cpu::program_images(program);
         if concrete {
             sim.mem_mut("dmem").expect("dmem").fill(XWord::from_u16(0));
             sim.mem_mut("inport")
@@ -163,38 +227,87 @@ impl Cpu {
         }
         {
             let pmem = sim.mem_mut("pmem").expect("pmem");
-            for &(addr, w) in program.words() {
-                if addr >= memmap::PMEM_BASE {
-                    pmem.write(addr, XWord::from_u16(w));
-                }
+            for &(addr, w) in &pimg {
+                pmem.write(addr, w);
             }
-            pmem.write(memmap::RESET_VECTOR, XWord::from_u16(program.entry()));
         }
         {
             let dmem = sim.mem_mut("dmem").expect("dmem");
-            for &(addr, w) in program.words() {
-                let dmem_end = memmap::DMEM_BASE + (memmap::DMEM_WORDS as u16) * 2;
-                if (memmap::DMEM_BASE..dmem_end).contains(&addr) {
-                    dmem.write(addr, XWord::from_u16(w));
-                }
+            for &(addr, w) in &dimg {
+                dmem.write(addr, w);
             }
         }
         sim.reset(2);
     }
 
-    /// Writes harness-provided input values into the input-port region.
-    pub fn set_inputs(sim: &mut Simulator<'_>, values: &[u16]) {
-        let port = sim.mem_mut("inport").expect("inport");
+    /// Writes `values` into an input-port region, word by word.
+    fn write_inputs(port: &mut MemRegion, values: &[u16]) {
         for (i, v) in values.iter().enumerate() {
             port.write(memmap::INPORT_BASE + (i * 2) as u16, XWord::from_u16(*v));
         }
     }
 
-    /// Reads the FSM state from the current frame (if one-hot and known).
-    pub fn state(&self, sim: &Simulator<'_>) -> Option<State> {
+    /// Writes harness-provided input values into the input-port region.
+    pub fn set_inputs(sim: &mut Simulator<'_>, values: &[u16]) {
+        Cpu::write_inputs(sim.mem_mut("inport").expect("inport"), values);
+    }
+
+    /// [`Cpu::load_program`] into one lane of a batched simulator. Lanes
+    /// may carry different programs (the stressmark GA scores a whole
+    /// population per batch); the shared 2-cycle reset is scheduled once.
+    pub fn load_program_lane(
+        sim: &mut BatchSimulator<'_>,
+        lane: usize,
+        program: &Program,
+        concrete: bool,
+    ) {
+        let (pimg, dimg) = Cpu::program_images(program);
+        if concrete {
+            sim.mem_mut_lane("dmem", lane)
+                .expect("dmem")
+                .fill(XWord::from_u16(0));
+            sim.mem_mut_lane("inport", lane)
+                .expect("inport")
+                .fill(XWord::from_u16(0));
+            sim.mem_mut_lane("pmem", lane)
+                .expect("pmem")
+                .fill(XWord::from_u16(0));
+        }
+        {
+            let pmem = sim.mem_mut_lane("pmem", lane).expect("pmem");
+            for &(addr, w) in &pimg {
+                pmem.write(addr, w);
+            }
+        }
+        {
+            let dmem = sim.mem_mut_lane("dmem", lane).expect("dmem");
+            for &(addr, w) in &dimg {
+                dmem.write(addr, w);
+            }
+        }
+        sim.reset(2);
+    }
+
+    /// Loads the same program image into every lane of a batched
+    /// simulator and schedules the shared 2-cycle reset.
+    pub fn load_program_batch(sim: &mut BatchSimulator<'_>, program: &Program, concrete: bool) {
+        for lane in 0..sim.lanes() {
+            Cpu::load_program_lane(sim, lane, program, concrete);
+        }
+    }
+
+    /// Writes harness-provided input values into one lane's input-port
+    /// region (lanes usually differ exactly here).
+    pub fn set_inputs_lane(sim: &mut BatchSimulator<'_>, lane: usize, values: &[u16]) {
+        Cpu::write_inputs(sim.mem_mut_lane("inport", lane).expect("inport"), values);
+    }
+
+    /// One-hot decode of the FSM state nets under an arbitrary net reader
+    /// (shared by the scalar and per-lane batched accessors).
+    fn state_from(&self, read: impl Fn(xbound_netlist::NetId) -> Lv) -> Option<State> {
         let mut found = None;
         for (i, &net) in self.io.states.iter().enumerate() {
-            match sim.value(net) {
+            match read(net) {
                 Lv::One => {
                     if found.is_some() {
                         return None; // not one-hot
@@ -206,6 +319,11 @@ impl Cpu {
             }
         }
         found
+    }
+
+    /// Reads the FSM state from the current frame (if one-hot and known).
+    pub fn state(&self, sim: &Simulator<'_>) -> Option<State> {
+        self.state_from(|net| sim.value(net))
     }
 
     /// Extracts the architectural state from the current frame.
@@ -232,6 +350,17 @@ impl Cpu {
     /// The instruction register value in the current frame.
     pub fn ir_word(&self, sim: &Simulator<'_>) -> XWord {
         sim.value_word(&self.io.ir)
+    }
+
+    /// Reads one lane's FSM state from a batched simulator's current
+    /// frame (if one-hot and known) — the per-lane [`Cpu::state`].
+    pub fn state_lane(&self, sim: &BatchSimulator<'_>, lane: usize) -> Option<State> {
+        self.state_from(|net| sim.value_lane(net, lane))
+    }
+
+    /// One lane's instruction register value in the current frame.
+    pub fn ir_word_lane(&self, sim: &BatchSimulator<'_>, lane: usize) -> XWord {
+        sim.value_word_lane(&self.io.ir, lane)
     }
 
     /// Runs until the next cycle whose settled frame is in `FETCH` state, or

@@ -32,6 +32,15 @@ pub struct Frame {
 }
 
 impl Frame {
+    /// Builds a frame directly from its packed bit-planes (one bit per
+    /// net). Used by the batched-frame lane extraction; callers must
+    /// uphold the `val & unk == 0` invariant and zero tail bits.
+    pub(crate) fn from_bitplanes(len: usize, val: Vec<u64>, unk: Vec<u64>) -> Frame {
+        debug_assert_eq!(val.len(), len.div_ceil(64));
+        debug_assert_eq!(unk.len(), len.div_ceil(64));
+        Frame { len, val, unk }
+    }
+
     /// Creates a frame of `len` nets, all `0`.
     pub fn new(len: usize) -> Frame {
         let words = len.div_ceil(64);

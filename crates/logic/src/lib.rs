@@ -21,9 +21,11 @@
 //! assert_eq!(Lv::X.xor(Lv::One), Lv::X);
 //! ```
 
+pub mod batch;
 mod frame;
 mod word;
 
+pub use batch::{BatchFrame, LaneVal, MAX_LANES};
 pub use frame::Frame;
 pub use word::XWord;
 
@@ -98,6 +100,9 @@ impl Lv {
     }
 
     /// Logical negation; `X` stays `X`.
+    // An inherent `not` (like `and`/`or`) keeps the three-valued gate
+    // algebra in one naming scheme; `!lv` via `ops::Not` also works.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn not(self) -> Lv {
         match self {
@@ -222,6 +227,14 @@ impl std::fmt::Display for Lv {
 impl From<bool> for Lv {
     fn from(b: bool) -> Lv {
         Lv::from_bool(b)
+    }
+}
+
+impl std::ops::Not for Lv {
+    type Output = Lv;
+
+    fn not(self) -> Lv {
+        Lv::not(self)
     }
 }
 

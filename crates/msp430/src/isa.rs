@@ -144,12 +144,12 @@ impl OneOp {
     fn opcode9(self) -> u16 {
         // Bits [15:7] of the instruction word.
         match self {
-            OneOp::Rrc => 0b000100_000,
-            OneOp::Swpb => 0b000100_001,
-            OneOp::Rra => 0b000100_010,
-            OneOp::Sxt => 0b000100_011,
-            OneOp::Push => 0b000100_100,
-            OneOp::Call => 0b000100_101,
+            OneOp::Rrc => 0b000_100_000,
+            OneOp::Swpb => 0b000_100_001,
+            OneOp::Rra => 0b000_100_010,
+            OneOp::Sxt => 0b000_100_011,
+            OneOp::Push => 0b000_100_100,
+            OneOp::Call => 0b000_100_101,
         }
     }
 
@@ -447,7 +447,7 @@ pub fn encode_opt(instr: &Instr, force_imm_ext: bool) -> Result<Vec<u16>, IsaErr
                     (r, m, e)
                 }
             };
-            let w = ((op.opcode9()) << 7) | ((mode as u16) << 4) | reg as u16;
+            let w = ((op.opcode9()) << 7) | (mode << 4) | reg as u16;
             let mut out = vec![w];
             out.extend(ext);
             Ok(out)

@@ -205,10 +205,14 @@ mod tests {
         use memmap::*;
         let inport_end = INPORT_BASE + (INPORT_WORDS as u16) * 2;
         assert!(inport_end <= P1OUT);
-        assert!(P1OUT < WDTCTL);
-        assert!(WDTCTL < MPY);
-        assert!(RESHI < DBG0);
-        assert!(DBG1 < DMEM_BASE);
+        // Region ordering is a compile-time property of the memory map.
+        const _: () = {
+            use memmap::*;
+            assert!(P1OUT < WDTCTL);
+            assert!(WDTCTL < MPY);
+            assert!(RESHI < DBG0);
+            assert!(DBG1 < DMEM_BASE);
+        };
         let dmem_end = DMEM_BASE as u32 + (DMEM_WORDS as u32) * 2;
         assert!(dmem_end <= PMEM_BASE as u32);
         let pmem_end = PMEM_BASE as u32 + (PMEM_WORDS as u32) * 2;

@@ -51,7 +51,7 @@ pub mod statics;
 pub mod vcd;
 
 use xbound_cells::CellLibrary;
-use xbound_logic::{Frame, Lv};
+use xbound_logic::{BatchFrame, Frame, Lv};
 use xbound_netlist::{CellKind, Netlist};
 
 /// A per-cycle power trace produced by [`PowerAnalyzer::analyze`].
@@ -299,6 +299,57 @@ impl<'a> PowerAnalyzer<'a> {
         }
     }
 
+    /// Batched [`PowerAnalyzer::analyze`]: one pass over a
+    /// [`BatchFrame`] sequence produces one independent [`PowerTrace`]
+    /// per lane, from lane-wise toggle masks.
+    ///
+    /// `lane_cycles` optionally truncates each lane's trace to its first
+    /// `lane_cycles[l]` cycles (a lane that halted early ignores the
+    /// cycles simulated past its halt); `None` analyzes every lane over
+    /// the full sequence.
+    ///
+    /// Each lane's trace is **bit-identical** to
+    /// `analyze(&lane_frames[..lane_cycles[l]])` of that lane's scalar
+    /// frames: per lane, transition energies accumulate in the same
+    /// ascending-net order with the same f64 operations.
+    ///
+    /// Callers that do not already hold the frame sequence should feed a
+    /// [`BatchPowerAccumulator`] cycle by cycle instead of materializing
+    /// it (a batch frame is `16 bytes × nets` regardless of lane count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames disagree in lane count or length, or if
+    /// `lane_cycles` has the wrong arity or exceeds the sequence length.
+    pub fn analyze_batch(
+        &self,
+        frames: &[BatchFrame],
+        lane_cycles: Option<&[usize]>,
+    ) -> Vec<PowerTrace> {
+        let Some(first) = frames.first() else {
+            return Vec::new();
+        };
+        let mut acc = self.batch_accumulator(first.lanes());
+        for f in frames {
+            acc.push(f);
+        }
+        acc.finish(lane_cycles)
+    }
+
+    /// Creates a streaming accumulator for batched per-lane power
+    /// analysis; push one settled [`BatchFrame`] per cycle and
+    /// [`BatchPowerAccumulator::finish`] into per-lane traces.
+    pub fn batch_accumulator(&self, lanes: usize) -> BatchPowerAccumulator<'_> {
+        BatchPowerAccumulator {
+            analyzer: self,
+            lanes,
+            prev: None,
+            per_cycle: vec![Vec::new(); lanes],
+            per_module: vec![vec![Vec::new(); self.nl.modules().len()]; lanes],
+            cycle_fj: vec![0.0; lanes],
+        }
+    }
+
     /// The design-specification "rated" peak power: every gate makes its
     /// maximum-energy transition every cycle, milliwatts.
     ///
@@ -321,6 +372,132 @@ impl<'a> PowerAnalyzer<'a> {
             });
         }
         counts
+    }
+}
+
+/// Streaming batched power analysis: one settled [`BatchFrame`] pushed
+/// per cycle, per-lane [`PowerTrace`]s out — without ever materializing
+/// the frame sequence (see [`PowerAnalyzer::batch_accumulator`]).
+///
+/// Per lane, energies accumulate in the exact order and with the exact
+/// f64 operations of the scalar [`PowerAnalyzer::analyze`], so the
+/// finished traces are bit-identical to per-lane scalar analysis.
+#[derive(Debug, Clone)]
+pub struct BatchPowerAccumulator<'a> {
+    analyzer: &'a PowerAnalyzer<'a>,
+    lanes: usize,
+    prev: Option<BatchFrame>,
+    /// `[lane][cycle]`.
+    per_cycle: Vec<Vec<f64>>,
+    /// `[lane][module][cycle]`.
+    per_module: Vec<Vec<Vec<f64>>>,
+    cycle_fj: Vec<f64>,
+}
+
+impl BatchPowerAccumulator<'_> {
+    /// Number of cycles pushed so far.
+    pub fn cycles(&self) -> usize {
+        self.per_cycle.first().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Accumulates one settled cycle frame (transitions are counted
+    /// against the previously pushed frame; the first cycle is floor
+    /// power only, like the scalar analyzer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's lane count disagrees with the accumulator.
+    pub fn push(&mut self, frame: &BatchFrame) {
+        assert_eq!(frame.lanes(), self.lanes, "frame lane count mismatch");
+        let a = self.analyzer;
+        let floor = a.leakage_mw + a.clock_mw;
+        let c = self.cycles();
+        for pc in &mut self.per_cycle {
+            pc.push(floor);
+        }
+        for pm in &mut self.per_module {
+            for m in pm.iter_mut() {
+                m.push(0.0);
+            }
+        }
+        if let Some(prev) = &self.prev {
+            assert_eq!(prev.len(), frame.len(), "frame length mismatch");
+            let fj_to_mw = a.clock_hz * 1e-12;
+            self.cycle_fj.fill(0.0);
+            for i in 0..frame.len() {
+                let p = prev.get(i);
+                let q = frame.get(i);
+                let changed = (p.val ^ q.val) | (p.unk ^ q.unk);
+                if changed == 0 {
+                    continue;
+                }
+                let Some(gid) = a.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
+                    continue; // primary input toggles cost nothing themselves
+                };
+                let (rise_e, fall_e, max_e) = a.energies[gid.index()];
+                let module = a.nl.gate(gid).module().index();
+                // Per-lane transition classes; a changed lane lands in
+                // exactly one mask, so each lane accumulates at most one
+                // energy per net, in ascending net order (scalar order).
+                let known = !p.unk & !q.unk;
+                let rise = changed & known & !p.val & q.val;
+                let fall = changed & known & p.val & !q.val;
+                let xchg = changed & (p.unk | q.unk);
+                for (mask, e) in [(rise, rise_e), (fall, fall_e), (xchg, max_e)] {
+                    let mut m = mask;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        self.cycle_fj[l] += e;
+                        self.per_module[l][module][c] += e * fj_to_mw;
+                        m &= m - 1;
+                    }
+                }
+            }
+            for (l, fj) in self.cycle_fj.iter().enumerate() {
+                self.per_cycle[l][c] += fj * fj_to_mw;
+            }
+        }
+        match &mut self.prev {
+            Some(prev) => prev.clone_from(frame),
+            None => self.prev = Some(frame.clone()),
+        }
+    }
+
+    /// Finishes into one [`PowerTrace`] per lane. `lane_cycles`
+    /// optionally truncates each lane's trace to its first
+    /// `lane_cycles[l]` cycles (see [`PowerAnalyzer::analyze_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_cycles` has the wrong arity or exceeds the number
+    /// of pushed cycles.
+    pub fn finish(self, lane_cycles: Option<&[usize]>) -> Vec<PowerTrace> {
+        let pushed = self.cycles();
+        let full = vec![pushed; self.lanes];
+        let lane_cycles = lane_cycles.unwrap_or(&full);
+        assert_eq!(lane_cycles.len(), self.lanes, "one cycle count per lane");
+        for &n in lane_cycles {
+            assert!(n <= pushed, "lane cycle count exceeds pushed cycles");
+        }
+        let module_names = self.analyzer.nl.modules().to_vec();
+        self.per_cycle
+            .into_iter()
+            .zip(self.per_module)
+            .zip(lane_cycles)
+            .map(|((mut pc, mut pm), &n)| {
+                pc.truncate(n);
+                for m in pm.iter_mut() {
+                    m.truncate(n);
+                }
+                PowerTrace {
+                    per_cycle_mw: pc,
+                    per_module_mw: pm,
+                    module_names: module_names.clone(),
+                    clock_hz: self.analyzer.clock_hz,
+                    leakage_mw: self.analyzer.leakage_mw,
+                }
+            })
+            .collect()
     }
 }
 
@@ -478,6 +655,56 @@ mod tests {
         for w in b.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn analyze_batch_is_bit_identical_to_scalar_per_lane() {
+        use xbound_logic::BatchFrame;
+        // Two different stimuli on the same design, packed into two lanes.
+        let mut r = Rtl::new("cnt");
+        r.set_module("datapath");
+        let en = r.input_bit("en");
+        let (h, q) = r.reg("c", 8);
+        let one = r.one();
+        let (nx, _) = r.inc(&q, one);
+        let gated: Vec<_> = q.iter().zip(&nx).map(|(&q, &n)| r.mux(en, q, n)).collect();
+        r.reg_next(h, &gated);
+        r.output("q", &q);
+        let nl = r.finish().unwrap();
+        let en_net = nl.find_net("en").unwrap();
+        let mut lane_frames: Vec<Vec<Frame>> = Vec::new();
+        for drive in [Lv::One, Lv::X] {
+            let mut sim = Simulator::new(&nl);
+            sim.drive_input(en_net, drive);
+            sim.reset(1);
+            let mut frames = Vec::new();
+            for _ in 0..40 {
+                frames.push(sim.eval().unwrap().clone());
+                sim.commit();
+            }
+            lane_frames.push(frames);
+        }
+        let mut batch = Vec::new();
+        for c in 0..40 {
+            let mut bf = BatchFrame::new(nl.net_count(), 2);
+            for (l, frames) in lane_frames.iter().enumerate() {
+                for i in 0..nl.net_count() {
+                    bf.set_lane(i, l, frames[c].get(i));
+                }
+            }
+            batch.push(bf);
+        }
+        let lib = CellLibrary::ulp65();
+        let a = PowerAnalyzer::new(&nl, &lib, 100.0e6);
+        // Full length, and with lane 1 truncated (early halt shape).
+        let cuts = [40usize, 23];
+        let traces = a.analyze_batch(&batch, Some(&cuts));
+        for (l, t) in traces.iter().enumerate() {
+            let scalar = a.analyze(&lane_frames[l][..cuts[l]]);
+            assert_eq!(t, &scalar, "lane {l} trace differs from scalar");
+        }
+        let full = a.analyze_batch(&batch, None);
+        assert_eq!(full[0], a.analyze(&lane_frames[0]));
     }
 
     #[test]

@@ -1,0 +1,806 @@
+//! Bit-parallel batched concrete simulation: one gate pass, many runs.
+//!
+//! [`BatchSimulator`] simulates up to [`xbound_logic::MAX_LANES`] *independent* concrete
+//! runs of the same netlist simultaneously. Net values are stored as
+//! [`BatchFrame`]s (one bit per lane in a `u64` plane pair) and every gate
+//! evaluates word-wise through the [`LaneVal`] kernels, so the cost of a
+//! settled cycle is shared by all lanes. The engine is event-driven like
+//! the scalar [`crate::Simulator`]'s default mode and reuses the same netlist
+//! fanout/cone index; a gate is dirty when **any** lane of one of its
+//! inputs changed.
+//!
+//! Each lane owns its external-bus memories (program ROM, data RAM, input
+//! port), its input drives, and its flip-flop state — lanes never interact,
+//! so lane `l` of every frame is bit-identical to an independent scalar
+//! [`crate::Simulator`] run under the same stimulus (asserted by
+//! `crates/sim/tests/batch_differential.rs`). Forces are broadcast: a
+//! forced net takes the same value in every lane (forces belong to the
+//! symbolic explorer; batched runs are the concrete side of the flow).
+//!
+//! # Example
+//!
+//! ```
+//! use xbound_netlist::rtl::Rtl;
+//! use xbound_sim::BatchSimulator;
+//! use xbound_logic::Lv;
+//!
+//! // A 4-bit counter; lanes only differ through their stimulus.
+//! let mut r = Rtl::new("cnt");
+//! let en = r.input_bit("en");
+//! let (h, q) = r.reg("c", 4);
+//! let one = r.one();
+//! let (nx, _) = r.inc(&q, one);
+//! let gated: Vec<_> = q.iter().zip(&nx).map(|(&q, &n)| r.mux(en, q, n)).collect();
+//! r.reg_next(h, &gated);
+//! r.output("q", &q);
+//! let nl = r.finish().unwrap();
+//!
+//! let mut sim = BatchSimulator::new(&nl, 2);
+//! let en = nl.find_net("en").unwrap();
+//! sim.drive_input_lane(en, 0, Lv::Zero); // lane 0 holds
+//! sim.drive_input_lane(en, 1, Lv::One);  // lane 1 counts
+//! for _ in 0..5 {
+//!     sim.step();
+//! }
+//! sim.eval().unwrap();
+//! let q0 = nl.find_net("top/c_q[0]").unwrap();
+//! assert_eq!(sim.value_lane(q0, 0), Lv::Zero);
+//! assert_eq!(sim.value_lane(q0, 1), Lv::One); // 5 = 0b0101
+//! ```
+
+use std::collections::HashMap;
+use xbound_logic::{BatchFrame, Frame, LaneVal, Lv, XWord};
+use xbound_netlist::{CellKind, GateId, NetId, Netlist};
+
+use crate::{read_regions, write_regions, BusSpec, MachineState, MemRegion, SimError};
+
+/// Snapshot of all architectural state of every lane of a
+/// [`BatchSimulator`] (flip-flops + per-lane memories).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMachineState {
+    lanes: usize,
+    ffs: Vec<LaneVal>,
+    /// `[lane][region][word]`.
+    mems: Vec<Vec<Vec<XWord>>>,
+    cycle: u64,
+}
+
+impl BatchMachineState {
+    /// Simulation cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of lanes in the snapshot.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Extracts one lane as a scalar [`MachineState`] — shape-compatible
+    /// with [`crate::Simulator::machine_state`] for differential checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn lane_state(&self, l: usize) -> MachineState {
+        assert!(l < self.lanes, "lane {l} out of range {}", self.lanes);
+        MachineState {
+            ffs: self.ffs.iter().map(|v| v.get(l)).collect(),
+            // Empty when no bus/memories are attached.
+            mems: self.mems.get(l).cloned().unwrap_or_default(),
+            cycle: self.cycle,
+        }
+    }
+}
+
+/// Event-driven cycle simulator over a finalized netlist evaluating up to
+/// [`xbound_logic::MAX_LANES`] independent concrete runs per gate pass.
+#[derive(Debug, Clone)]
+pub struct BatchSimulator<'n> {
+    nl: &'n Netlist,
+    lanes: usize,
+    frame: BatchFrame,
+    forces: Vec<Option<Lv>>,
+    drives: HashMap<NetId, LaneVal>,
+    bus: Option<BusSpec>,
+    /// Per-lane region sets: `mems[lane][region]`.
+    mems: Vec<Vec<MemRegion>>,
+    cycle: u64,
+    evaled: bool,
+    rstn_net: Option<NetId>,
+    reset_remaining: u32,
+    dirty: Vec<bool>,
+    buckets: Vec<Vec<GateId>>,
+    is_rdata: Vec<bool>,
+    full_dirty: bool,
+}
+
+impl<'n> BatchSimulator<'n> {
+    /// Creates a batched simulator with `lanes` lanes and no attached
+    /// memories. Primary inputs default to `0` in every lane, except an
+    /// input named `rstn` (driven by [`BatchSimulator::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not finalized or `lanes` is outside
+    /// `1..=`[`xbound_logic::MAX_LANES`].
+    pub fn new(nl: &'n Netlist, lanes: usize) -> BatchSimulator<'n> {
+        assert!(nl.is_finalized(), "netlist must be finalized");
+        let rstn_net = nl
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&n| nl.net_name(n) == "rstn");
+        BatchSimulator {
+            nl,
+            lanes,
+            frame: BatchFrame::new(nl.net_count(), lanes),
+            forces: vec![None; nl.net_count()],
+            drives: HashMap::new(),
+            bus: None,
+            mems: Vec::new(),
+            cycle: 0,
+            evaled: false,
+            rstn_net,
+            reset_remaining: 0,
+            dirty: vec![false; nl.gate_count()],
+            buckets: vec![Vec::new(); nl.comb_level_count()],
+            is_rdata: vec![false; nl.net_count()],
+            full_dirty: true,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.nl
+    }
+
+    /// Number of committed clock edges so far (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Attaches the external bus; every lane receives its own copy of the
+    /// `mems` region set (diverge them through
+    /// [`BatchSimulator::mem_mut_lane`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadBusSpec`] when bus widths are not 16 bits or
+    /// `rdata` nets are not primary inputs.
+    pub fn attach_bus(&mut self, bus: BusSpec, mems: Vec<MemRegion>) -> Result<(), SimError> {
+        if bus.addr.len() != 16 || bus.rdata.len() != 16 || bus.wdata.len() != 16 {
+            return Err(SimError::BadBusSpec {
+                message: format!(
+                    "expected 16-bit addr/rdata/wdata, got {}/{}/{}",
+                    bus.addr.len(),
+                    bus.rdata.len(),
+                    bus.wdata.len()
+                ),
+            });
+        }
+        for &n in &bus.rdata {
+            if !self.nl.inputs().contains(&n) {
+                return Err(SimError::BadBusSpec {
+                    message: format!("rdata net `{}` is not a primary input", self.nl.net_name(n)),
+                });
+            }
+        }
+        self.is_rdata = vec![false; self.nl.net_count()];
+        for &n in &bus.rdata {
+            self.is_rdata[n.index()] = true;
+        }
+        self.bus = Some(bus);
+        self.mems = vec![mems; self.lanes];
+        self.evaled = false;
+        Ok(())
+    }
+
+    /// All lanes of a net in the current frame.
+    pub fn value(&self, net: NetId) -> LaneVal {
+        self.frame.get(net.index())
+    }
+
+    /// One lane of a net in the current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn value_lane(&self, net: NetId, lane: usize) -> Lv {
+        self.frame.get_lane(net.index(), lane)
+    }
+
+    /// Reads a bus (LSB-first net list) of one lane as an [`XWord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is longer than 16 or `lane >= lanes()`.
+    pub fn value_word_lane(&self, nets: &[NetId], lane: usize) -> XWord {
+        assert!(nets.len() <= 16, "bus wider than 16 bits");
+        let mut w = XWord::ZERO;
+        for (i, &n) in nets.iter().enumerate() {
+            w.set_bit(i, self.frame.get_lane(n.index(), lane));
+        }
+        w
+    }
+
+    /// The current batched value frame (all nets × all lanes).
+    pub fn frame(&self) -> &BatchFrame {
+        &self.frame
+    }
+
+    /// Drives a primary input with the same persistent value in every lane.
+    pub fn drive_input(&mut self, net: NetId, v: Lv) {
+        let mask = self.frame.lane_mask();
+        self.drives.insert(net, LaneVal::splat(v, mask));
+        self.evaled = false;
+    }
+
+    /// Drives a primary input in one lane only (other lanes keep their
+    /// current drive, default `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn drive_input_lane(&mut self, net: NetId, lane: usize, v: Lv) {
+        assert!(lane < self.lanes, "lane {lane} out of range {}", self.lanes);
+        self.drives.entry(net).or_insert(LaneVal::ZERO).set(lane, v);
+        self.evaled = false;
+    }
+
+    /// Forces (or releases, with `None`) a net to the same value in every
+    /// lane, overriding its driver. Forces persist until released.
+    pub fn force(&mut self, net: NetId, v: Option<Lv>) {
+        self.forces[net.index()] = v;
+        if let Some(g) = self.nl.driver_of(net) {
+            if !self.nl.gate(g).kind().is_sequential() {
+                self.mark_gate_dirty(g);
+            }
+        }
+        self.evaled = false;
+    }
+
+    /// Schedules `cycles` of reset for all lanes: `rstn` is held 0 for
+    /// that many upcoming cycles, then released to 1.
+    pub fn reset(&mut self, cycles: u32) {
+        self.reset_remaining = cycles;
+        self.evaled = false;
+    }
+
+    /// Memory regions of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn mems_lane(&self, lane: usize) -> &[MemRegion] {
+        &self.mems[lane]
+    }
+
+    /// Looks a region of one lane up by name.
+    pub fn mem_lane(&self, name: &str, lane: usize) -> Option<&MemRegion> {
+        self.mems[lane].iter().find(|m| m.name() == name)
+    }
+
+    /// Mutable access to a region of one lane by name.
+    pub fn mem_mut_lane(&mut self, name: &str, lane: usize) -> Option<&mut MemRegion> {
+        self.evaled = false;
+        self.mems[lane].iter_mut().find(|m| m.name() == name)
+    }
+
+    fn eval_gate(&self, kind: CellKind, ins: &[NetId]) -> LaneVal {
+        let v = |i: usize| self.frame.get(ins[i].index());
+        let mask = self.frame.lane_mask();
+        match kind {
+            CellKind::Tie0 => LaneVal::ZERO,
+            CellKind::Tie1 => LaneVal::splat(Lv::One, mask),
+            CellKind::Buf => v(0),
+            CellKind::Inv => v(0).not(mask),
+            CellKind::And2 => v(0).and(v(1)),
+            CellKind::Or2 => v(0).or(v(1)),
+            CellKind::Nand2 => v(0).nand(v(1), mask),
+            CellKind::Nor2 => v(0).nor(v(1), mask),
+            CellKind::Xor2 => v(0).xor(v(1)),
+            CellKind::Xnor2 => v(0).xnor(v(1), mask),
+            CellKind::Mux2 => LaneVal::mux(v(2), v(0), v(1)),
+            CellKind::Aoi21 => LaneVal::aoi21(v(0), v(1), v(2), mask),
+            CellKind::Oai21 => LaneVal::oai21(v(0), v(1), v(2), mask),
+            CellKind::Dff | CellKind::Dffe | CellKind::Dffr | CellKind::Dffre => {
+                unreachable!("sequential gate in combinational evaluation")
+            }
+        }
+    }
+
+    fn mark_gate_dirty(&mut self, g: GateId) {
+        if !self.dirty[g.index()] {
+            self.dirty[g.index()] = true;
+            self.buckets[self.nl.comb_level(g) as usize].push(g);
+        }
+    }
+
+    /// Writes `net` and, when any lane changed, marks its combinational
+    /// readers dirty.
+    fn set_net(&mut self, net: NetId, v: LaneVal) {
+        if self.frame.replace(net.index(), v) {
+            let nl = self.nl;
+            for &g in nl.fanout_comb_of(net) {
+                self.mark_gate_dirty(g);
+            }
+        }
+    }
+
+    /// Drains the dirty set in level order, exactly like the scalar
+    /// event-driven engine: readers are always at a strictly higher level,
+    /// so one ascending sweep settles the whole changed cone — for every
+    /// lane at once.
+    fn process_dirty(&mut self) {
+        let nl = self.nl;
+        let mask = self.frame.lane_mask();
+        for lvl in 0..self.buckets.len() {
+            let mut bucket = std::mem::take(&mut self.buckets[lvl]);
+            for &g in &bucket {
+                let gate = nl.gate(g);
+                let out = gate.output();
+                let v = match self.forces[out.index()] {
+                    Some(f) => LaneVal::splat(f, mask),
+                    None => self.eval_gate(gate.kind(), gate.inputs()),
+                };
+                self.dirty[g.index()] = false;
+                if self.frame.replace(out.index(), v) {
+                    for &succ in nl.fanout_comb_of(out) {
+                        self.mark_gate_dirty(succ);
+                    }
+                }
+            }
+            bucket.clear();
+            self.buckets[lvl] = bucket;
+        }
+    }
+
+    fn apply_inputs(&mut self) {
+        let mask = self.frame.lane_mask();
+        let rstn_v = if self.reset_remaining > 0 {
+            Lv::Zero
+        } else {
+            Lv::One
+        };
+        let has_bus = self.bus.is_some();
+        for &n in self.nl.inputs() {
+            // Bus read-data inputs are owned by the settle loop (see the
+            // scalar engine for the rationale).
+            if has_bus && self.is_rdata[n.index()] {
+                continue;
+            }
+            let mut v = self.drives.get(&n).copied().unwrap_or(LaneVal::ZERO);
+            if Some(n) == self.rstn_net {
+                v = LaneVal::splat(rstn_v, mask);
+            }
+            if let Some(f) = self.forces[n.index()] {
+                v = LaneVal::splat(f, mask);
+            }
+            self.set_net(n, v);
+        }
+    }
+
+    /// Per-lane bus addresses of the current frame.
+    fn lane_addrs(&self, bus: &BusSpec) -> Vec<XWord> {
+        (0..self.lanes)
+            .map(|l| self.value_word_lane(&bus.addr, l))
+            .collect()
+    }
+
+    fn settle_bus(&mut self, bus: &BusSpec) -> Result<(), SimError> {
+        let mut last_addrs = self.lane_addrs(bus);
+        for _ in 0..4 {
+            // Per-lane memory lookups, then one batched rdata forcing.
+            let rdatas: Vec<XWord> = (0..self.lanes)
+                .map(|l| read_regions(&self.mems[l], last_addrs[l]))
+                .collect();
+            let mask = self.frame.lane_mask();
+            for (i, &n) in bus.rdata.iter().enumerate() {
+                let v = match self.forces[n.index()] {
+                    Some(f) => LaneVal::splat(f, mask),
+                    None => {
+                        let mut lv = LaneVal::ZERO;
+                        for (l, r) in rdatas.iter().enumerate() {
+                            lv.set(l, r.bit(i));
+                        }
+                        lv
+                    }
+                };
+                self.set_net(n, v);
+            }
+            self.process_dirty();
+            let addrs_now = self.lane_addrs(bus);
+            if addrs_now == last_addrs {
+                return Ok(());
+            }
+            last_addrs = addrs_now;
+        }
+        Err(SimError::BusNotSettled)
+    }
+
+    /// Settles the combinational logic of every lane for the current
+    /// cycle. Idempotent until state changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BusNotSettled`] if any lane's address keeps
+    /// changing after read-data forcing (combinational bus loop).
+    pub fn eval(&mut self) -> Result<&BatchFrame, SimError> {
+        if self.evaled {
+            return Ok(&self.frame);
+        }
+        if self.full_dirty {
+            let nl = self.nl;
+            for &g in nl.topo_order() {
+                self.mark_gate_dirty(g);
+            }
+            self.full_dirty = false;
+        }
+        self.apply_inputs();
+        let mask = self.frame.lane_mask();
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            if let Some(f) = self.forces[out.index()] {
+                self.set_net(out, LaneVal::splat(f, mask));
+            }
+        }
+        self.process_dirty();
+        if let Some(bus) = self.bus.take() {
+            let r = self.settle_bus(&bus);
+            self.bus = Some(bus);
+            r?;
+        }
+        self.evaled = true;
+        Ok(&self.frame)
+    }
+
+    /// Selects lane-wise on a three-valued control: `ctrl == 0 → when0`,
+    /// `ctrl == 1 → when1`, `ctrl == X → whenx` — the batched form of the
+    /// per-lane `match` in the scalar flip-flop update rules.
+    fn select(ctrl: LaneVal, when0: LaneVal, when1: LaneVal, whenx: LaneVal) -> LaneVal {
+        let c0 = !ctrl.val & !ctrl.unk;
+        let c1 = ctrl.val;
+        let cx = ctrl.unk;
+        LaneVal::from_planes(
+            (c0 & when0.val) | (c1 & when1.val) | (cx & whenx.val),
+            (c0 & when0.unk) | (c1 & when1.unk) | (cx & whenx.unk),
+        )
+    }
+
+    /// Computes the next value of every flip-flop (all lanes) from the
+    /// settled frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`BatchSimulator::eval`] succeeded for this cycle.
+    pub fn ff_next_values(&self) -> Vec<LaneVal> {
+        assert!(self.evaled, "eval() before inspecting flip-flop inputs");
+        self.nl
+            .sequential_gates()
+            .iter()
+            .map(|&g| {
+                let gate = self.nl.gate(g);
+                let ins = gate.inputs();
+                let q = self.frame.get(gate.output().index());
+                let v = |i: usize| self.frame.get(ins[i].index());
+                match gate.kind() {
+                    CellKind::Dff => v(0),
+                    CellKind::Dffe => {
+                        let d = v(0);
+                        Self::select(v(1), q, d, d.join(q))
+                    }
+                    CellKind::Dffr => {
+                        let d = v(0);
+                        Self::select(v(1), LaneVal::ZERO, d, d.join(LaneVal::ZERO))
+                    }
+                    CellKind::Dffre => {
+                        let d = v(0);
+                        let after_en = Self::select(v(1), q, d, d.join(q));
+                        Self::select(v(2), LaneVal::ZERO, after_en, after_en.join(LaneVal::ZERO))
+                    }
+                    _ => unreachable!("combinational gate in sequential list"),
+                }
+            })
+            .collect()
+    }
+
+    fn commit_memory_writes(&mut self) {
+        let Some(bus) = self.bus.take() else {
+            return;
+        };
+        if let Some(wen_net) = bus.wen {
+            for l in 0..self.lanes {
+                let wen = self.frame.get_lane(wen_net.index(), l);
+                if wen == Lv::Zero {
+                    continue;
+                }
+                let addr = self.value_word_lane(&bus.addr, l);
+                let wdata = self.value_word_lane(&bus.wdata, l);
+                write_regions(&mut self.mems[l], wen, addr, wdata);
+            }
+        }
+        self.bus = Some(bus);
+    }
+
+    /// Applies the clock edge to every lane: memory writes, flip-flop
+    /// updates, cycle++.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`BatchSimulator::eval`].
+    pub fn commit(&mut self) {
+        assert!(self.evaled, "eval() must succeed before commit()");
+        let next = self.ff_next_values();
+        self.commit_memory_writes();
+        let mask = self.frame.lane_mask();
+        for (&g, &v) in self.nl.sequential_gates().iter().zip(&next) {
+            let out = self.nl.gate(g).output();
+            let v = match self.forces[out.index()] {
+                Some(f) => LaneVal::splat(f, mask),
+                None => v,
+            };
+            self.set_net(out, v);
+        }
+        if self.reset_remaining > 0 {
+            self.reset_remaining -= 1;
+        }
+        self.cycle += 1;
+        self.evaled = false;
+    }
+
+    /// `eval()` + `commit()` in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bus settle failure (use `eval`/`commit` to handle errors).
+    pub fn step(&mut self) {
+        self.eval().expect("bus settles");
+        self.commit();
+    }
+
+    /// Snapshot of flip-flops + per-lane memories + cycle.
+    pub fn machine_state(&self) -> BatchMachineState {
+        BatchMachineState {
+            lanes: self.lanes,
+            ffs: self
+                .nl
+                .sequential_gates()
+                .iter()
+                .map(|&g| self.frame.get(self.nl.gate(g).output().index()))
+                .collect(),
+            mems: self
+                .mems
+                .iter()
+                .map(|lane| lane.iter().map(|m| m.data().to_vec()).collect())
+                .collect(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// One lane's architectural state as a scalar [`MachineState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn lane_machine_state(&self, lane: usize) -> MachineState {
+        assert!(lane < self.lanes, "lane {lane} out of range {}", self.lanes);
+        MachineState {
+            ffs: self
+                .nl
+                .sequential_gates()
+                .iter()
+                .map(|&g| self.frame.get_lane(self.nl.gate(g).output().index(), lane))
+                .collect(),
+            mems: self
+                .mems
+                .get(lane) // empty when no bus/memories are attached
+                .map(|regions| regions.iter().map(|m| m.data().to_vec()).collect())
+                .unwrap_or_default(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a snapshot taken by [`BatchSimulator::machine_state`].
+    ///
+    /// Like the scalar engine, flip-flops are diffed against the current
+    /// frame: only flip-flops where any lane differs mark their fanout
+    /// cones dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape (flip-flops, lanes, memories) does not
+    /// match this machine.
+    pub fn set_machine_state(&mut self, s: &BatchMachineState) {
+        assert_eq!(
+            s.ffs.len(),
+            self.nl.sequential_gates().len(),
+            "machine shape mismatch"
+        );
+        assert_eq!(s.lanes, self.lanes, "lane count mismatch");
+        assert_eq!(s.mems.len(), self.mems.len(), "memory lane mismatch");
+        for (&g, v) in self.nl.sequential_gates().iter().zip(&s.ffs) {
+            let out = self.nl.gate(g).output();
+            self.set_net(out, *v);
+        }
+        for (lane, snap) in self.mems.iter_mut().zip(&s.mems) {
+            assert_eq!(lane.len(), snap.len(), "memory count mismatch");
+            for (m, data) in lane.iter_mut().zip(snap) {
+                m.data_mut().copy_from_slice(data);
+            }
+        }
+        self.cycle = s.cycle;
+        self.evaled = false;
+    }
+
+    /// Extracts one lane of the settled frame as a scalar [`Frame`]
+    /// (shape-compatible with [`crate::Simulator::frame`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn lane_frame(&self, lane: usize) -> Frame {
+        self.frame.lane_frame(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegionKind, Simulator};
+    use xbound_netlist::rtl::Rtl;
+
+    fn counter() -> Netlist {
+        let mut r = Rtl::new("cnt");
+        let en = r.input_bit("en");
+        let (h, q) = r.reg("c", 4);
+        let one = r.one();
+        let (nx, _) = r.inc(&q, one);
+        let gated: Vec<_> = q.iter().zip(&nx).map(|(&q, &n)| r.mux(en, q, n)).collect();
+        r.reg_next(h, &gated);
+        r.output("q", &q);
+        r.finish().unwrap()
+    }
+
+    #[test]
+    fn lanes_evolve_independently() {
+        let nl = counter();
+        let mut sim = BatchSimulator::new(&nl, 4);
+        let en = nl.find_net("en").unwrap();
+        for l in 0..4 {
+            sim.drive_input_lane(en, l, if l % 2 == 0 { Lv::One } else { Lv::Zero });
+        }
+        sim.reset(1);
+        sim.step();
+        for _ in 0..6 {
+            sim.step();
+        }
+        sim.eval().unwrap();
+        let q: Vec<NetId> = (0..4)
+            .map(|i| nl.find_net(&format!("top/c_q[{i}]")).unwrap())
+            .collect();
+        assert_eq!(sim.value_word_lane(&q, 0).to_u16(), Some(6));
+        assert_eq!(sim.value_word_lane(&q, 1).to_u16(), Some(0));
+        assert_eq!(sim.value_word_lane(&q, 2).to_u16(), Some(6));
+    }
+
+    #[test]
+    fn matches_scalar_simulator_per_lane() {
+        let nl = counter();
+        let en = nl.find_net("en").unwrap();
+        let mut batch = BatchSimulator::new(&nl, 2);
+        batch.drive_input_lane(en, 0, Lv::One);
+        batch.drive_input_lane(en, 1, Lv::X);
+        let mut scalars: Vec<Simulator<'_>> = (0..2).map(|_| Simulator::new(&nl)).collect();
+        scalars[0].drive_input(en, Lv::One);
+        scalars[1].drive_input(en, Lv::X);
+        batch.reset(2);
+        for s in scalars.iter_mut() {
+            s.reset(2);
+        }
+        for _ in 0..8 {
+            let bf = batch.eval().unwrap().clone();
+            for (l, s) in scalars.iter_mut().enumerate() {
+                let sf = s.eval().unwrap();
+                assert_eq!(&bf.lane_frame(l), sf, "lane {l} diverged");
+            }
+            batch.commit();
+            for s in scalars.iter_mut() {
+                s.commit();
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_memories_feed_per_lane_rdata() {
+        // Accumulator device fetching ROM[pc] (same shape as the scalar
+        // simulator's bus test), with different per-lane ROM contents.
+        let mut r = Rtl::new("busdev");
+        let rdata = r.input("rdata", 16);
+        let (hp, pc) = r.reg("pc", 16);
+        let (ha, acc) = r.reg("acc", 16);
+        let two = r.lit(2, 16);
+        let (pcn, _) = r.add(&pc, &two, None);
+        r.reg_next(hp, &pcn);
+        let (sum, _) = r.add(&acc, &rdata, None);
+        r.reg_next(ha, &sum);
+        let hi = r.lit(0xF000, 16);
+        let addr = r.or_bus(&hi, &pc);
+        r.output("addr", &addr);
+        r.output("acc", &acc);
+        let nl = r.finish().unwrap();
+        let addr_nets: Vec<NetId> = (0..16)
+            .map(|i| {
+                nl.outputs()
+                    .iter()
+                    .find(|(n, _)| n == &format!("addr[{i}]"))
+                    .map(|(_, net)| *net)
+                    .unwrap()
+            })
+            .collect();
+        let rdata_nets: Vec<NetId> = (0..16)
+            .map(|i| nl.find_net(&format!("rdata[{i}]")).unwrap())
+            .collect();
+        let bus = BusSpec {
+            addr: addr_nets,
+            wdata: rdata_nets.clone(),
+            rdata: rdata_nets,
+            wen: None,
+        };
+        let rom = MemRegion::new("pmem", RegionKind::Rom, 0xF000, 8);
+        let mut sim = BatchSimulator::new(&nl, 2);
+        sim.attach_bus(bus, vec![rom]).unwrap();
+        sim.mem_mut_lane("pmem", 0)
+            .unwrap()
+            .load(0xF000, &[1, 2, 3, 4]);
+        sim.mem_mut_lane("pmem", 1)
+            .unwrap()
+            .load(0xF000, &[10, 20, 30, 40]);
+        sim.reset(1);
+        sim.step();
+        for _ in 0..4 {
+            sim.step();
+        }
+        sim.eval().unwrap();
+        let acc_nets: Vec<NetId> = (0..16)
+            .map(|i| {
+                nl.outputs()
+                    .iter()
+                    .find(|(n, _)| n == &format!("acc[{i}]"))
+                    .map(|(_, net)| *net)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(sim.value_word_lane(&acc_nets, 0).to_u16(), Some(10));
+        assert_eq!(sim.value_word_lane(&acc_nets, 1).to_u16(), Some(100));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let nl = counter();
+        let en = nl.find_net("en").unwrap();
+        let mut sim = BatchSimulator::new(&nl, 3);
+        sim.drive_input(en, Lv::One);
+        sim.reset(1);
+        for _ in 0..5 {
+            sim.step();
+        }
+        let snap = sim.machine_state();
+        for _ in 0..7 {
+            sim.step();
+        }
+        assert_ne!(sim.machine_state(), snap);
+        sim.set_machine_state(&snap);
+        assert_eq!(sim.machine_state(), snap);
+        assert_eq!(sim.cycle(), snap.cycle());
+        // Per-lane extraction matches the batch snapshot shape.
+        let l0 = snap.lane_state(0);
+        assert_eq!(l0.cycle(), snap.cycle());
+        assert_eq!(l0.ffs().len(), nl.sequential_gates().len());
+    }
+}

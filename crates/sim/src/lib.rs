@@ -47,6 +47,10 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
+
+pub use batch::{BatchMachineState, BatchSimulator};
+
 use std::collections::HashMap;
 use std::fmt;
 use xbound_logic::{Frame, Lv, XWord};
@@ -689,28 +693,7 @@ impl<'n> Simulator<'n> {
 
     /// Memory lookup for a (possibly partially unknown) byte address.
     fn mem_read(&self, addr: XWord) -> XWord {
-        match addr.to_u16() {
-            Some(a) => {
-                for m in &self.mems {
-                    if m.contains(a) {
-                        return m.read(a);
-                    }
-                }
-                XWord::ALL_X
-            }
-            None if addr.x_count() <= 4 => {
-                let mut acc: Option<XWord> = None;
-                for cand in enumerate_addresses(addr) {
-                    let v = self.mem_read(XWord::from_u16(cand));
-                    acc = Some(match acc {
-                        None => v,
-                        Some(prev) => prev.join(v),
-                    });
-                }
-                acc.unwrap_or(XWord::ALL_X)
-            }
-            None => XWord::ALL_X,
-        }
+        read_regions(&self.mems, addr)
     }
 
     /// Settles the combinational logic for the current cycle.
@@ -836,42 +819,11 @@ impl<'n> Simulator<'n> {
         };
         let wen = self.frame.get(wen_net.index());
         if wen == Lv::Zero {
-            return;
+            return; // skip the addr/wdata sweeps on write-free cycles
         }
         let addr = self.value_word(&bus.addr);
         let wdata = self.value_word(&bus.wdata);
-        let maybe = wen == Lv::X;
-        match addr.to_u16() {
-            Some(a) => {
-                for m in &mut self.mems {
-                    if m.contains(a) && m.kind() == RegionKind::Ram {
-                        let new = if maybe { m.read(a).join(wdata) } else { wdata };
-                        m.write(a, new);
-                    }
-                }
-            }
-            None if addr.x_count() <= 4 => {
-                // A bounded set of candidate addresses: each may be written.
-                for cand in enumerate_addresses(addr) {
-                    for m in &mut self.mems {
-                        if m.contains(cand) && m.kind() == RegionKind::Ram {
-                            let new = m.read(cand).join(wdata);
-                            m.write(cand, new);
-                        }
-                    }
-                }
-            }
-            None => {
-                // Unknown address: conservatively smear all RAM regions.
-                for m in &mut self.mems {
-                    if m.kind() == RegionKind::Ram {
-                        for w in m.data_mut() {
-                            *w = w.join(wdata);
-                        }
-                    }
-                }
-            }
-        }
+        write_regions(&mut self.mems, wen, addr, wdata);
     }
 
     /// Applies the clock edge: memory writes, flip-flop updates, cycle++.
@@ -979,6 +931,75 @@ impl<'n> Simulator<'n> {
         }
         self.cycle = s.cycle;
         self.evaled = false;
+    }
+}
+
+/// Reads `addr` from a region set, joining candidates when the address
+/// carries a bounded number of X bits (all-X past the bound, or when no
+/// region matches). Shared by the scalar and batched simulators.
+pub(crate) fn read_regions(mems: &[MemRegion], addr: XWord) -> XWord {
+    match addr.to_u16() {
+        Some(a) => {
+            for m in mems {
+                if m.contains(a) {
+                    return m.read(a);
+                }
+            }
+            XWord::ALL_X
+        }
+        None if addr.x_count() <= 4 => {
+            let mut acc: Option<XWord> = None;
+            for cand in enumerate_addresses(addr) {
+                let v = read_regions(mems, XWord::from_u16(cand));
+                acc = Some(match acc {
+                    None => v,
+                    Some(prev) => prev.join(v),
+                });
+            }
+            acc.unwrap_or(XWord::ALL_X)
+        }
+        None => XWord::ALL_X,
+    }
+}
+
+/// Applies one bus write to a region set: definite for `wen == 1`, joined
+/// ("maybe written") for `wen == X`, candidate-enumerated or smeared for
+/// X addresses. Shared by the scalar and batched simulators.
+pub(crate) fn write_regions(mems: &mut [MemRegion], wen: Lv, addr: XWord, wdata: XWord) {
+    if wen == Lv::Zero {
+        return;
+    }
+    let maybe = wen == Lv::X;
+    match addr.to_u16() {
+        Some(a) => {
+            for m in mems.iter_mut() {
+                if m.contains(a) && m.kind() == RegionKind::Ram {
+                    let new = if maybe { m.read(a).join(wdata) } else { wdata };
+                    m.write(a, new);
+                }
+            }
+        }
+        None if addr.x_count() <= 4 => {
+            // A bounded set of candidate addresses: each may be written.
+            for cand in enumerate_addresses(addr) {
+                for m in mems.iter_mut() {
+                    if m.contains(cand) && m.kind() == RegionKind::Ram {
+                        let new = m.read(cand).join(wdata);
+                        m.write(cand, new);
+                    }
+                }
+            }
+        }
+        None => {
+            // Unknown address: conservatively smear all RAM regions.
+            for m in mems.iter_mut() {
+                if m.kind() == RegionKind::Ram {
+                    for w in m.data_mut() {
+                        *w = w.join(wdata);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -9,7 +9,9 @@ use xbound_netlist::{NetId, Netlist};
 use xbound_sim::Simulator;
 
 /// Builds a combinational device computing several datapath results.
-fn datapath() -> (Netlist, Vec<NetId>, Vec<NetId>, Vec<(String, Vec<NetId>)>) {
+type NamedBuses = Vec<(String, Vec<NetId>)>;
+
+fn datapath() -> (Netlist, Vec<NetId>, Vec<NetId>, NamedBuses) {
     let mut r = Rtl::new("dp");
     let a = r.input("a", 16);
     let b = r.input("b", 16);
