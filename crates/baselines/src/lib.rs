@@ -78,12 +78,22 @@ pub fn measure_cycles_batch(
     for (lane, program) in programs.iter().enumerate() {
         xbound_cpu::Cpu::load_program_lane(&mut sim, lane, program, true);
     }
-    // Stream each settled cycle into the batched power accumulator —
-    // the frame sequence is never materialized.
+    sim.set_change_logging(true);
+    // Stream each settled cycle into the batched power accumulator — the
+    // frame sequence is never materialized, and the engine's sorted
+    // change log limits each accumulation to the nets that actually
+    // changed (the ascending order keeps the f64 sums bit-identical to a
+    // full scan).
     let analyzer = system.analyzer();
     let mut acc = analyzer.batch_accumulator(lanes);
+    let mut changes: Vec<u32> = Vec::new();
     for _ in 0..cycles {
-        acc.push(sim.eval()?);
+        sim.eval()?;
+        sim.swap_change_log(&mut changes);
+        changes.sort_unstable();
+        changes.dedup();
+        acc.push_changed(sim.frame(), &changes);
+        changes.clear();
         sim.commit();
     }
     Ok(acc.finish(None))

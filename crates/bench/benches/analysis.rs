@@ -28,6 +28,36 @@ fn bench_algorithm1(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batched symbolic exploration: the same fork-heavy benchmarks explored
+/// at different lane widths. Results (tree, deterministic stats, every
+/// downstream table) are bit-identical at any width; only the wall clock
+/// and the gate-pass count change.
+fn bench_batched_symbolic_exploration(c: &mut Criterion) {
+    let sys = UlpSystem::openmsp430_class().expect("builds");
+    let mut g = c.benchmark_group("batched_symbolic_exploration");
+    g.sample_size(10);
+    for name in ["rle", "Viterbi"] {
+        let bench = xbound_benchsuite::by_name(name).expect("exists");
+        let program = bench.program().expect("assembles");
+        for lanes in [1usize, 8, 32, 64] {
+            let cfg = ExploreConfig {
+                widen_threshold: bench.widen_threshold(),
+                max_total_cycles: 5_000_000,
+                threads: 1,
+                lanes,
+                ..ExploreConfig::default()
+            };
+            g.bench_with_input(BenchmarkId::new(name, lanes), &program, |b, p| {
+                b.iter(|| {
+                    let explorer = SymbolicExplorer::new(sys.cpu(), cfg);
+                    explorer.explore(p).expect("explores")
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_algorithm2(c: &mut Criterion) {
     let sys = UlpSystem::openmsp430_class().expect("builds");
     let bench = xbound_benchsuite::by_name("mult").expect("exists");
@@ -62,6 +92,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_algorithm1,
+    bench_batched_symbolic_exploration,
     bench_algorithm2,
     bench_end_to_end
 );

@@ -11,8 +11,10 @@
 //! * `--profile-runs N` — random input sets per profiling campaign
 //!   (default 8);
 //! * `--ga-pop N` — stressmark GA population per generation (default 16);
-//! * `--lanes N` — batch lane width (sets `XBOUND_LANES`; results are
-//!   bit-identical at any width).
+//! * `--lanes N` — concrete batch lane width (sets `XBOUND_LANES`;
+//!   results are bit-identical at any width);
+//! * `--explore-lanes N` — symbolic-exploration lane width (sets
+//!   `XBOUND_EXPLORE_LANES`; results are bit-identical at any width).
 //!
 //! Each experiment prints its table and writes `results/<id>.txt`. See
 //! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
@@ -46,6 +48,10 @@ fn main() {
             "--lanes" => {
                 std::env::set_var("XBOUND_LANES", flag_value(&mut it, "--lanes").to_string())
             }
+            "--explore-lanes" => std::env::set_var(
+                "XBOUND_EXPLORE_LANES",
+                flag_value(&mut it, "--explore-lanes").to_string(),
+            ),
             _ => args.push(a),
         }
     }

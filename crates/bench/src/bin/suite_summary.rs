@@ -20,20 +20,27 @@
 //!   `val=` column. Reports are identical at any lane width/thread count.
 //! * `--lanes N` — lane width for the batched validation runs (default:
 //!   auto, see `XBOUND_LANES`; clamped to 1..=64).
+//! * `--explore-lanes N` — lane width for batched symbolic exploration:
+//!   how many pending execution-tree branches share one gate pass
+//!   (default: auto, see `XBOUND_EXPLORE_LANES`). Result columns are
+//!   byte-identical at any width; only timings and the occupancy
+//!   telemetry change.
 //! * `--json PATH` — additionally write per-benchmark wall-clock numbers
-//!   as JSON, with engine / thread-count / lane-width metadata so
+//!   as JSON, with engine / thread-count / lane-width metadata plus the
+//!   exploration's lane-occupancy and speculative-waste counters, so
 //!   `BENCH_*.json` entries are self-describing.
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use xbound_core::{par, CoAnalysis, ExploreConfig, UlpSystem};
+use xbound_core::{par, BatchExploreStats, CoAnalysis, ExploreConfig, UlpSystem};
 
 struct Row {
     name: &'static str,
     line: String,
     seconds: f64,
+    explore: Option<BatchExploreStats>,
 }
 
 /// Stable per-benchmark salt for validation input generation (FNV-1a, so
@@ -51,6 +58,7 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut threads = 0usize;
     let mut lanes = 0usize;
+    let mut explore_lanes = 0usize;
     let mut validate_runs = 0usize;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -65,6 +73,12 @@ fn main() {
             }
             "--lanes" => {
                 lanes = args.next().and_then(|v| v.parse().ok()).expect("--lanes N");
+            }
+            "--explore-lanes" => {
+                explore_lanes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--explore-lanes N");
             }
             "--validate" => {
                 validate_runs = args
@@ -91,6 +105,7 @@ fn main() {
     println!("gates: {}", sys.cpu().netlist().gate_count());
     let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
     let lane_width = par::resolve_lanes(lanes);
+    let explore_lane_width = par::resolve_explore_lanes(explore_lanes);
     // One layer of parallelism at a time: when benchmarks already fan out
     // across the pool, each analysis explores single-threaded.
     let explore_threads = if suite_workers > 1 { 1 } else { 0 };
@@ -107,10 +122,12 @@ fn main() {
                     widen_threshold: b.widen_threshold(),
                     max_total_cycles: 5_000_000,
                     threads: explore_threads,
+                    lanes: explore_lane_width,
                     ..ExploreConfig::default()
                 })
                 .energy_rounds(b.energy_rounds())
                 .run(&program);
+            let mut explore = None;
             let line = match r {
                 Ok(a) => {
                     let val = if validate_runs > 0 {
@@ -139,6 +156,7 @@ fn main() {
                         String::new()
                     };
                     let s = a.stats();
+                    explore = Some(s.batch);
                     let e = a.peak_energy();
                     format!(
                         "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={}{val} [{:.2?}]",
@@ -153,6 +171,7 @@ fn main() {
                 name: b.name(),
                 line,
                 seconds: t0.elapsed().as_secs_f64(),
+                explore,
             }
         },
     );
@@ -165,23 +184,53 @@ fn main() {
         xbound_sim::EvalMode::Levelized => "levelized oracle",
     };
     println!(
-        "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {engine}, batch lanes: {lane_width})",
+        "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {engine}, batch lanes: {lane_width}, explore lanes: {explore_lane_width})",
         rows.len(),
         suite_workers,
         if suite_workers == 1 { "" } else { "s" },
     );
 
     if let Some(path) = json_path {
-        // Self-describing metadata first, then the per-benchmark timings.
+        // Self-describing metadata first, then the per-benchmark timings
+        // plus the exploration's lane-occupancy / speculative-waste
+        // telemetry (scheduling-dependent; the result columns themselves
+        // are byte-identical at any lane width or thread count).
+        let agg = rows.iter().filter_map(|r| r.explore).fold(
+            xbound_core::BatchExploreStats::default(),
+            |mut acc, b| {
+                acc.lanes = b.lanes;
+                acc.gate_passes += b.gate_passes;
+                acc.active_lane_cycles += b.active_lane_cycles;
+                acc.idle_lane_cycles += b.idle_lane_cycles;
+                acc
+            },
+        );
         let mut json = String::from("{\n");
         json.push_str(&format!(
-            "  \"engine\": \"{}\",\n  \"threads\": {suite_workers},\n  \"batch_lanes\": {lane_width},\n  \"validate_runs\": {validate_runs},\n",
+            "  \"engine\": \"{}\",\n  \"threads\": {suite_workers},\n  \"batch_lanes\": {lane_width},\n  \"explore_lanes\": {explore_lane_width},\n  \"validate_runs\": {validate_runs},\n",
             if engine == "event-driven" { "event-driven" } else { "levelized" },
+        ));
+        json.push_str(&format!(
+            "  \"explore_gate_passes\": {},\n  \"explore_active_lane_cycles\": {},\n  \"explore_idle_lane_cycles\": {},\n  \"explore_occupancy\": {:.4},\n",
+            agg.gate_passes,
+            agg.active_lane_cycles,
+            agg.idle_lane_cycles,
+            agg.occupancy(),
         ));
         json.push_str("  \"benchmarks\": [\n");
         for (i, row) in rows.iter().enumerate() {
+            let explore = row
+                .explore
+                .map(|b| {
+                    format!(
+                        ", \"explore_gate_passes\": {}, \"explore_occupancy\": {:.4}",
+                        b.gate_passes,
+                        b.occupancy()
+                    )
+                })
+                .unwrap_or_default();
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{}\n",
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}{explore}}}{}\n",
                 row.name,
                 row.seconds,
                 if i + 1 < rows.len() { "," } else { "" }

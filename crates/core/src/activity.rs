@@ -14,29 +14,47 @@
 //! conservative, exactly the kind of heuristic the paper's Chapter 6
 //! prescribes for scalability.
 //!
-//! # Parallel exploration
+//! # Batched exploration
 //!
 //! Simulating one fork-free run of cycles is a *pure function* of its
 //! starting [`MachineState`] (the program image lives in the snapshot's
 //! memories, and the simulator applies no other persistent stimulus), so
-//! independent execution-tree branches can be simulated speculatively on a
-//! worker pool while the main thread **commits results in strict
-//! depth-first order**. All order-sensitive bookkeeping — segment
-//! numbering, the memoization table, subsumption, widening, statistics —
-//! happens only at commit time on the main thread, which makes the tree,
-//! the statistics, and every downstream peak-power table **bit-identical
-//! at any thread count** (including one). `ExploreConfig::threads`
-//! controls the pool; the default resolves via
-//! [`crate::par::resolve_threads`].
+//! independent execution-tree branches can be simulated in any grouping.
+//! The internal `PathRunner` packs up to [`ExploreConfig::lanes`] pending
+//! branches of the DFS frontier into the lanes of one lane-generic engine
+//! ([`xbound_sim::BatchSimulator`]): every gate pass settles all in-flight
+//! branches at once, each lane loading its branch's machine state
+//! ([`xbound_sim::Engine::set_lane_machine_state`]) and terminating
+//! independently (halt / fork / cycle cap). A lane that hits a fork spends
+//! two further lock-step passes re-simulating the branch cycle with
+//! `branch_taken` forced per lane ([`xbound_sim::Engine::force_lane`]) —
+//! one per direction — while sibling lanes keep running.
+//!
+//! # Parallel exploration and determinism
+//!
+//! A speculative worker pool (threads resolved via
+//! [`crate::par::resolve_threads`], like every other pool in the
+//! workspace) runs those batches concurrently while the main thread
+//! **commits results in strict depth-first order**. All order-sensitive
+//! bookkeeping — segment numbering, the memoization table, subsumption,
+//! widening, statistics — happens only at commit time on the main thread.
+//! Because lanes never interact, each branch's simulated path is the same
+//! whatever batch it rode in, which makes the tree, the deterministic
+//! statistics, and every downstream peak-power table **bit-identical at
+//! any `(threads, lanes)` setting** (including `(1, 1)`, the historical
+//! scalar explorer). Only the [`BatchExploreStats`] telemetry (gate
+//! passes, lane occupancy, speculative waste) depends on how branches
+//! happened to be grouped.
 
 use crate::tree::{ExecutionTree, ForkChoice, Segment, SegmentEnd, SegmentId};
 use crate::AnalysisError;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use xbound_cpu::Cpu;
-use xbound_logic::{Frame, Lv, XWord};
+use xbound_logic::{BatchFrame, Frame, LaneVal, Lv, XWord};
 use xbound_msp430::Program;
-use xbound_sim::{MachineState, SimError, Simulator};
+use xbound_sim::{BatchSimulator, MachineState, SimError};
 
 /// Tunables for the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +73,11 @@ pub struct ExploreConfig {
     /// default) resolves via [`crate::par::resolve_threads`]; `1` disables
     /// the pool. Results are identical at any setting.
     pub threads: usize,
+    /// Lane width for batched path simulation: how many pending
+    /// execution-tree branches share one gate pass. `0` (the default)
+    /// resolves via [`crate::par::resolve_explore_lanes`]
+    /// (`XBOUND_EXPLORE_LANES`). Results are identical at any setting.
+    pub lanes: usize,
 }
 
 impl Default for ExploreConfig {
@@ -65,7 +88,48 @@ impl Default for ExploreConfig {
             widen_threshold: 4,
             reset_cycles: 2,
             threads: 0,
+            lanes: 0,
         }
+    }
+}
+
+/// Batched-exploration telemetry: lane occupancy and speculative waste.
+///
+/// Unlike the deterministic fields of [`ExploreStats`], these counters
+/// describe **how** the work was scheduled, not what was explored: they
+/// vary with the lane width and (for `gate_passes` / `idle_lane_cycles`)
+/// with worker timing at `threads > 1`. They are excluded from the
+/// bit-identity guarantee and from [`ExploreStats`] equality semantics
+/// used in differential tests (compare [`ExploreStats::deterministic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchExploreStats {
+    /// Resolved lane width used for path simulation.
+    pub lanes: u64,
+    /// Global engine passes (one eval + commit across all lanes).
+    pub gate_passes: u64,
+    /// Lane-cycles spent on in-flight branches (deterministic: the sum of
+    /// every branch's simulated path length, including fork re-simulation).
+    pub active_lane_cycles: u64,
+    /// Lane-cycles where a lane was empty or already finished while the
+    /// batch kept stepping — the speculative-waste counter.
+    pub idle_lane_cycles: u64,
+}
+
+impl BatchExploreStats {
+    /// Mean fraction of lanes doing useful work per gate pass (1.0 =
+    /// perfectly packed; 0.0 when nothing ran batched).
+    pub fn occupancy(&self) -> f64 {
+        let total = self.active_lane_cycles + self.idle_lane_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.active_lane_cycles as f64 / total as f64
+    }
+
+    fn absorb(&mut self, other: &BatchExploreStats) {
+        self.gate_passes += other.gate_passes;
+        self.active_lane_cycles += other.active_lane_cycles;
+        self.idle_lane_cycles += other.idle_lane_cycles;
     }
 }
 
@@ -81,6 +145,18 @@ pub struct ExploreStats {
     pub merges: u64,
     /// States widened by the Chapter-6 heuristic.
     pub widenings: u64,
+    /// Batched-exploration telemetry (scheduling-dependent; see
+    /// [`BatchExploreStats`]).
+    pub batch: BatchExploreStats,
+}
+
+impl ExploreStats {
+    /// The deterministic core of the statistics — `(cycles, forks, merges,
+    /// widenings)` — bit-identical at any `(threads, lanes)` setting.
+    /// [`ExploreStats::batch`] is scheduling telemetry and is excluded.
+    pub fn deterministic(&self) -> (u64, u64, u64, u64) {
+        (self.cycles, self.forks, self.merges, self.widenings)
+    }
 }
 
 struct PcEntry {
@@ -116,7 +192,10 @@ enum PathEnd {
     /// PC went X outside a `branch_taken` fork (or a branch PC was not
     /// concrete).
     Unresolved { cycle: u64, state: String },
-    /// Simulator error (bus failed to settle).
+    /// Simulator error (bus failed to settle). A settle error poisons the
+    /// whole batch: every in-flight branch reports it (exploration aborts
+    /// with [`AnalysisError::Sim`] regardless of which branch is committed
+    /// first).
     Sim(SimError),
     /// Input-dependent branch; both directions pre-simulated.
     Fork { branch_pc: u16, dirs: Vec<ForkDir> },
@@ -138,10 +217,390 @@ struct PendingPath {
     state: MachineState,
 }
 
+/// One unit of path-simulation work: a task id plus the branch's start
+/// state (`None` = the engine's current power-on state — the root path).
+struct BatchTask {
+    task: u64,
+    start: Option<MachineState>,
+    pre_frames: u64,
+}
+
+/// What a lane is doing within one batched run.
+enum LanePhase {
+    /// No task (or its task already finished).
+    Idle,
+    /// Normal fork-free path simulation.
+    Run,
+    /// Re-simulating the branch cycle of a detected fork with
+    /// `branch_taken` forced in this lane; `dir` indexes
+    /// `[Taken, NotTaken]`.
+    ForkDir { dir: usize },
+}
+
+/// Who a lane is working for.
+enum LaneJob {
+    /// Unoccupied.
+    None,
+    /// A task the caller asked for; the index is the result slot.
+    Requested(usize),
+}
+
+/// Per-lane bookkeeping of one in-flight task.
+struct LaneRun {
+    job: LaneJob,
+    phase: LanePhase,
+    pre_frames: u64,
+    /// The lane's own cycle timeline: `start_cycle + steps` is what a
+    /// scalar simulator's cycle counter would read (the engine's global
+    /// counter advances every lane at once and is meaningless per lane).
+    start_cycle: u64,
+    steps: u64,
+    frames: Vec<Frame>,
+    branch_pc: u16,
+    base: Option<MachineState>,
+    /// The forced branch-cycle frame of the direction in flight (captured
+    /// at eval; the matching after-state needs the commit).
+    pending_first: Option<Frame>,
+    dirs: Vec<ForkDir>,
+}
+
+impl LaneRun {
+    fn idle() -> LaneRun {
+        LaneRun {
+            job: LaneJob::None,
+            phase: LanePhase::Idle,
+            pre_frames: 0,
+            start_cycle: 0,
+            steps: 0,
+            frames: Vec::new(),
+            branch_pc: 0,
+            base: None,
+            pending_first: None,
+            dirs: Vec::new(),
+        }
+    }
+
+    fn start(job: LaneJob, pre_frames: u64, start_cycle: u64) -> LaneRun {
+        LaneRun {
+            job,
+            phase: LanePhase::Run,
+            pre_frames,
+            start_cycle,
+            ..LaneRun::idle()
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.start_cycle + self.steps
+    }
+}
+
+/// A deferred engine mutation applied after the global commit of a pass
+/// (restoring a lane mid-pass would be overwritten by the commit).
+enum PostCommit {
+    /// Enter (or continue) fork re-simulation: restore the fork base into
+    /// the lane and force `branch_taken` to `dir`'s value there.
+    StartDir { lane: usize, dir: usize },
+    /// Snapshot the committed direction state, then either start the next
+    /// direction or finish the fork.
+    FinishDir { lane: usize, dir: usize },
+}
+
+/// Batched path simulation over one lane-generic engine.
+///
+/// The runner owns the engine plus the incremental per-lane scalar frame
+/// reconstruction (only nets whose batch word changed since the previous
+/// pass are rewritten, exactly like the batched concrete profiler).
+struct PathRunner<'c> {
+    sim: BatchSimulator<'c>,
+    prev: Option<BatchFrame>,
+    cur_lane: Vec<Frame>,
+    change_buf: Vec<u32>,
+    stats: BatchExploreStats,
+}
+
+impl<'c> PathRunner<'c> {
+    /// A runner whose engine has the program image loaded (symbolic:
+    /// memory stays X) and `reset_cycles` of reset scheduled. Workers pass
+    /// 0 (every speculative task starts from a post-reset snapshot); the
+    /// driver passes the configured reset for the root path.
+    fn new(cpu: &'c Cpu, program: &Program, lanes: usize, reset_cycles: u32) -> PathRunner<'c> {
+        let mut sim = cpu.new_batch_sim(lanes);
+        Cpu::load_program_batch(&mut sim, program, false);
+        sim.reset(reset_cycles);
+        sim.set_change_logging(true);
+        PathRunner {
+            sim,
+            prev: None,
+            cur_lane: Vec::new(),
+            change_buf: Vec::new(),
+            stats: BatchExploreStats {
+                lanes: lanes as u64,
+                ..BatchExploreStats::default()
+            },
+        }
+    }
+
+    /// Refreshes the per-lane scalar frames from the settled batch frame:
+    /// only nets the engine logged as changed since the previous refresh
+    /// are rewritten (O(changed nets), not O(design)).
+    fn refresh_lane_frames(&mut self) {
+        self.sim.swap_change_log(&mut self.change_buf);
+        let bf = self.sim.frame();
+        match &mut self.prev {
+            None => {
+                self.cur_lane = (0..self.sim.lanes()).map(|l| bf.lane_frame(l)).collect();
+                self.prev = Some(bf.clone());
+            }
+            Some(prev) => {
+                for &i in &self.change_buf {
+                    let i = i as usize;
+                    let p = prev.get(i);
+                    let q = bf.get(i);
+                    let mut changed = (p.val ^ q.val) | (p.unk ^ q.unk);
+                    while changed != 0 {
+                        let l = changed.trailing_zeros() as usize;
+                        self.cur_lane[l].set(i, q.get(l));
+                        changed &= changed - 1;
+                    }
+                    prev.set(i, q);
+                }
+            }
+        }
+        self.change_buf.clear();
+    }
+
+    /// Simulates every task to completion in lock-step lanes and returns
+    /// one [`PathResult`] per task, in task order.
+    ///
+    /// Per lane and per task this replays the historical scalar
+    /// `simulate_path` loop exactly — budget check, eval, halt test, frame
+    /// record, PC-X test, fork handling — so each task's result is
+    /// bit-identical to a 1-lane run regardless of its batch-mates.
+    fn run_batch(&mut self, x: &SymbolicExplorer<'_>, tasks: Vec<BatchTask>) -> Vec<PathResult> {
+        let lanes = self.sim.lanes();
+        assert!(!tasks.is_empty() && tasks.len() <= lanes, "task/lane shape");
+        let bt = x.cpu.io().branch_taken;
+        let mut runs: Vec<LaneRun> = (0..lanes).map(|_| LaneRun::idle()).collect();
+        let mut requested_out: Vec<Option<PathResult>> = Vec::new();
+        let mut requested_active = tasks.len();
+        for (l, t) in tasks.into_iter().enumerate() {
+            let start_cycle = match &t.start {
+                Some(s) => {
+                    self.sim.set_lane_machine_state(l, s);
+                    s.cycle()
+                }
+                None => self.sim.cycle(),
+            };
+            let slot = requested_out.len();
+            requested_out.push(None);
+            runs[l] = LaneRun::start(LaneJob::Requested(slot), t.pre_frames, start_cycle);
+        }
+
+        /// Moves a finished lane's result out and frees the lane.
+        fn finish(
+            run: &mut LaneRun,
+            end: PathEnd,
+            requested_out: &mut [Option<PathResult>],
+            requested_active: &mut usize,
+        ) {
+            let done = std::mem::replace(run, LaneRun::idle());
+            let result = PathResult {
+                frames: done.frames,
+                end,
+            };
+            match done.job {
+                LaneJob::None => unreachable!("finished an unoccupied lane"),
+                LaneJob::Requested(slot) => {
+                    requested_out[slot] = Some(result);
+                    *requested_active -= 1;
+                }
+            }
+        }
+
+        loop {
+            // Per-segment budget: checked before eval, like the scalar loop.
+            for run in runs.iter_mut() {
+                if matches!(run.phase, LanePhase::Run)
+                    && run.pre_frames + run.frames.len() as u64 >= x.config.max_segment_cycles
+                {
+                    finish(
+                        run,
+                        PathEnd::Truncated,
+                        &mut requested_out,
+                        &mut requested_active,
+                    );
+                }
+            }
+            let active = runs
+                .iter()
+                .filter(|r| !matches!(r.phase, LanePhase::Idle))
+                .count();
+            if active == 0 || requested_active == 0 {
+                break;
+            }
+
+            if let Err(e) = self.sim.settle() {
+                for (l, run) in runs.iter_mut().enumerate() {
+                    // A lane caught mid-fork still holds its per-lane
+                    // `branch_taken` force; release it before the engine
+                    // is reused for the next batch.
+                    if matches!(run.phase, LanePhase::ForkDir { .. }) {
+                        self.sim.force_lane(bt, l, None);
+                    }
+                    if !matches!(run.phase, LanePhase::Idle) {
+                        finish(
+                            run,
+                            PathEnd::Sim(e.clone()),
+                            &mut requested_out,
+                            &mut requested_active,
+                        );
+                    }
+                }
+                break;
+            }
+            self.stats.gate_passes += 1;
+            self.stats.active_lane_cycles += active as u64;
+            self.stats.idle_lane_cycles += (lanes - active) as u64;
+            self.refresh_lane_frames();
+            let next = self.sim.ff_next_lanes();
+
+            // Pre-commit lane processing. Only lanes that take this pass's
+            // clock edge land in `commit_mask`; everything else is frozen
+            // by the masked commit (finished lanes stop costing dirty
+            // work, and a fork-detecting lane holds its pre-branch state
+            // exactly like the scalar explorer, which never committed the
+            // X-branch cycle).
+            let mut commit_mask: u64 = 0;
+            let mut post: Vec<PostCommit> = Vec::new();
+            for (l, run) in runs.iter_mut().enumerate() {
+                match run.phase {
+                    LanePhase::Idle => {}
+                    LanePhase::Run => {
+                        let halted = x.cpu.state_lane(&self.sim, l)
+                            == Some(xbound_cpu::State::Decode)
+                            && x.cpu.ir_word_lane(&self.sim, l).to_u16() == Some(0x3FFF);
+                        run.frames.push(self.cur_lane[l].clone());
+                        if halted {
+                            finish(
+                                run,
+                                PathEnd::Halt,
+                                &mut requested_out,
+                                &mut requested_active,
+                            );
+                            continue;
+                        }
+                        if !x.pc_next_has_x_lane(&next, l) {
+                            run.steps += 1; // the upcoming commit is this lane's edge
+                            commit_mask |= 1 << l;
+                            continue;
+                        }
+                        // --- fork on branch_taken ---
+                        if self.sim.value_lane(bt, l) != Lv::X {
+                            let st = x
+                                .cpu
+                                .state_lane(&self.sim, l)
+                                .map(|s| s.name().to_string())
+                                .unwrap_or_else(|| "unknown".to_string());
+                            let end = PathEnd::Unresolved {
+                                cycle: run.cycle(),
+                                state: st,
+                            };
+                            finish(run, end, &mut requested_out, &mut requested_active);
+                            continue;
+                        }
+                        // Remove the X-branch frame: each direction
+                        // re-simulates the branch cycle concretely.
+                        run.frames.pop();
+                        let branch_pc = match self.sim.value_word_lane(&x.cpu.io().pc, l).to_u16() {
+                            Some(pc) => pc,
+                            None => {
+                                let end = PathEnd::Unresolved {
+                                    cycle: run.cycle(),
+                                    state: "DECODE with unknown branch PC".to_string(),
+                                };
+                                finish(run, end, &mut requested_out, &mut requested_active);
+                                continue;
+                            }
+                        };
+                        run.branch_pc = branch_pc;
+                        run.base = Some(self.sim.lane_machine_state_at(l, run.cycle()));
+                        post.push(PostCommit::StartDir { lane: l, dir: 0 });
+                    }
+                    LanePhase::ForkDir { dir } => {
+                        // The settled frame is this direction's forced
+                        // branch cycle; the after-state needs the commit.
+                        run.pending_first = Some(self.cur_lane[l].clone());
+                        commit_mask |= 1 << l;
+                        post.push(PostCommit::FinishDir { lane: l, dir });
+                    }
+                }
+            }
+
+            self.sim.commit_with_next_masked(&next, commit_mask);
+
+            for action in post {
+                match action {
+                    PostCommit::StartDir { lane, dir } => {
+                        // The fork lane was excluded from the commit, so it
+                        // already holds the base state — only the direction
+                        // force is needed.
+                        let run = &mut runs[lane];
+                        self.sim
+                            .force_lane(bt, lane, Some([Lv::One, Lv::Zero][dir]));
+                        run.phase = LanePhase::ForkDir { dir };
+                    }
+                    PostCommit::FinishDir { lane, dir } => {
+                        let run = &mut runs[lane];
+                        let cycle_after = run.base.as_ref().expect("fork base").cycle() + 1;
+                        let after = self.sim.lane_machine_state_at(lane, cycle_after);
+                        run.dirs.push(ForkDir {
+                            first_frame: run.pending_first.take().expect("direction in flight"),
+                            pc_after: x.pc_of_state(&after).to_u16(),
+                            after,
+                            cycle_after,
+                        });
+                        if dir == 0 {
+                            let base = run.base.as_ref().expect("fork base");
+                            self.sim.set_lane_machine_state(lane, base);
+                            self.sim.force_lane(bt, lane, Some(Lv::Zero));
+                            run.phase = LanePhase::ForkDir { dir: 1 };
+                        } else {
+                            self.sim.force_lane(bt, lane, None);
+                            let end = PathEnd::Fork {
+                                branch_pc: run.branch_pc,
+                                dirs: std::mem::take(&mut run.dirs),
+                            };
+                            finish(run, end, &mut requested_out, &mut requested_active);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every exit path releases per-lane fork forces (fork completion
+        // and the settle-error sweep above); a leaked force would corrupt
+        // the next batch simulated on this engine.
+        debug_assert!(
+            runs.iter().all(|r| matches!(r.phase, LanePhase::Idle)),
+            "batch ended with a lane still in flight"
+        );
+
+        requested_out
+            .into_iter()
+            .map(|r| r.expect("every requested task finished"))
+            .collect()
+    }
+}
+
 /// Shared state of the speculative worker pool.
 struct Pool {
     inner: Mutex<PoolState>,
     cv: Condvar,
+    /// Worker-side batch telemetry, folded into the final stats.
+    gate_passes: AtomicU64,
+    active_lane_cycles: AtomicU64,
+    idle_lane_cycles: AtomicU64,
 }
 
 struct PoolState {
@@ -161,6 +620,9 @@ impl Pool {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            gate_passes: AtomicU64::new(0),
+            active_lane_cycles: AtomicU64::new(0),
+            idle_lane_cycles: AtomicU64::new(0),
         }
     }
 
@@ -176,6 +638,24 @@ impl Pool {
     fn shutdown(&self) {
         self.inner.lock().expect("pool lock").shutdown = true;
         self.cv.notify_all();
+    }
+
+    fn absorb(&self, stats: &BatchExploreStats) {
+        self.gate_passes
+            .fetch_add(stats.gate_passes, Ordering::Relaxed);
+        self.active_lane_cycles
+            .fetch_add(stats.active_lane_cycles, Ordering::Relaxed);
+        self.idle_lane_cycles
+            .fetch_add(stats.idle_lane_cycles, Ordering::Relaxed);
+    }
+
+    fn drain_stats(&self) -> BatchExploreStats {
+        BatchExploreStats {
+            lanes: 0,
+            gate_passes: self.gate_passes.load(Ordering::Relaxed),
+            active_lane_cycles: self.active_lane_cycles.load(Ordering::Relaxed),
+            idle_lane_cycles: self.idle_lane_cycles.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -209,132 +689,10 @@ impl<'c> SymbolicExplorer<'c> {
         w
     }
 
-    fn pc_next_has_x(&self, next: &[Lv]) -> bool {
-        self.pc_ff_positions.iter().any(|&p| next[p] == Lv::X)
-    }
-
-    /// Simulates one fork-free run from `start` (or from the simulator's
-    /// current state when `None`) until halt, fork, or the segment budget.
-    ///
-    /// This is a pure function of the start state: it touches no explorer
-    /// bookkeeping, so it can run speculatively on any thread.
-    /// `pre_frames` counts frames the owning segment already holds (the
-    /// fork-direction frame of a child segment) against the budget.
-    fn simulate_path(
-        &self,
-        sim: &mut Simulator<'_>,
-        start: Option<&MachineState>,
-        pre_frames: u64,
-    ) -> PathResult {
-        if let Some(s) = start {
-            sim.set_machine_state(s);
-        }
-        let bt = self.cpu.io().branch_taken;
-        let mut frames: Vec<Frame> = Vec::new();
-        loop {
-            if pre_frames + frames.len() as u64 >= self.config.max_segment_cycles {
-                return PathResult {
-                    frames,
-                    end: PathEnd::Truncated,
-                };
-            }
-            let frame = match sim.eval() {
-                Ok(f) => f.clone(),
-                Err(e) => {
-                    return PathResult {
-                        frames,
-                        end: PathEnd::Sim(e),
-                    }
-                }
-            };
-
-            // Halt detection: the DECODE of `jmp $` (0x3FFF).
-            let halted = self.cpu.state(sim) == Some(xbound_cpu::State::Decode)
-                && self.cpu.ir_word(sim).to_u16() == Some(0x3FFF);
-            frames.push(frame);
-            if halted {
-                return PathResult {
-                    frames,
-                    end: PathEnd::Halt,
-                };
-            }
-
-            let next = sim.ff_next_values();
-            if !self.pc_next_has_x(&next) {
-                sim.commit_with_next(&next);
-                continue;
-            }
-
-            // --- fork on branch_taken ---
-            if sim.value(bt) != Lv::X {
-                let st = self
-                    .cpu
-                    .state(sim)
-                    .map(|s| s.name().to_string())
-                    .unwrap_or_else(|| "unknown".to_string());
-                return PathResult {
-                    frames,
-                    end: PathEnd::Unresolved {
-                        cycle: sim.cycle(),
-                        state: st,
-                    },
-                };
-            }
-            // Remove the X-branch frame: each child re-simulates the branch
-            // cycle with a concrete direction.
-            frames.pop();
-            let branch_pc = match sim.value_word(&self.cpu.io().pc).to_u16() {
-                Some(pc) => pc,
-                None => {
-                    return PathResult {
-                        frames,
-                        end: PathEnd::Unresolved {
-                            cycle: sim.cycle(),
-                            state: "DECODE with unknown branch PC".to_string(),
-                        },
-                    }
-                }
-            };
-            let base = sim.machine_state();
-            let mut dirs = Vec::with_capacity(2);
-            for lv in [Lv::One, Lv::Zero] {
-                sim.set_machine_state(&base);
-                sim.force(bt, Some(lv));
-                let first_frame = match sim.eval() {
-                    Ok(f) => f.clone(),
-                    Err(e) => {
-                        sim.force(bt, None);
-                        return PathResult {
-                            frames,
-                            end: PathEnd::Sim(e),
-                        };
-                    }
-                };
-                sim.commit();
-                sim.force(bt, None);
-                let after = sim.machine_state();
-                let pc_after = self.pc_of_state(&after).to_u16();
-                dirs.push(ForkDir {
-                    first_frame,
-                    after,
-                    pc_after,
-                    cycle_after: sim.cycle(),
-                });
-            }
-            return PathResult {
-                frames,
-                end: PathEnd::Fork { branch_pc, dirs },
-            };
-        }
-    }
-
-    /// A worker-pool simulator prototype: program loaded, reset already
-    /// consumed (every speculative task starts from a post-reset snapshot).
-    fn proto_sim(&self, program: &Program) -> Simulator<'c> {
-        let mut sim = self.cpu.new_sim();
-        Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
-        sim.reset(0);
-        sim
+    fn pc_next_has_x_lane(&self, next: &[LaneVal], lane: usize) -> bool {
+        self.pc_ff_positions
+            .iter()
+            .any(|&p| next[p].get(lane) == Lv::X)
     }
 
     /// Runs the exploration; returns the annotated execution tree.
@@ -350,13 +708,14 @@ impl<'c> SymbolicExplorer<'c> {
         program: &Program,
     ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
         let threads = crate::par::resolve_threads(self.config.threads);
+        let lanes = crate::par::resolve_explore_lanes(self.config.lanes);
         if threads <= 1 {
-            return self.explore_driver(program, None);
+            return self.explore_driver(program, None, lanes);
         }
         let pool = Pool::new();
         std::thread::scope(|s| {
             for _ in 0..threads - 1 {
-                s.spawn(|| self.worker_loop(program, &pool));
+                s.spawn(|| self.worker_loop(program, &pool, lanes));
             }
             // Shut the pool down even if the driver panics (including the
             // re-throw of a captured worker panic): the scope joins every
@@ -369,57 +728,107 @@ impl<'c> SymbolicExplorer<'c> {
                 }
             }
             let _guard = ShutdownGuard(&pool);
-            self.explore_driver(program, Some(&pool))
+            self.explore_driver(program, Some(&pool), lanes)
         })
     }
 
-    fn worker_loop(&self, program: &Program, pool: &Pool) {
-        let mut sim = self.proto_sim(program);
+    /// Claims up to `lanes` queued tasks (front of the queue — the oldest
+    /// speculation) and simulates them as one batch.
+    fn worker_loop(&self, program: &Program, pool: &Pool, lanes: usize) {
+        let mut runner = PathRunner::new(self.cpu, program, lanes, 0);
         loop {
-            let job = {
+            let jobs: Vec<(u64, MachineState)> = {
                 let mut guard = pool.inner.lock().expect("pool lock");
                 loop {
                     if guard.shutdown {
                         return;
                     }
-                    if let Some(job) = guard.queue.pop_front() {
-                        break job;
+                    if !guard.queue.is_empty() {
+                        let n = guard.queue.len().min(lanes);
+                        break guard.queue.drain(..n).collect();
                     }
                     guard = pool.cv.wait(guard).expect("pool wait");
                 }
             };
-            let (task, state) = job;
             // A panic inside the gate-level simulator must not strand the
-            // main thread in `fetch`; capture it and re-throw at commit.
-            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.simulate_path(&mut sim, Some(&state), 1)
+            // main thread in `fetch`; capture it and re-throw at commit
+            // (labeled with the failing branch's segment id there).
+            let tasks: Vec<BatchTask> = jobs
+                .iter()
+                .map(|(task, state)| BatchTask {
+                    task: *task,
+                    start: Some(state.clone()),
+                    pre_frames: 1,
+                })
+                .collect();
+            let results = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                runner.run_batch(self, tasks)
             })) {
                 Ok(r) => r,
                 Err(e) => {
-                    let msg = e
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| e.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    // The simulator may be poisoned mid-eval; rebuild it.
-                    sim = self.proto_sim(program);
-                    PathResult {
-                        frames: Vec::new(),
-                        end: PathEnd::Panicked(msg),
-                    }
+                    let msg = crate::par::payload_message(e.as_ref());
+                    // The engine may be poisoned mid-eval; rebuild it.
+                    runner = PathRunner::new(self.cpu, program, lanes, 0);
+                    jobs.iter()
+                        .map(|_| PathResult {
+                            frames: Vec::new(),
+                            end: PathEnd::Panicked(msg.clone()),
+                        })
+                        .collect()
                 }
             };
+            pool.absorb(&runner.stats);
+            runner.stats = BatchExploreStats::default();
             let mut guard = pool.inner.lock().expect("pool lock");
-            guard.results.insert(task, result);
+            for ((task, _), result) in jobs.into_iter().zip(results) {
+                guard.results.insert(task, result);
+            }
+            drop(guard);
             pool.cv.notify_all();
         }
     }
 
-    /// Obtains the result for a pending path: from the pool if a worker
-    /// (has) finished it, inline on the main thread's simulator otherwise.
-    fn fetch(&self, pool: Option<&Pool>, sim: &mut Simulator<'_>, p: &PendingPath) -> PathResult {
+    /// Obtains the result for a pending path: from the local speculation
+    /// cache, from the pool if a worker (has) finished it, or by batching
+    /// it inline with the nearest unexplored stack entries otherwise.
+    fn fetch(
+        &self,
+        pool: Option<&Pool>,
+        runner: &mut PathRunner<'c>,
+        cache: &mut HashMap<u64, PathResult>,
+        stack: &[PendingPath],
+        p: &PendingPath,
+    ) -> PathResult {
+        if let Some(r) = cache.remove(&p.task) {
+            return r;
+        }
+        let lanes = runner.sim.lanes();
         let Some(pool) = pool else {
-            return self.simulate_path(sim, Some(&p.state), 1);
+            // Inline: batch the needed task with the top of the pending
+            // stack (the branches DFS will pop next).
+            let mut tasks = vec![BatchTask {
+                task: p.task,
+                start: Some(p.state.clone()),
+                pre_frames: 1,
+            }];
+            for q in stack.iter().rev() {
+                if tasks.len() >= lanes {
+                    break;
+                }
+                if q.task != p.task && !cache.contains_key(&q.task) {
+                    tasks.push(BatchTask {
+                        task: q.task,
+                        start: Some(q.state.clone()),
+                        pre_frames: 1,
+                    });
+                }
+            }
+            let ids: Vec<u64> = tasks.iter().map(|t| t.task).collect();
+            let results = runner.run_batch(self, tasks);
+            for (id, r) in ids.into_iter().zip(results) {
+                cache.insert(id, r);
+            }
+            return cache.remove(&p.task).expect("batched task simulated");
         };
         let mut guard = pool.inner.lock().expect("pool lock");
         loop {
@@ -427,10 +836,36 @@ impl<'c> SymbolicExplorer<'c> {
                 return r;
             }
             if let Some(pos) = guard.queue.iter().position(|(id, _)| *id == p.task) {
-                // Not yet claimed by a worker: steal it and run inline.
-                guard.queue.remove(pos);
+                // Not yet claimed by a worker: steal it — together with the
+                // youngest queued speculation (nearest to the DFS frontier)
+                // — and run the batch inline.
+                let mut jobs: Vec<(u64, MachineState)> =
+                    vec![guard.queue.remove(pos).expect("in queue")];
+                while jobs.len() < lanes {
+                    match guard.queue.pop_back() {
+                        Some(j) => jobs.push(j),
+                        None => break,
+                    }
+                }
                 drop(guard);
-                return self.simulate_path(sim, Some(&p.state), 1);
+                let tasks: Vec<BatchTask> = jobs
+                    .iter()
+                    .map(|(task, state)| BatchTask {
+                        task: *task,
+                        start: Some(state.clone()),
+                        pre_frames: 1,
+                    })
+                    .collect();
+                let results = runner.run_batch(self, tasks);
+                let mut out = None;
+                for ((task, _), r) in jobs.into_iter().zip(results) {
+                    if task == p.task {
+                        out = Some(r);
+                    } else {
+                        cache.insert(task, r);
+                    }
+                }
+                return out.expect("stolen task simulated");
             }
             // In flight on a worker; wait for it.
             guard = pool.cv.wait(guard).expect("pool wait");
@@ -439,18 +874,24 @@ impl<'c> SymbolicExplorer<'c> {
 
     /// The deterministic commit loop: depth-first order, exactly the
     /// sequential algorithm, with path simulation delegated to
-    /// [`SymbolicExplorer::simulate_path`] (inline or speculative).
+    /// [`PathRunner::run_batch`] (inline or speculative).
     fn explore_driver(
         &self,
         program: &Program,
         pool: Option<&Pool>,
+        lanes: usize,
     ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
-        let mut sim = self.cpu.new_sim();
-        Cpu::load_program(&mut sim, program, false); // symbolic: memory stays X
-        sim.reset(self.config.reset_cycles);
+        let mut runner = PathRunner::new(self.cpu, program, lanes, self.config.reset_cycles);
+        let mut cache: HashMap<u64, PathResult> = HashMap::new();
 
         let mut tree = ExecutionTree::new();
-        let mut stats = ExploreStats::default();
+        let mut stats = ExploreStats {
+            batch: BatchExploreStats {
+                lanes: lanes as u64,
+                ..BatchExploreStats::default()
+            },
+            ..ExploreStats::default()
+        };
         let mut pc_table: HashMap<u16, PcEntry> = HashMap::new();
         let mut stack: Vec<PendingPath> = Vec::new();
         let mut next_task: u64 = 0;
@@ -462,8 +903,28 @@ impl<'c> SymbolicExplorer<'c> {
             end: SegmentEnd::Halt, // patched when the segment actually ends
         });
         let mut current = root;
-        // Root starts from the simulator's power-on state.
-        let mut result = self.simulate_path(&mut sim, None, 0);
+        // Root starts from the engine's power-on state (lane 0; the other
+        // lanes idle through it and are counted as speculative waste).
+        let mut result = runner
+            .run_batch(
+                self,
+                vec![BatchTask {
+                    task: u64::MAX,
+                    start: None,
+                    pre_frames: 0,
+                }],
+            )
+            .pop()
+            .expect("root path simulated");
+
+        let finish_stats =
+            |mut stats: ExploreStats, runner: &PathRunner<'_>, pool: Option<&Pool>| {
+                stats.batch.absorb(&runner.stats);
+                if let Some(pool) = pool {
+                    stats.batch.absorb(&pool.drain_stats());
+                }
+                stats
+            };
 
         loop {
             // Commit `result` into segment `current`.
@@ -481,7 +942,12 @@ impl<'c> SymbolicExplorer<'c> {
                     return Err(AnalysisError::UnresolvedPc { cycle, state });
                 }
                 PathEnd::Sim(e) => return Err(AnalysisError::Sim(e)),
-                PathEnd::Panicked(msg) => panic!("explorer worker panicked: {msg}"),
+                PathEnd::Panicked(msg) => {
+                    panic!(
+                        "explorer worker panicked (segment {}): {msg}",
+                        current.index()
+                    )
+                }
                 PathEnd::Fork { branch_pc, dirs } => {
                     stats.forks += 1;
                     let branch_frame_cycle = {
@@ -589,11 +1055,11 @@ impl<'c> SymbolicExplorer<'c> {
             match stack.pop() {
                 None => break,
                 Some(p) => {
-                    result = self.fetch(pool, &mut sim, &p);
+                    result = self.fetch(pool, &mut runner, &mut cache, &stack, &p);
                     current = p.seg;
                 }
             }
         }
-        Ok((tree, stats))
+        Ok((tree, finish_stats(stats, &runner, pool)))
     }
 }

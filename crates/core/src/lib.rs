@@ -57,7 +57,7 @@ use xbound_netlist::NetlistError;
 use xbound_power::{PowerAnalyzer, PowerTrace};
 use xbound_sim::SimError;
 
-pub use activity::{ExploreConfig, ExploreStats, SymbolicExplorer};
+pub use activity::{BatchExploreStats, ExploreConfig, ExploreStats, SymbolicExplorer};
 pub use coi::{cycles_of_interest, CycleOfInterest};
 pub use peak_power::{compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult};
 pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
@@ -249,22 +249,30 @@ impl UlpSystem {
         for (lane, inputs) in input_sets.iter().enumerate() {
             Cpu::set_inputs_lane(&mut sim, lane, inputs);
         }
+        sim.set_change_logging(true);
         let analyzer = self.analyzer();
         // Power accumulates streaming (no batch-frame sequence is ever
         // materialized), and each lane's scalar frame is reconstructed
-        // incrementally: only nets whose batch word changed since the
-        // previous cycle are rewritten, then the per-lane frame is stored
-        // by (cheap, word-packed) clone — the same storage the scalar
-        // path produces.
+        // incrementally from the engine's net-level change log: only nets
+        // that actually changed since the previous cycle are rewritten,
+        // then the per-lane frame is stored by (cheap, word-packed) clone
+        // — the same storage the scalar path produces.
         let mut acc = analyzer.batch_accumulator(lanes);
         let mut prev: Option<xbound_logic::BatchFrame> = None;
         let mut cur_lane: Vec<Frame> = Vec::new();
+        let mut changes: Vec<u32> = Vec::new();
         let mut lane_frames: Vec<Vec<Frame>> = vec![Vec::new(); lanes];
         // One-past-the-halt-frame cycle count per lane (0 = still running).
         let mut lane_cycles = vec![0usize; lanes];
         let mut running = lanes;
         for _ in 0..max_cycles {
             sim.eval()?;
+            sim.swap_change_log(&mut changes);
+            // The sorted, deduplicated log serves both the per-lane frame
+            // reconstruction and the power accumulator (whose f64 order
+            // requires ascending nets).
+            changes.sort_unstable();
+            changes.dedup();
             let bf = sim.frame();
             match &mut prev {
                 None => {
@@ -272,7 +280,8 @@ impl UlpSystem {
                     prev = Some(bf.clone());
                 }
                 Some(prev) => {
-                    for i in 0..bf.len() {
+                    for &i in &changes {
+                        let i = i as usize;
                         let p = prev.get(i);
                         let q = bf.get(i);
                         let mut changed = (p.val ^ q.val) | (p.unk ^ q.unk);
@@ -281,11 +290,12 @@ impl UlpSystem {
                             cur_lane[l].set(i, q.get(l));
                             changed &= changed - 1;
                         }
+                        prev.set(i, q);
                     }
-                    prev.clone_from(bf);
                 }
             }
-            acc.push(bf);
+            acc.push_changed(bf, &changes);
+            changes.clear();
             for (lane, n) in lane_cycles.iter_mut().enumerate() {
                 if *n == 0 {
                     lane_frames[lane].push(cur_lane[lane].clone());

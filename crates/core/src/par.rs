@@ -43,27 +43,55 @@ pub fn resolve_threads(requested: usize) -> usize {
         .min(MAX_AUTO_THREADS)
 }
 
-/// Resolves a batched-simulation lane-width knob.
-///
-/// `0` means *auto*: the `XBOUND_LANES` environment variable if set to a
-/// positive integer, otherwise [`DEFAULT_LANES`]. The result is always
-/// clamped to `1..=`[`xbound_logic::MAX_LANES`] (one bit per lane in a
-/// `u64` plane pair). Results are bit-identical at any lane width; the
-/// knob only trades memory for gate-pass sharing.
-pub fn resolve_lanes(requested: usize) -> usize {
+/// The shared lane-knob cascade: explicit request → environment variable
+/// → default, clamped to `1..=`[`xbound_logic::MAX_LANES`] (one bit per
+/// lane in a `u64` plane pair).
+fn resolve_lane_knob(requested: usize, env_var: &str, default: usize) -> usize {
     let lanes = if requested > 0 {
         requested
-    } else if let Ok(v) = std::env::var("XBOUND_LANES") {
+    } else if let Ok(v) = std::env::var(env_var) {
         v.trim().parse::<usize>().unwrap_or(0)
     } else {
         0
     };
-    let lanes = if lanes == 0 { DEFAULT_LANES } else { lanes };
+    let lanes = if lanes == 0 { default } else { lanes };
     lanes.clamp(1, xbound_logic::MAX_LANES)
 }
 
-/// Renders a panic payload for re-raising with job context.
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Resolves the batched concrete-simulation lane-width knob.
+///
+/// `0` means *auto*: the `XBOUND_LANES` environment variable if set to a
+/// positive integer, otherwise [`DEFAULT_LANES`]. Results are
+/// bit-identical at any lane width; the knob only trades memory for
+/// gate-pass sharing.
+pub fn resolve_lanes(requested: usize) -> usize {
+    resolve_lane_knob(requested, "XBOUND_LANES", DEFAULT_LANES)
+}
+
+/// Default lane width for batched symbolic exploration.
+///
+/// Narrower than [`DEFAULT_LANES`]: the DFS frontier rarely exposes more
+/// than a handful of pending branches at once, and (unlike concrete
+/// populations, which run in lock-step from one reset) branches sit at
+/// different program points, so their dirty cones overlap less — 8 lanes
+/// captures nearly all of the measured pass sharing.
+pub const DEFAULT_EXPLORE_LANES: usize = 8;
+
+/// Resolves the symbolic-exploration lane-width knob
+/// ([`crate::ExploreConfig::lanes`]).
+///
+/// `0` means *auto*: the `XBOUND_EXPLORE_LANES` environment variable if
+/// set to a positive integer, otherwise [`DEFAULT_EXPLORE_LANES`].
+/// Execution trees, exploration statistics, and every downstream
+/// peak-power table are bit-identical at any width; the knob only
+/// controls how many pending execution-tree branches share one gate pass.
+pub fn resolve_explore_lanes(requested: usize) -> usize {
+    resolve_lane_knob(requested, "XBOUND_EXPLORE_LANES", DEFAULT_EXPLORE_LANES)
+}
+
+/// Renders a panic payload for re-raising with job context (shared by
+/// [`par_map_labeled`] and the symbolic explorer's speculative pool).
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -198,6 +226,15 @@ mod tests {
         assert_eq!(resolve_lanes(200), xbound_logic::MAX_LANES);
         assert!(resolve_lanes(0) >= 1);
         assert!(resolve_lanes(0) <= xbound_logic::MAX_LANES);
+    }
+
+    #[test]
+    fn resolve_explore_lanes_clamps_to_word_width() {
+        assert_eq!(resolve_explore_lanes(1), 1);
+        assert_eq!(resolve_explore_lanes(8), 8);
+        assert_eq!(resolve_explore_lanes(200), xbound_logic::MAX_LANES);
+        assert!(resolve_explore_lanes(0) >= 1);
+        assert!(resolve_explore_lanes(0) <= xbound_logic::MAX_LANES);
     }
 
     fn catch_message(job: impl FnOnce() + Send) -> String {

@@ -131,10 +131,11 @@ fn input_dependent_loop_terminates_via_memoization() {
 }
 
 #[test]
-fn parallel_exploration_is_thread_count_invariant() {
+fn parallel_exploration_is_thread_and_lane_invariant() {
     let sys = system();
     // Fork-heavy: an input-dependent loop plus an input-dependent branch,
-    // so the speculative pool actually has pending paths to pick up.
+    // so the speculative pool actually has pending paths to pick up and
+    // the batched runner packs multiple branches per gate pass.
     let p = assemble(
         r#"
         main:
@@ -153,32 +154,59 @@ fn parallel_exploration_is_thread_count_invariant() {
         "#,
     )
     .unwrap();
-    let explorer = |threads: usize| {
+    let explorer = |threads: usize, lanes: usize| {
         let cfg = ExploreConfig {
             max_total_cycles: 500_000,
             threads,
+            lanes,
             ..ExploreConfig::default()
         };
         xbound_core::SymbolicExplorer::new(sys.cpu(), cfg)
             .explore(&p)
             .expect("explores")
     };
-    let (t1, s1) = explorer(1);
-    for threads in [2, 4] {
-        let (tn, sn) = explorer(threads);
-        assert_eq!(s1, sn, "stats differ at {threads} threads");
+    // The reference: the historical scalar explorer (one lane, no pool).
+    let (t1, s1) = explorer(1, 1);
+    assert_eq!(s1.batch.lanes, 1);
+    for (threads, lanes) in [(1, 8), (1, 64), (2, 1), (2, 8), (4, 64)] {
+        let (tn, sn) = explorer(threads, lanes);
+        assert_eq!(
+            s1.deterministic(),
+            sn.deterministic(),
+            "stats differ at {threads} threads x {lanes} lanes"
+        );
+        assert_eq!(sn.batch.lanes, lanes as u64);
         assert_eq!(
             t1.segments().len(),
             tn.segments().len(),
-            "segment count differs at {threads} threads"
+            "segment count differs at {threads} threads x {lanes} lanes"
         );
         for (a, b) in t1.segments().iter().zip(tn.segments()) {
             assert_eq!(a.start_cycle, b.start_cycle);
-            assert_eq!(a.frames, b.frames, "frames differ at {threads} threads");
+            assert_eq!(
+                a.frames, b.frames,
+                "frames differ at {threads} threads x {lanes} lanes"
+            );
             assert_eq!(a.end, b.end);
             assert_eq!(a.parent.map(|(p, _)| p), b.parent.map(|(p, _)| p));
         }
     }
+    // The batched runner actually packed branches: with 8 lanes some gate
+    // passes must have carried more than one in-flight branch.
+    let (_, s8) = explorer(1, 8);
+    assert!(
+        s8.batch.active_lane_cycles > s8.batch.gate_passes,
+        "no pass carried two branches: {:?}",
+        s8.batch
+    );
+    assert!(s8.batch.occupancy() > 0.0 && s8.batch.occupancy() <= 1.0);
+    assert!(
+        s8.batch.gate_passes < s1.batch.gate_passes,
+        "8-lane exploration should need fewer gate passes than scalar \
+         ({} vs {})",
+        s8.batch.gate_passes,
+        s1.batch.gate_passes
+    );
 }
 
 #[test]

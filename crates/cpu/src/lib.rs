@@ -116,39 +116,14 @@ impl Cpu {
     /// Panics only if the generated netlist and bus spec disagree (a bug).
     pub fn new_sim(&self) -> Simulator<'_> {
         let mut sim = Simulator::new(&self.nl);
-        let bus = BusSpec {
-            addr: self.io.bus_addr.clone(),
-            wdata: self.io.bus_wdata.clone(),
-            rdata: self.io.bus_rdata.clone(),
-            wen: Some(self.io.bus_wen),
-        };
-        let mems = vec![
-            MemRegion::new(
-                "pmem",
-                RegionKind::Rom,
-                memmap::PMEM_BASE,
-                memmap::PMEM_WORDS,
-            ),
-            MemRegion::new(
-                "dmem",
-                RegionKind::Ram,
-                memmap::DMEM_BASE,
-                memmap::DMEM_WORDS,
-            ),
-            MemRegion::new(
-                "inport",
-                RegionKind::Port,
-                memmap::INPORT_BASE,
-                memmap::INPORT_WORDS,
-            ),
-        ];
+        let (bus, mems) = self.standard_bus();
         sim.attach_bus(bus, mems).expect("CPU bus spec is valid");
         sim
     }
 
     /// Creates a batched simulator ([`BatchSimulator`]) with `lanes`
-    /// independent copies of the standard memory map — one concrete run
-    /// per lane, one gate pass for all of them.
+    /// independent copies of the standard memory map — one run per lane,
+    /// one gate pass for all of them.
     ///
     /// # Panics
     ///
@@ -156,6 +131,15 @@ impl Cpu {
     /// or if `lanes` is outside the supported range.
     pub fn new_batch_sim(&self, lanes: usize) -> BatchSimulator<'_> {
         let mut sim = BatchSimulator::new(&self.nl, lanes);
+        let (bus, mems) = self.standard_bus();
+        sim.attach_bus(bus, mems).expect("CPU bus spec is valid");
+        sim
+    }
+
+    /// The standard external bus wiring plus one copy of the memory map
+    /// (the lane-generic engine replicates the regions per lane) — the
+    /// single home of the memory-map shape shared by both instantiations.
+    fn standard_bus(&self) -> (BusSpec, Vec<MemRegion>) {
         let bus = BusSpec {
             addr: self.io.bus_addr.clone(),
             wdata: self.io.bus_wdata.clone(),
@@ -182,8 +166,7 @@ impl Cpu {
                 memmap::INPORT_WORDS,
             ),
         ];
-        sim.attach_bus(bus, mems).expect("CPU bus spec is valid");
-        sim
+        (bus, mems)
     }
 
     /// Splits a program into its memory-region write lists: `(pmem,

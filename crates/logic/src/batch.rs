@@ -190,6 +190,22 @@ impl LaneVal {
             unk,
         }
     }
+
+    /// Lane-wise three-way select on a three-valued control:
+    /// `ctrl == 0 → when0`, `ctrl == 1 → when1`, `ctrl == X → whenx`.
+    ///
+    /// This is the batched form of a per-lane `match` on the control value
+    /// — the flip-flop update rules (enable, reset) are built from it.
+    #[inline]
+    pub fn select(ctrl: LaneVal, when0: LaneVal, when1: LaneVal, whenx: LaneVal) -> LaneVal {
+        let c0 = ctrl.known0();
+        let c1 = ctrl.val;
+        let cx = ctrl.unk;
+        LaneVal::from_planes(
+            (c0 & when0.val) | (c1 & when1.val) | (cx & whenx.val),
+            (c0 & when0.unk) | (c1 & when1.unk) | (cx & whenx.unk),
+        )
+    }
 }
 
 /// The value of every net in a netlist for up to [`MAX_LANES`] independent
@@ -442,6 +458,28 @@ mod tests {
                 x.or(y).and(s).not(),
                 "oai21({x},{y},{s})"
             );
+        }
+    }
+
+    #[test]
+    fn select_matches_per_lane_match() {
+        // 27 lanes enumerate ALL³ for (ctrl, a, b); whenx = join(a, b).
+        let mut c = LaneVal::ZERO;
+        let mut a = LaneVal::ZERO;
+        let mut b = LaneVal::ZERO;
+        for l in 0..27 {
+            c.set(l, Lv::ALL[l % 3]);
+            a.set(l, Lv::ALL[(l / 3) % 3]);
+            b.set(l, Lv::ALL[l / 9]);
+        }
+        let r = LaneVal::select(c, a, b, a.join(b));
+        for l in 0..27 {
+            let expect = match c.get(l) {
+                Lv::Zero => a.get(l),
+                Lv::One => b.get(l),
+                Lv::X => a.get(l).join(b.get(l)),
+            };
+            assert_eq!(r.get(l), expect, "lane {l}");
         }
     }
 

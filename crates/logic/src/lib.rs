@@ -20,6 +20,15 @@
 //! assert_eq!(Lv::X.and(Lv::One), Lv::X);     // X propagates otherwise
 //! assert_eq!(Lv::X.xor(Lv::One), Lv::X);
 //! ```
+//!
+//! There is exactly one implementation of the three-valued gate algebra:
+//! the word-wise [`LaneVal`] kernels in [`batch`]. The scalar [`Lv`]
+//! operations below are the 1-lane instantiation of those kernels (splat
+//! into lane 0, apply the word kernel, read lane 0 back), so the scalar
+//! and batched engines cannot diverge. The truth tables live in this
+//! crate's tests as the executable specification.
+
+#![warn(missing_docs)]
 
 pub mod batch;
 mod frame;
@@ -99,46 +108,43 @@ impl Lv {
         matches!(self, Lv::X)
     }
 
+    /// Applies a unary [`LaneVal`] kernel at width 1 (lane 0).
+    #[inline]
+    fn via_lane1(self, f: impl FnOnce(LaneVal) -> LaneVal) -> Lv {
+        f(LaneVal::splat(self, 1)).get(0)
+    }
+
+    /// Applies a binary [`LaneVal`] kernel at width 1 (lane 0).
+    #[inline]
+    fn via_lane2(self, rhs: Lv, f: impl FnOnce(LaneVal, LaneVal) -> LaneVal) -> Lv {
+        f(LaneVal::splat(self, 1), LaneVal::splat(rhs, 1)).get(0)
+    }
+
     /// Logical negation; `X` stays `X`.
     // An inherent `not` (like `and`/`or`) keeps the three-valued gate
     // algebra in one naming scheme; `!lv` via `ops::Not` also works.
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn not(self) -> Lv {
-        match self {
-            Lv::Zero => Lv::One,
-            Lv::One => Lv::Zero,
-            Lv::X => Lv::X,
-        }
+        self.via_lane1(|a| a.not(1))
     }
 
     /// Pessimistic AND: a controlling `0` forces the output to `0`.
     #[inline]
     pub fn and(self, rhs: Lv) -> Lv {
-        match (self, rhs) {
-            (Lv::Zero, _) | (_, Lv::Zero) => Lv::Zero,
-            (Lv::One, Lv::One) => Lv::One,
-            _ => Lv::X,
-        }
+        self.via_lane2(rhs, LaneVal::and)
     }
 
     /// Pessimistic OR: a controlling `1` forces the output to `1`.
     #[inline]
     pub fn or(self, rhs: Lv) -> Lv {
-        match (self, rhs) {
-            (Lv::One, _) | (_, Lv::One) => Lv::One,
-            (Lv::Zero, Lv::Zero) => Lv::Zero,
-            _ => Lv::X,
-        }
+        self.via_lane2(rhs, LaneVal::or)
     }
 
     /// XOR: unknown whenever either input is unknown.
     #[inline]
     pub fn xor(self, rhs: Lv) -> Lv {
-        match (self, rhs) {
-            (Lv::X, _) | (_, Lv::X) => Lv::X,
-            (a, b) => Lv::from_bool(a != b),
-        }
+        self.via_lane2(rhs, LaneVal::xor)
     }
 
     /// NAND, NOR, XNOR in terms of the primitives above.
@@ -165,17 +171,12 @@ impl Lv {
     /// (standard X-pessimistic mux semantics).
     #[inline]
     pub fn mux(sel: Lv, a: Lv, b: Lv) -> Lv {
-        match sel {
-            Lv::Zero => a,
-            Lv::One => b,
-            Lv::X => {
-                if a == b && a.is_known() {
-                    a
-                } else {
-                    Lv::X
-                }
-            }
-        }
+        LaneVal::mux(
+            LaneVal::splat(sel, 1),
+            LaneVal::splat(a, 1),
+            LaneVal::splat(b, 1),
+        )
+        .get(0)
     }
 
     /// Lattice subsumption: `self` covers `other` if it is `X` or equal.
@@ -190,11 +191,7 @@ impl Lv {
     /// Lattice join: returns the least value covering both inputs.
     #[inline]
     pub fn join(self, other: Lv) -> Lv {
-        if self == other {
-            self
-        } else {
-            Lv::X
-        }
+        self.via_lane2(other, LaneVal::join)
     }
 
     /// ASCII character used in traces and VCD files (`'0'`, `'1'`, `'x'`).

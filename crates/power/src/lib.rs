@@ -47,11 +47,13 @@
 //! assert!(trace.avg_mw() <= trace.peak_mw());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod statics;
 pub mod vcd;
 
 use xbound_cells::CellLibrary;
-use xbound_logic::{BatchFrame, Frame, Lv};
+use xbound_logic::{BatchFrame, Frame, LaneVal};
 use xbound_netlist::{CellKind, Netlist};
 
 /// A per-cycle power trace produced by [`PowerAnalyzer::analyze`].
@@ -226,26 +228,6 @@ impl<'a> PowerAnalyzer<'a> {
         self.leakage_mw + self.clock_mw
     }
 
-    /// Dynamic energy (femtojoules) of one gate transitioning `from → to`.
-    ///
-    /// `X` endpoints are charged the maximum transition energy.
-    #[inline]
-    fn transition_energy_fj(&self, gate_idx: usize, from: Lv, to: Lv) -> f64 {
-        let (rise, fall, max) = self.energies[gate_idx];
-        match (from, to) {
-            (Lv::Zero, Lv::One) => rise,
-            (Lv::One, Lv::Zero) => fall,
-            (Lv::X, _) | (_, Lv::X) => {
-                if from == to {
-                    0.0
-                } else {
-                    max
-                }
-            }
-            _ => 0.0,
-        }
-    }
-
     /// Analyzes a frame sequence into a power trace.
     ///
     /// Cycle `c`'s dynamic power counts transitions between frames `c-1` and
@@ -261,42 +243,20 @@ impl<'a> PowerAnalyzer<'a> {
     /// Algorithm 2 analyzes every execution-tree segment prefixed by its
     /// parent's last frame; passing the boundary by reference avoids
     /// cloning each segment's frames twice per run.
+    ///
+    /// This is the 1-lane wrapper of the lane-wise accumulator: each
+    /// consecutive frame pair is diffed word-wise ([`Frame::for_each_diff`])
+    /// and the changed nets feed [`BatchPowerAccumulator`]'s shared
+    /// classify/accumulate kernel at lane width 1, so the scalar and
+    /// batched analyses cannot diverge.
     pub fn analyze_with_boundary(&self, boundary: Option<&Frame>, frames: &[Frame]) -> PowerTrace {
-        let module_names = self.nl.modules().to_vec();
-        let nmods = module_names.len();
-        let off = usize::from(boundary.is_some());
-        let ncycles = frames.len() + off;
-        let logical = |c: usize| -> &Frame {
-            match boundary {
-                Some(b) if c == 0 => b,
-                _ => &frames[c - off],
-            }
-        };
-        let mut per_cycle = vec![self.leakage_mw + self.clock_mw; ncycles];
-        let mut per_module = vec![vec![0.0f64; ncycles]; nmods];
-        let fj_to_mw = self.clock_hz * 1e-12; // fJ per cycle -> mW
-        for c in 1..ncycles {
-            let prev = logical(c - 1);
-            let cur = logical(c);
-            let mut cycle_fj = 0.0;
-            prev.for_each_diff(cur, |i| {
-                let Some(gid) = self.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
-                    return; // primary input toggles cost nothing themselves
-                };
-                let g = self.nl.gate(gid);
-                let e = self.transition_energy_fj(gid.index(), prev.get(i), cur.get(i));
-                cycle_fj += e;
-                per_module[g.module().index()][c] += e * fj_to_mw;
-            });
-            per_cycle[c] += cycle_fj * fj_to_mw;
+        let mut acc = self.batch_accumulator(1);
+        let mut prev: Option<&Frame> = None;
+        for cur in boundary.into_iter().chain(frames) {
+            acc.push_scalar_pair(prev, cur);
+            prev = Some(cur);
         }
-        PowerTrace {
-            per_cycle_mw: per_cycle,
-            per_module_mw: per_module,
-            module_names,
-            clock_hz: self.clock_hz,
-            leakage_mw: self.leakage_mw,
-        }
+        acc.finish(None).pop().expect("one lane")
     }
 
     /// Batched [`PowerAnalyzer::analyze`]: one pass over a
@@ -400,15 +360,10 @@ impl BatchPowerAccumulator<'_> {
         self.per_cycle.first().map(|v| v.len()).unwrap_or(0)
     }
 
-    /// Accumulates one settled cycle frame (transitions are counted
-    /// against the previously pushed frame; the first cycle is floor
-    /// power only, like the scalar analyzer).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame's lane count disagrees with the accumulator.
-    pub fn push(&mut self, frame: &BatchFrame) {
-        assert_eq!(frame.lanes(), self.lanes, "frame lane count mismatch");
+    /// Opens a cycle row: every lane gets the input-independent floor
+    /// (leakage + clock), every module row a zero. Returns the cycle
+    /// index the transition kernel accumulates into.
+    fn begin_cycle(&mut self) -> usize {
         let a = self.analyzer;
         let floor = a.leakage_mw + a.clock_mw;
         let c = self.cycles();
@@ -420,47 +375,139 @@ impl BatchPowerAccumulator<'_> {
                 m.push(0.0);
             }
         }
-        if let Some(prev) = &self.prev {
+        self.cycle_fj.fill(0.0);
+        c
+    }
+
+    /// The shared transition kernel: classifies one net's per-lane
+    /// transition (rise / fall / X-endpoint) and accumulates the cell
+    /// energy into every changed lane.
+    ///
+    /// A changed lane lands in exactly one class mask, so each lane
+    /// accumulates at most one energy per net, in ascending net order —
+    /// the exact f64 order of the historical scalar analyzer, which is
+    /// why 1-lane accumulation reproduces it bit for bit. `X` endpoints
+    /// are charged the maximum transition energy (conservative; only
+    /// reachable when callers analyze raw symbolic traces).
+    #[inline]
+    fn accumulate_net(&mut self, c: usize, i: usize, p: LaneVal, q: LaneVal) {
+        let changed = (p.val ^ q.val) | (p.unk ^ q.unk);
+        if changed == 0 {
+            return;
+        }
+        let a = self.analyzer;
+        let Some(gid) = a.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
+            return; // primary input toggles cost nothing themselves
+        };
+        let (rise_e, fall_e, max_e) = a.energies[gid.index()];
+        let module = a.nl.gate(gid).module().index();
+        let fj_to_mw = a.clock_hz * 1e-12;
+        let known = !p.unk & !q.unk;
+        let rise = changed & known & !p.val & q.val;
+        let fall = changed & known & p.val & !q.val;
+        let xchg = changed & (p.unk | q.unk);
+        for (mask, e) in [(rise, rise_e), (fall, fall_e), (xchg, max_e)] {
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                self.cycle_fj[l] += e;
+                self.per_module[l][module][c] += e * fj_to_mw;
+                m &= m - 1;
+            }
+        }
+    }
+
+    /// Closes a cycle row: folds the accumulated per-lane femtojoules
+    /// into the per-cycle milliwatt rows.
+    fn end_cycle(&mut self, c: usize) {
+        let fj_to_mw = self.analyzer.clock_hz * 1e-12;
+        for (l, fj) in self.cycle_fj.iter().enumerate() {
+            self.per_cycle[l][c] += fj * fj_to_mw;
+        }
+    }
+
+    /// Accumulates one settled cycle frame (transitions are counted
+    /// against the previously pushed frame; the first cycle is floor
+    /// power only, like the scalar analyzer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's lane count disagrees with the accumulator.
+    pub fn push(&mut self, frame: &BatchFrame) {
+        assert_eq!(frame.lanes(), self.lanes, "frame lane count mismatch");
+        let c = self.begin_cycle();
+        if let Some(prev) = self.prev.take() {
             assert_eq!(prev.len(), frame.len(), "frame length mismatch");
-            let fj_to_mw = a.clock_hz * 1e-12;
-            self.cycle_fj.fill(0.0);
             for i in 0..frame.len() {
-                let p = prev.get(i);
-                let q = frame.get(i);
-                let changed = (p.val ^ q.val) | (p.unk ^ q.unk);
-                if changed == 0 {
-                    continue;
-                }
-                let Some(gid) = a.nl.driver_of(xbound_netlist::NetId(i as u32)) else {
-                    continue; // primary input toggles cost nothing themselves
-                };
-                let (rise_e, fall_e, max_e) = a.energies[gid.index()];
-                let module = a.nl.gate(gid).module().index();
-                // Per-lane transition classes; a changed lane lands in
-                // exactly one mask, so each lane accumulates at most one
-                // energy per net, in ascending net order (scalar order).
-                let known = !p.unk & !q.unk;
-                let rise = changed & known & !p.val & q.val;
-                let fall = changed & known & p.val & !q.val;
-                let xchg = changed & (p.unk | q.unk);
-                for (mask, e) in [(rise, rise_e), (fall, fall_e), (xchg, max_e)] {
-                    let mut m = mask;
-                    while m != 0 {
-                        let l = m.trailing_zeros() as usize;
-                        self.cycle_fj[l] += e;
-                        self.per_module[l][module][c] += e * fj_to_mw;
-                        m &= m - 1;
-                    }
-                }
+                self.accumulate_net(c, i, prev.get(i), frame.get(i));
             }
-            for (l, fj) in self.cycle_fj.iter().enumerate() {
-                self.per_cycle[l][c] += fj * fj_to_mw;
+            self.end_cycle(c);
+            let mut prev = prev;
+            prev.clone_from(frame);
+            self.prev = Some(prev);
+        } else {
+            self.end_cycle(c);
+            self.prev = Some(frame.clone());
+        }
+    }
+
+    /// [`BatchPowerAccumulator::push`] with a caller-provided list of
+    /// candidate changed nets — **ascending, duplicate-free, and a
+    /// superset of every net whose value differs from the previous
+    /// frame** (e.g. the engine's sorted change log). Only those nets are
+    /// visited, so a settled cycle costs O(changed) instead of O(design);
+    /// because the list is ascending, the f64 accumulation order is
+    /// exactly the full scan's and the traces stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's lane count disagrees with the accumulator.
+    pub fn push_changed(&mut self, frame: &BatchFrame, changed: &[u32]) {
+        assert_eq!(frame.lanes(), self.lanes, "frame lane count mismatch");
+        let c = self.begin_cycle();
+        if let Some(prev) = self.prev.take() {
+            assert_eq!(prev.len(), frame.len(), "frame length mismatch");
+            for &i in changed {
+                let i = i as usize;
+                self.accumulate_net(c, i, prev.get(i), frame.get(i));
             }
+            self.end_cycle(c);
+            let mut prev = prev;
+            for &i in changed {
+                let i = i as usize;
+                prev.set(i, frame.get(i));
+            }
+            self.prev = Some(prev);
+        } else {
+            self.end_cycle(c);
+            self.prev = Some(frame.clone());
         }
-        match &mut self.prev {
-            Some(prev) => prev.clone_from(frame),
-            None => self.prev = Some(frame.clone()),
+    }
+
+    /// One cycle of 1-lane accumulation driven by a *scalar* frame pair:
+    /// only the word-wise diff of `(prev, cur)` reaches the shared
+    /// transition kernel, so the scalar [`PowerAnalyzer::analyze`] wrapper
+    /// keeps the packed-frame diffing speed while sharing every
+    /// accumulation op with the batched path. Does not touch the stored
+    /// batched `prev` frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the accumulator has exactly one lane.
+    fn push_scalar_pair(&mut self, prev: Option<&Frame>, cur: &Frame) {
+        assert_eq!(self.lanes, 1, "scalar accumulation is 1-lane");
+        let c = self.begin_cycle();
+        if let Some(prev) = prev {
+            prev.for_each_diff(cur, |i| {
+                self.accumulate_net(
+                    c,
+                    i,
+                    LaneVal::splat(prev.get(i), 1),
+                    LaneVal::splat(cur.get(i), 1),
+                );
+            });
         }
+        self.end_cycle(c);
     }
 
     /// Finishes into one [`PowerTrace`] per lane. `lane_cycles`
@@ -536,6 +583,7 @@ pub fn is_static_cell(k: CellKind) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xbound_logic::Lv;
     use xbound_netlist::rtl::Rtl;
     use xbound_sim::Simulator;
 

@@ -1,20 +1,24 @@
-//! Levelized three-valued cycle simulator.
+//! Lane-generic three-valued cycle simulation.
 //!
 //! This crate is the `xbound` substitute for the commercial gate-level
 //! simulator of the paper's flow. It simulates a finalized
 //! [`xbound_netlist::Netlist`] cycle by cycle over the three-valued domain of
 //! [`xbound_logic::Lv`], with:
 //!
+//! * **one engine core** ([`Engine`]): the event-driven machinery is
+//!   written once over word-wise lane kernels; [`Simulator`] is its 1-lane
+//!   instantiation and [`BatchSimulator`] the wide (up to 64-lane) one;
 //! * **X-capable behavioral memories** ([`MemRegion`]) attached through a
 //!   single external bus ([`BusSpec`]) — program ROM, data RAM, and the
 //!   input-port region whose reads return `X` during symbolic analysis;
-//! * **net forcing** ([`Simulator::force`]) used by the symbolic explorer to
-//!   constrain fork nets (e.g. `branch_taken`) when the next PC carries X;
-//! * **state save/restore** ([`Simulator::machine_state`] /
-//!   [`Simulator::set_machine_state`]) used for depth-first exploration of
-//!   the execution tree;
-//! * a split [`Simulator::eval`] / [`Simulator::commit`] cycle so callers can
-//!   inspect flip-flop next-values *before* the clock edge.
+//! * **net forcing** ([`Engine::force`], per lane with
+//!   [`Engine::force_lane`]) used by the symbolic explorer to constrain
+//!   fork nets (e.g. `branch_taken`) when the next PC carries X;
+//! * **state save/restore** ([`Engine::<Scalar>::machine_state`] /
+//!   [`Engine::set_lane_machine_state`]) used for depth-first exploration
+//!   of the execution tree;
+//! * a split eval / [`Engine::commit`] cycle so callers can inspect
+//!   flip-flop next-values *before* the clock edge.
 //!
 //! # Example
 //!
@@ -47,14 +51,20 @@
 
 #![warn(missing_docs)]
 
-pub mod batch;
+pub mod engine;
 
-pub use batch::{BatchMachineState, BatchSimulator};
+pub use engine::{BatchMachineState, Engine, Lanes, Scalar, Wide};
 
-use std::collections::HashMap;
+/// The 1-lane instantiation of [`Engine`] — the scalar cycle simulator.
+pub type Simulator<'n> = Engine<'n, Scalar>;
+
+/// The wide instantiation of [`Engine`] — up to
+/// [`xbound_logic::MAX_LANES`] independent runs per gate pass.
+pub type BatchSimulator<'n> = Engine<'n, Wide>;
+
 use std::fmt;
-use xbound_logic::{Frame, Lv, XWord};
-use xbound_netlist::{CellKind, GateId, NetId, Netlist};
+use xbound_logic::{Lv, XWord};
+use xbound_netlist::NetId;
 
 /// Which evaluation engine [`Simulator::eval`] uses.
 ///
@@ -326,614 +336,6 @@ impl MachineState {
     }
 }
 
-/// Cycle simulator over a finalized netlist.
-#[derive(Debug, Clone)]
-pub struct Simulator<'n> {
-    nl: &'n Netlist,
-    frame: Frame,
-    forces: Vec<Option<Lv>>,
-    drives: HashMap<NetId, Lv>,
-    bus: Option<BusSpec>,
-    mems: Vec<MemRegion>,
-    cycle: u64,
-    evaled: bool,
-    rstn_net: Option<NetId>,
-    reset_remaining: u32,
-    mode: EvalMode,
-    // Event-driven engine state: per-gate dirty flags and a bucket queue
-    // indexed by combinational level. `full_dirty` forces one complete
-    // evaluation (power-on, or after an engine switch).
-    dirty: Vec<bool>,
-    buckets: Vec<Vec<GateId>>,
-    is_rdata: Vec<bool>,
-    full_dirty: bool,
-}
-
-impl<'n> Simulator<'n> {
-    /// Creates a simulator with no attached memories.
-    ///
-    /// Primary inputs default to `0`, except an input named `rstn`, which the
-    /// simulator drives low during [`Simulator::reset`] cycles and high
-    /// otherwise.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the netlist is not finalized.
-    pub fn new(nl: &'n Netlist) -> Simulator<'n> {
-        assert!(nl.is_finalized(), "netlist must be finalized");
-        let rstn_net = nl
-            .inputs()
-            .iter()
-            .copied()
-            .find(|&n| nl.net_name(n) == "rstn");
-        Simulator {
-            nl,
-            frame: Frame::new(nl.net_count()),
-            forces: vec![None; nl.net_count()],
-            drives: HashMap::new(),
-            bus: None,
-            mems: Vec::new(),
-            cycle: 0,
-            evaled: false,
-            rstn_net,
-            reset_remaining: 0,
-            mode: EvalMode::from_env(),
-            dirty: vec![false; nl.gate_count()],
-            buckets: vec![Vec::new(); nl.comb_level_count()],
-            is_rdata: vec![false; nl.net_count()],
-            full_dirty: true,
-        }
-    }
-
-    /// The evaluation engine in use.
-    pub fn eval_mode(&self) -> EvalMode {
-        self.mode
-    }
-
-    /// Switches the evaluation engine.
-    ///
-    /// Switching to [`EvalMode::EventDriven`] schedules one full
-    /// re-evaluation so the incremental invariant (every clean gate's frame
-    /// value equals its function of the current frame) is re-established.
-    pub fn set_eval_mode(&mut self, mode: EvalMode) {
-        if mode == self.mode {
-            return;
-        }
-        self.mode = mode;
-        self.full_dirty = true;
-        self.evaled = false;
-    }
-
-    /// Attaches the external bus and its memory regions.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::BadBusSpec`] when bus widths are not 16 bits or
-    /// `rdata` nets are not primary inputs.
-    pub fn attach_bus(&mut self, bus: BusSpec, mems: Vec<MemRegion>) -> Result<(), SimError> {
-        if bus.addr.len() != 16 || bus.rdata.len() != 16 || bus.wdata.len() != 16 {
-            return Err(SimError::BadBusSpec {
-                message: format!(
-                    "expected 16-bit addr/rdata/wdata, got {}/{}/{}",
-                    bus.addr.len(),
-                    bus.rdata.len(),
-                    bus.wdata.len()
-                ),
-            });
-        }
-        for &n in &bus.rdata {
-            if !self.nl.inputs().contains(&n) {
-                return Err(SimError::BadBusSpec {
-                    message: format!("rdata net `{}` is not a primary input", self.nl.net_name(n)),
-                });
-            }
-        }
-        self.is_rdata = vec![false; self.nl.net_count()];
-        for &n in &bus.rdata {
-            self.is_rdata[n.index()] = true;
-        }
-        self.bus = Some(bus);
-        self.mems = mems;
-        self.evaled = false;
-        Ok(())
-    }
-
-    /// The netlist under simulation.
-    pub fn netlist(&self) -> &'n Netlist {
-        self.nl
-    }
-
-    /// Number of committed clock edges so far.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    /// Reads the value of a net in the current frame.
-    ///
-    /// Meaningful for combinational nets only after [`Simulator::eval`].
-    pub fn value(&self, net: NetId) -> Lv {
-        self.frame.get(net.index())
-    }
-
-    /// Reads a bus (LSB-first net list) as an [`XWord`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nets` is longer than 16.
-    pub fn value_word(&self, nets: &[NetId]) -> XWord {
-        assert!(nets.len() <= 16, "bus wider than 16 bits");
-        let mut w = XWord::ZERO;
-        for (i, &n) in nets.iter().enumerate() {
-            w.set_bit(i, self.frame.get(n.index()));
-        }
-        w
-    }
-
-    /// The current value frame (all nets).
-    pub fn frame(&self) -> &Frame {
-        &self.frame
-    }
-
-    /// Drives a primary input with a persistent value.
-    pub fn drive_input(&mut self, net: NetId, v: Lv) {
-        self.drives.insert(net, v);
-        self.evaled = false;
-    }
-
-    /// Forces (or releases, with `None`) a net to a value, overriding its
-    /// driver. Forces persist across cycles until released.
-    pub fn force(&mut self, net: NetId, v: Option<Lv>) {
-        self.forces[net.index()] = v;
-        if self.mode == EvalMode::EventDriven {
-            // The driving gate must re-evaluate (apply the force, or
-            // recompute the natural value on release). Forced inputs and
-            // flip-flop outputs are re-applied by every eval anyway.
-            if let Some(g) = self.nl.driver_of(net) {
-                if !self.nl.gate(g).kind().is_sequential() {
-                    self.mark_gate_dirty(g);
-                }
-            }
-        }
-        self.evaled = false;
-    }
-
-    /// Schedules `cycles` of reset: `rstn` is held 0 for that many upcoming
-    /// cycles, then released to 1.
-    pub fn reset(&mut self, cycles: u32) {
-        self.reset_remaining = cycles;
-        self.evaled = false;
-    }
-
-    /// Memory regions.
-    pub fn mems(&self) -> &[MemRegion] {
-        &self.mems
-    }
-
-    /// Looks a region up by name.
-    pub fn mem(&self, name: &str) -> Option<&MemRegion> {
-        self.mems.iter().find(|m| m.name() == name)
-    }
-
-    /// Mutable access to a region by name.
-    pub fn mem_mut(&mut self, name: &str) -> Option<&mut MemRegion> {
-        self.evaled = false;
-        self.mems.iter_mut().find(|m| m.name() == name)
-    }
-
-    fn eval_gate(&self, kind: CellKind, ins: &[NetId]) -> Lv {
-        let v = |i: usize| self.frame.get(ins[i].index());
-        match kind {
-            CellKind::Tie0 => Lv::Zero,
-            CellKind::Tie1 => Lv::One,
-            CellKind::Buf => v(0),
-            CellKind::Inv => v(0).not(),
-            CellKind::And2 => v(0).and(v(1)),
-            CellKind::Or2 => v(0).or(v(1)),
-            CellKind::Nand2 => v(0).nand(v(1)),
-            CellKind::Nor2 => v(0).nor(v(1)),
-            CellKind::Xor2 => v(0).xor(v(1)),
-            CellKind::Xnor2 => v(0).xnor(v(1)),
-            CellKind::Mux2 => Lv::mux(v(2), v(0), v(1)),
-            CellKind::Aoi21 => v(0).and(v(1)).or(v(2)).not(),
-            CellKind::Oai21 => v(0).or(v(1)).and(v(2)).not(),
-            CellKind::Dff | CellKind::Dffe | CellKind::Dffr | CellKind::Dffre => {
-                unreachable!("sequential gate in combinational evaluation")
-            }
-        }
-    }
-
-    fn apply_inputs(&mut self) {
-        let rstn_v = if self.reset_remaining > 0 {
-            Lv::Zero
-        } else {
-            Lv::One
-        };
-        for &n in self.nl.inputs() {
-            let mut v = *self.drives.get(&n).unwrap_or(&Lv::Zero);
-            if Some(n) == self.rstn_net {
-                v = rstn_v;
-            }
-            if let Some(f) = self.forces[n.index()] {
-                v = f;
-            }
-            self.frame.set(n.index(), v);
-        }
-    }
-
-    fn eval_comb_once(&mut self) {
-        for &g in self.nl.topo_order() {
-            let gate = self.nl.gate(g);
-            let out = gate.output();
-            let v = match self.forces[out.index()] {
-                Some(f) => f,
-                None => self.eval_gate(gate.kind(), gate.inputs()),
-            };
-            self.frame.set(out.index(), v);
-        }
-    }
-
-    // --- event-driven engine -------------------------------------------
-
-    fn mark_gate_dirty(&mut self, g: GateId) {
-        if !self.dirty[g.index()] {
-            self.dirty[g.index()] = true;
-            self.buckets[self.nl.comb_level(g) as usize].push(g);
-        }
-    }
-
-    /// Writes `net` and, when the value changed, marks its combinational
-    /// readers dirty.
-    fn set_net(&mut self, net: NetId, v: Lv) {
-        if self.frame.replace(net.index(), v) != v {
-            let nl = self.nl;
-            for &g in nl.fanout_comb_of(net) {
-                self.mark_gate_dirty(g);
-            }
-        }
-    }
-
-    /// Drains the dirty set in level order. A processed gate whose output
-    /// changes marks its readers dirty; readers are always at a strictly
-    /// higher level, so one ascending sweep settles the cone.
-    fn process_dirty(&mut self) {
-        let nl = self.nl;
-        for lvl in 0..self.buckets.len() {
-            let mut bucket = std::mem::take(&mut self.buckets[lvl]);
-            for &g in &bucket {
-                let gate = nl.gate(g);
-                let out = gate.output();
-                let v = match self.forces[out.index()] {
-                    Some(f) => f,
-                    None => self.eval_gate(gate.kind(), gate.inputs()),
-                };
-                self.dirty[g.index()] = false;
-                if self.frame.replace(out.index(), v) != v {
-                    for &succ in nl.fanout_comb_of(out) {
-                        self.mark_gate_dirty(succ);
-                    }
-                }
-            }
-            bucket.clear();
-            // Put the buffer back to keep its capacity for the next sweep.
-            self.buckets[lvl] = bucket;
-        }
-    }
-
-    fn apply_inputs_event(&mut self) {
-        let rstn_v = if self.reset_remaining > 0 {
-            Lv::Zero
-        } else {
-            Lv::One
-        };
-        let has_bus = self.bus.is_some();
-        for &n in self.nl.inputs() {
-            // Bus read-data inputs are owned by the settle loop: writing the
-            // default drive here would only inject a spurious 0 that the
-            // memory lookup overwrites a moment later, dirtying the (large)
-            // instruction-fetch cone twice per cycle.
-            if has_bus && self.is_rdata[n.index()] {
-                continue;
-            }
-            let mut v = *self.drives.get(&n).unwrap_or(&Lv::Zero);
-            if Some(n) == self.rstn_net {
-                v = rstn_v;
-            }
-            if let Some(f) = self.forces[n.index()] {
-                v = f;
-            }
-            self.set_net(n, v);
-        }
-    }
-
-    fn settle_bus_event(&mut self, bus: &BusSpec) -> Result<(), SimError> {
-        let mut last_addr = self.value_word(&bus.addr);
-        for _ in 0..4 {
-            let rdata = self.mem_read(last_addr);
-            for i in 0..bus.rdata.len() {
-                let n = bus.rdata[i];
-                let v = match self.forces[n.index()] {
-                    Some(f) => f,
-                    None => rdata.bit(i),
-                };
-                self.set_net(n, v);
-            }
-            self.process_dirty();
-            let addr_now = self.value_word(&bus.addr);
-            if addr_now == last_addr {
-                return Ok(());
-            }
-            last_addr = addr_now;
-        }
-        Err(SimError::BusNotSettled)
-    }
-
-    fn eval_event(&mut self) -> Result<(), SimError> {
-        if self.full_dirty {
-            let nl = self.nl;
-            for &g in nl.topo_order() {
-                self.mark_gate_dirty(g);
-            }
-            self.full_dirty = false;
-        }
-        self.apply_inputs_event();
-        for &g in self.nl.sequential_gates() {
-            let out = self.nl.gate(g).output();
-            if let Some(f) = self.forces[out.index()] {
-                self.set_net(out, f);
-            }
-        }
-        self.process_dirty();
-        if let Some(bus) = self.bus.take() {
-            let r = self.settle_bus_event(&bus);
-            self.bus = Some(bus);
-            r?;
-        }
-        Ok(())
-    }
-
-    /// Memory lookup for a (possibly partially unknown) byte address.
-    fn mem_read(&self, addr: XWord) -> XWord {
-        read_regions(&self.mems, addr)
-    }
-
-    /// Settles the combinational logic for the current cycle.
-    ///
-    /// Idempotent until state changes. With an attached bus, read data is
-    /// iterated to a fixpoint (address → read data → address must be stable).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::BusNotSettled`] if the address keeps changing
-    /// after read-data forcing (combinational bus loop).
-    pub fn eval(&mut self) -> Result<&Frame, SimError> {
-        if self.evaled {
-            return Ok(&self.frame);
-        }
-        match self.mode {
-            EvalMode::EventDriven => self.eval_event()?,
-            EvalMode::Levelized => self.eval_levelized()?,
-        }
-        self.evaled = true;
-        Ok(&self.frame)
-    }
-
-    fn eval_levelized(&mut self) -> Result<(), SimError> {
-        self.apply_inputs();
-        // Forces on flip-flop outputs take effect immediately (commit also
-        // honors them, keeping the forced value across edges).
-        for &g in self.nl.sequential_gates() {
-            let out = self.nl.gate(g).output();
-            if let Some(f) = self.forces[out.index()] {
-                self.frame.set(out.index(), f);
-            }
-        }
-        self.eval_comb_once();
-        if let Some(bus) = self.bus.take() {
-            let r = self.settle_bus_levelized(&bus);
-            self.bus = Some(bus);
-            r?;
-        }
-        Ok(())
-    }
-
-    fn settle_bus_levelized(&mut self, bus: &BusSpec) -> Result<(), SimError> {
-        let mut last_addr = self.value_word(&bus.addr);
-        for _ in 0..4 {
-            let rdata = self.mem_read(last_addr);
-            for (i, &n) in bus.rdata.iter().enumerate() {
-                let v = match self.forces[n.index()] {
-                    Some(f) => f,
-                    None => rdata.bit(i),
-                };
-                self.frame.set(n.index(), v);
-            }
-            self.eval_comb_once();
-            let addr_now = self.value_word(&bus.addr);
-            if addr_now == last_addr {
-                return Ok(());
-            }
-            last_addr = addr_now;
-        }
-        Err(SimError::BusNotSettled)
-    }
-
-    /// Computes the next value of every flip-flop from the settled frame.
-    ///
-    /// Exposed so the symbolic explorer can inspect next-state (e.g. the PC
-    /// register) *before* committing the clock edge.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless [`Simulator::eval`] succeeded for this cycle.
-    pub fn ff_next_values(&self) -> Vec<Lv> {
-        assert!(self.evaled, "eval() before inspecting flip-flop inputs");
-        self.nl
-            .sequential_gates()
-            .iter()
-            .map(|&g| {
-                let gate = self.nl.gate(g);
-                let ins = gate.inputs();
-                let q = self.frame.get(gate.output().index());
-                let v = |i: usize| self.frame.get(ins[i].index());
-                match gate.kind() {
-                    CellKind::Dff => v(0),
-                    CellKind::Dffe => match v(1) {
-                        Lv::One => v(0),
-                        Lv::Zero => q,
-                        Lv::X => v(0).join(q),
-                    },
-                    CellKind::Dffr => match v(1) {
-                        Lv::Zero => Lv::Zero,
-                        Lv::One => v(0),
-                        Lv::X => v(0).join(Lv::Zero),
-                    },
-                    CellKind::Dffre => {
-                        let after_en = match v(1) {
-                            Lv::One => v(0),
-                            Lv::Zero => q,
-                            Lv::X => v(0).join(q),
-                        };
-                        match v(2) {
-                            Lv::Zero => Lv::Zero,
-                            Lv::One => after_en,
-                            Lv::X => after_en.join(Lv::Zero),
-                        }
-                    }
-                    _ => unreachable!("combinational gate in sequential list"),
-                }
-            })
-            .collect()
-    }
-
-    fn commit_memory_write(&mut self) {
-        let Some(bus) = self.bus.take() else {
-            return;
-        };
-        self.commit_memory_write_inner(&bus);
-        self.bus = Some(bus);
-    }
-
-    fn commit_memory_write_inner(&mut self, bus: &BusSpec) {
-        let Some(wen_net) = bus.wen else {
-            return;
-        };
-        let wen = self.frame.get(wen_net.index());
-        if wen == Lv::Zero {
-            return; // skip the addr/wdata sweeps on write-free cycles
-        }
-        let addr = self.value_word(&bus.addr);
-        let wdata = self.value_word(&bus.wdata);
-        write_regions(&mut self.mems, wen, addr, wdata);
-    }
-
-    /// Applies the clock edge: memory writes, flip-flop updates, cycle++.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before a successful [`Simulator::eval`].
-    pub fn commit(&mut self) {
-        let next = self.ff_next_values();
-        self.commit_with_next(&next);
-    }
-
-    /// [`Simulator::commit`] with the flip-flop next-values computed by an
-    /// earlier [`Simulator::ff_next_values`] call on the same settled frame.
-    ///
-    /// Callers that already inspected the next state (the symbolic explorer
-    /// checks the PC for X every cycle) pass it back in rather than paying
-    /// for the full flip-flop sweep twice.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before a successful [`Simulator::eval`], or if
-    /// `next` does not have one value per sequential gate.
-    pub fn commit_with_next(&mut self, next: &[Lv]) {
-        assert!(self.evaled, "eval() must succeed before commit()");
-        assert_eq!(
-            next.len(),
-            self.nl.sequential_gates().len(),
-            "one next-value per flip-flop"
-        );
-        self.commit_memory_write();
-        let event = self.mode == EvalMode::EventDriven;
-        for (&g, &v) in self.nl.sequential_gates().iter().zip(next) {
-            let out = self.nl.gate(g).output();
-            let v = match self.forces[out.index()] {
-                Some(f) => f,
-                None => v,
-            };
-            if event {
-                self.set_net(out, v);
-            } else {
-                self.frame.set(out.index(), v);
-            }
-        }
-        if self.reset_remaining > 0 {
-            self.reset_remaining -= 1;
-        }
-        self.cycle += 1;
-        self.evaled = false;
-    }
-
-    /// `eval()` + `commit()` in one call.
-    ///
-    /// # Panics
-    ///
-    /// Panics on bus settle failure (use `eval`/`commit` to handle errors).
-    pub fn step(&mut self) {
-        self.eval().expect("bus settles");
-        self.commit();
-    }
-
-    /// Snapshot of flip-flops + memories + cycle.
-    pub fn machine_state(&self) -> MachineState {
-        MachineState {
-            ffs: self
-                .nl
-                .sequential_gates()
-                .iter()
-                .map(|&g| self.frame.get(self.nl.gate(g).output().index()))
-                .collect(),
-            mems: self.mems.iter().map(|m| m.data().to_vec()).collect(),
-            cycle: self.cycle,
-        }
-    }
-
-    /// Restores a snapshot taken by [`Simulator::machine_state`].
-    ///
-    /// In [`EvalMode::EventDriven`], the snapshot is **diffed against the
-    /// current frame**: only flip-flops whose value actually differs mark
-    /// their fanout cones dirty, so restoring a nearby state (the common
-    /// case in depth-first exploration, where siblings share most state)
-    /// costs work proportional to the difference, not to the design.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the snapshot shape does not match this machine.
-    pub fn set_machine_state(&mut self, s: &MachineState) {
-        assert_eq!(
-            s.ffs.len(),
-            self.nl.sequential_gates().len(),
-            "machine shape mismatch"
-        );
-        assert_eq!(s.mems.len(), self.mems.len(), "memory count mismatch");
-        let event = self.mode == EvalMode::EventDriven;
-        for (&g, v) in self.nl.sequential_gates().iter().zip(&s.ffs) {
-            let out = self.nl.gate(g).output();
-            if event {
-                self.set_net(out, *v);
-            } else {
-                self.frame.set(out.index(), *v);
-            }
-        }
-        for (m, data) in self.mems.iter_mut().zip(&s.mems) {
-            m.data_mut().copy_from_slice(data);
-        }
-        self.cycle = s.cycle;
-        self.evaled = false;
-    }
-}
-
 /// Reads `addr` from a region set, joining candidates when the address
 /// carries a bounded number of X bits (all-X past the bound, or when no
 /// region matches). Shared by the scalar and batched simulators.
@@ -1026,6 +428,7 @@ pub fn enumerate_addresses(addr: XWord) -> Vec<u16> {
 mod tests {
     use super::*;
     use xbound_netlist::rtl::Rtl;
+    use xbound_netlist::Netlist;
 
     fn counter() -> Netlist {
         let mut r = Rtl::new("cnt");

@@ -175,6 +175,105 @@ proptest! {
         }
     }
 
+    /// Per-lane forces, per-lane machine-state restores, and masked
+    /// commits (the batched symbolic explorer's op mix): every batch lane
+    /// stays bit-identical to an independent scalar run that mirrors that
+    /// lane's forces/restores — and a commit-masked (frozen) lane matches
+    /// a scalar twin that simply skipped the clock edge.
+    #[test]
+    fn per_lane_forces_and_restores_match_scalar_runs(
+        n_gates in 4usize..60,
+        seed in any::<u64>(),
+        steps in 4usize..30,
+        lanes in 2usize..=8,
+    ) {
+        let nl = random_netlist(n_gates, seed);
+        let mut batch = BatchSimulator::new(&nl, lanes);
+        let mut scalars: Vec<Simulator<'_>> =
+            (0..lanes).map(|_| Simulator::new(&nl)).collect();
+
+        let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15 | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut snapshots: Vec<Vec<MachineState>> = Vec::new();
+        for step in 0..steps {
+            match next() % 10 {
+                // Force a random net in ONE lane only; the scalar twin of
+                // that lane mirrors it, the others are untouched.
+                0..=2 => {
+                    let n = NetId((next() % nl.net_count() as u64) as u32);
+                    let l = (next() as usize) % lanes;
+                    let v = lv_of(next());
+                    batch.force_lane(n, l, Some(v));
+                    scalars[l].force(n, Some(v));
+                }
+                // Release one lane's force.
+                3..=4 => {
+                    let n = NetId((next() % nl.net_count() as u64) as u32);
+                    let l = (next() as usize) % lanes;
+                    batch.force_lane(n, l, None);
+                    scalars[l].force(n, None);
+                }
+                // Per-lane drive churn keeps lanes diverging.
+                5..=6 => {
+                    let inputs = nl.inputs();
+                    let n = inputs[(next() as usize) % inputs.len()];
+                    for (l, s) in scalars.iter_mut().enumerate() {
+                        let v = lv_of(next());
+                        batch.drive_input_lane(n, l, v);
+                        s.drive_input(n, v);
+                    }
+                }
+                // Snapshot every lane as scalar machine states.
+                7 => snapshots.push(
+                    (0..lanes).map(|l| batch.lane_machine_state(l)).collect(),
+                ),
+                // Restore an earlier snapshot into ONE lane only.
+                _ => {
+                    if !snapshots.is_empty() {
+                        let snap = &snapshots[(next() as usize) % snapshots.len()];
+                        let l = (next() as usize) % lanes;
+                        batch.set_lane_machine_state(l, &snap[l]);
+                        scalars[l].set_machine_state(&snap[l]);
+                    }
+                }
+            }
+            // One lane is frozen this pass (no clock edge); its scalar
+            // twin skips commit. The rest step normally.
+            let frozen = (next() as usize) % lanes;
+            let mask = batch.frame().lane_mask() & !(1u64 << frozen);
+            batch.eval().expect("no bus: settles");
+            let batch_next = batch.ff_next_values();
+            batch.commit_with_next_masked(&batch_next, mask);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                s.eval().expect("no bus: settles");
+                if l != frozen {
+                    s.commit();
+                }
+            }
+            for (l, s) in scalars.iter_mut().enumerate() {
+                // Settle both sides before comparing (the frozen scalar
+                // twin never committed, so its frame is already settled).
+                s.eval().expect("settles");
+                batch.eval().expect("settles");
+                let bf = batch.lane_frame(l);
+                prop_assert_eq!(
+                    &bf,
+                    s.frame(),
+                    "lane {} diverges at step {} (frozen {}, diff nets: {:?})",
+                    l,
+                    step,
+                    frozen,
+                    bf.diff_indices(s.frame())
+                );
+            }
+        }
+    }
+
     /// Same agreement over a bus device with per-lane memories (ROM +
     /// RAM + port), X-valued addresses, and write smears.
     #[test]
