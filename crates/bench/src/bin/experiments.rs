@@ -66,7 +66,9 @@ fn main() {
     let mut h = Harness::new().expect("core builds");
     // Shared across fig5_1/fig5_2/tab5_1/tab5_2.
     let mut comparison: Option<ComparisonData> = None;
+    let mut ran: Vec<&str> = Vec::new();
     for id in ids {
+        ran.push(id);
         match id {
             "tab1_1" => tab1_1(),
             "tab1_2" => tab1_2(),
@@ -101,8 +103,41 @@ fn main() {
             "tab6_1" => tab6_1(),
             "ablation" => ablation(&mut h),
             "ga_smoke" => ga_smoke(&mut h),
-            other => eprintln!("unknown experiment id `{other}`"),
+            other => {
+                ran.pop();
+                eprintln!("unknown experiment id `{other}`");
+            }
         }
+    }
+    write_manifest(&ran);
+}
+
+/// Writes `manifest.json` into the results directory (shared `jsonout`
+/// writer): which experiments this run produced, with the population
+/// knobs — so downstream tooling can tell a partial regeneration from a
+/// full one.
+fn write_manifest(ran: &[&str]) {
+    let mut w = xbound_core::jsonout::JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("profile_runs", xbound_bench::profile_runs() as u64);
+    w.field_u64("ga_population", xbound_bench::ga_config().population as u64);
+    w.key("experiments");
+    w.begin_array();
+    for id in ran {
+        w.str_val(id);
+    }
+    w.end_array();
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    match xbound_core::outdirs::results_dir() {
+        Ok(dir) => {
+            let path = dir.join("manifest.json");
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("experiments: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("experiments: could not create results dir: {e}"),
     }
 }
 

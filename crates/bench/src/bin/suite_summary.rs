@@ -26,21 +26,31 @@
 //!   byte-identical at any width; only timings and the occupancy
 //!   telemetry change.
 //! * `--json PATH` — additionally write per-benchmark wall-clock numbers
-//!   as JSON, with engine / thread-count / lane-width metadata plus the
+//!   and bounds as JSON (via the shared `xbound_core::jsonout` writer),
+//!   with engine / thread-count / lane-width metadata plus the
 //!   exploration's lane-occupancy and speculative-waste counters, so
 //!   `BENCH_*.json` entries are self-describing.
+//! * `--bounds PATH` — write one canonical `{"name": ..., "bounds": ...}`
+//!   line per benchmark ([`xbound_core::summary::bounds_line`]); the
+//!   co-analysis service's `xbound-client suite` prints byte-identical
+//!   lines, which is how CI cross-checks the daemon against the direct
+//!   path.
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use xbound_core::{par, BatchExploreStats, CoAnalysis, ExploreConfig, UlpSystem};
+use xbound_core::jsonout::JsonWriter;
+use xbound_core::{
+    par, summary, BatchExploreStats, BoundsReport, CoAnalysis, ExploreConfig, UlpSystem,
+};
 
 struct Row {
     name: &'static str,
     line: String,
     seconds: f64,
     explore: Option<BatchExploreStats>,
+    bounds: Option<BoundsReport>,
 }
 
 /// Stable per-benchmark salt for validation input generation (FNV-1a, so
@@ -61,6 +71,7 @@ fn main() {
     let mut explore_lanes = 0usize;
     let mut validate_runs = 0usize;
     let mut json_path: Option<String> = None;
+    let mut bounds_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -87,6 +98,7 @@ fn main() {
                     .expect("--validate N");
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
+            "--bounds" => bounds_path = Some(args.next().expect("--bounds PATH")),
             other => names.push(other.to_string()),
         }
     }
@@ -120,14 +132,14 @@ fn main() {
             let r = CoAnalysis::new(&sys)
                 .config(ExploreConfig {
                     widen_threshold: b.widen_threshold(),
-                    max_total_cycles: 5_000_000,
                     threads: explore_threads,
                     lanes: explore_lane_width,
-                    ..ExploreConfig::default()
+                    ..ExploreConfig::suite_default()
                 })
                 .energy_rounds(b.energy_rounds())
                 .run(&program);
             let mut explore = None;
+            let mut bounds = None;
             let line = match r {
                 Ok(a) => {
                     let val = if validate_runs > 0 {
@@ -157,6 +169,7 @@ fn main() {
                     };
                     let s = a.stats();
                     explore = Some(s.batch);
+                    bounds = Some(BoundsReport::from_analysis(&a));
                     let e = a.peak_energy();
                     format!(
                         "{:10} peak={:.4} mW npe={:.3e} J/cyc segs={} cycles={} forks={} merges={} widen={} conv={}{val} [{:.2?}]",
@@ -172,6 +185,7 @@ fn main() {
                 line,
                 seconds: t0.elapsed().as_secs_f64(),
                 explore,
+                bounds,
             }
         },
     );
@@ -192,9 +206,10 @@ fn main() {
 
     if let Some(path) = json_path {
         // Self-describing metadata first, then the per-benchmark timings
-        // plus the exploration's lane-occupancy / speculative-waste
-        // telemetry (scheduling-dependent; the result columns themselves
-        // are byte-identical at any lane width or thread count).
+        // and bounds plus the exploration's lane-occupancy /
+        // speculative-waste telemetry (scheduling-dependent; the bounds
+        // themselves are byte-identical at any lane width or thread
+        // count). Emitted through the shared `jsonout` writer.
         let agg = rows.iter().filter_map(|r| r.explore).fold(
             xbound_core::BatchExploreStats::default(),
             |mut acc, b| {
@@ -205,39 +220,68 @@ fn main() {
                 acc
             },
         );
-        let mut json = String::from("{\n");
-        json.push_str(&format!(
-            "  \"engine\": \"{}\",\n  \"threads\": {suite_workers},\n  \"batch_lanes\": {lane_width},\n  \"explore_lanes\": {explore_lane_width},\n  \"validate_runs\": {validate_runs},\n",
-            if engine == "event-driven" { "event-driven" } else { "levelized" },
-        ));
-        json.push_str(&format!(
-            "  \"explore_gate_passes\": {},\n  \"explore_active_lane_cycles\": {},\n  \"explore_idle_lane_cycles\": {},\n  \"explore_occupancy\": {:.4},\n",
-            agg.gate_passes,
-            agg.active_lane_cycles,
-            agg.idle_lane_cycles,
-            agg.occupancy(),
-        ));
-        json.push_str("  \"benchmarks\": [\n");
-        for (i, row) in rows.iter().enumerate() {
-            let explore = row
-                .explore
-                .map(|b| {
-                    format!(
-                        ", \"explore_gate_passes\": {}, \"explore_occupancy\": {:.4}",
-                        b.gate_passes,
-                        b.occupancy()
-                    )
-                })
-                .unwrap_or_default();
-            json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"seconds\": {:.6}{explore}}}{}\n",
-                row.name,
-                row.seconds,
-                if i + 1 < rows.len() { "," } else { "" }
-            ));
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_str(
+            "engine",
+            if engine == "event-driven" {
+                "event-driven"
+            } else {
+                "levelized"
+            },
+        );
+        w.field_u64("threads", suite_workers as u64);
+        w.field_u64("batch_lanes", lane_width as u64);
+        w.field_u64("explore_lanes", explore_lane_width as u64);
+        w.field_u64("validate_runs", validate_runs as u64);
+        w.field_u64("explore_gate_passes", agg.gate_passes);
+        w.field_u64("explore_active_lane_cycles", agg.active_lane_cycles);
+        w.field_u64("explore_idle_lane_cycles", agg.idle_lane_cycles);
+        w.field_raw("explore_occupancy", &format!("{:.4}", agg.occupancy()));
+        w.key("benchmarks");
+        w.begin_array();
+        for row in &rows {
+            w.begin_object();
+            w.field_str("name", row.name);
+            w.field_raw("seconds", &format!("{:.6}", row.seconds));
+            if let Some(b) = row.explore {
+                w.field_u64("explore_gate_passes", b.gate_passes);
+                w.field_raw("explore_occupancy", &format!("{:.4}", b.occupancy()));
+            }
+            if let Some(bounds) = &row.bounds {
+                w.key("bounds");
+                bounds.write(&mut w);
+            }
+            w.end_object();
         }
-        json.push_str(&format!("  ],\n  \"total_seconds\": {total:.6}\n}}\n"));
-        std::fs::write(&path, json).expect("write json");
+        w.end_array();
+        w.field_raw("total_seconds", &format!("{total:.6}"));
+        w.end_object();
+        let mut doc = w.finish();
+        doc.push('\n');
+        std::fs::write(&path, doc).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = bounds_path {
+        // Canonical per-benchmark bound lines, byte-identical to what
+        // `xbound-client suite` prints for the same programs.
+        let mut out = String::new();
+        for row in &rows {
+            match &row.bounds {
+                Some(b) => out.push_str(&summary::bounds_line(row.name, b)),
+                None => {
+                    let mut w = JsonWriter::compact();
+                    w.begin_object();
+                    w.field_str("name", row.name);
+                    w.field_str("error", "analysis failed");
+                    w.end_object();
+                    out.push_str(&w.finish());
+                }
+            }
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write bounds");
         eprintln!("wrote {path}");
     }
 }

@@ -100,12 +100,14 @@ impl Harness {
         Ok(self.sys130.as_ref().expect("just built"))
     }
 
-    /// The exploration configuration for a benchmark.
+    /// The exploration configuration for a benchmark (the shared suite
+    /// config + the benchmark's widening knob — identical to what
+    /// `suite_summary` and the co-analysis service use, which keeps the
+    /// drivers byte-comparable).
     pub fn explore_config(bench: &Benchmark) -> ExploreConfig {
         ExploreConfig {
             widen_threshold: bench.widen_threshold(),
-            max_total_cycles: 5_000_000,
-            ..ExploreConfig::default()
+            ..ExploreConfig::suite_default()
         }
     }
 
@@ -233,13 +235,22 @@ impl Table {
     }
 }
 
-/// Writes an experiment result under `results/` and echoes it to stdout.
+/// Writes an experiment result under the results directory
+/// ([`xbound_core::outdirs::results_dir`]: `XBOUND_RESULTS_DIR`, default
+/// `results/`, created if missing) and echoes it to stdout. Failures to
+/// persist are reported on stderr instead of silently dropping the file.
 pub fn emit(id: &str, title: &str, body: &str) {
     let text = format!("== {id}: {title} ==\n{body}\n");
     println!("{text}");
-    let dir = std::path::Path::new("results");
-    let _ = std::fs::create_dir_all(dir);
-    let _ = std::fs::write(dir.join(format!("{id}.txt")), &text);
+    match xbound_core::outdirs::results_dir() {
+        Ok(dir) => {
+            let path = dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("experiments: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("experiments: could not create results dir: {e}"),
+    }
 }
 
 /// Formats milliwatts with 4 decimals.

@@ -93,6 +93,20 @@ impl Default for ExploreConfig {
     }
 }
 
+impl ExploreConfig {
+    /// The benchmark-suite configuration shared by every full-suite
+    /// driver (`suite_summary`, the experiment harness, the co-analysis
+    /// service): the default knobs with the cycle budget raised to cover
+    /// the largest paper benchmarks. Callers layer the per-benchmark
+    /// `widen_threshold` on top.
+    pub fn suite_default() -> ExploreConfig {
+        ExploreConfig {
+            max_total_cycles: 5_000_000,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
 /// Batched-exploration telemetry: lane occupancy and speculative waste.
 ///
 /// Unlike the deterministic fields of [`ExploreStats`], these counters

@@ -1,0 +1,367 @@
+//! A small shared JSON writer (std-only): escaping, objects/arrays,
+//! stable field order, exact float round-trips.
+//!
+//! Every machine-readable artifact the workspace emits goes through this
+//! module — `suite_summary --json`, the `experiments` run manifest, the
+//! co-analysis service protocol, and the service's on-disk bound cache —
+//! so they all share one escaping routine and one number format instead
+//! of hand-rolled `format!` JSON.
+//!
+//! Field order is exactly the call order, which makes output byte-stable:
+//! two writers fed the same values produce identical bytes. Floats are
+//! written with Rust's `Display` (the shortest decimal form that parses
+//! back to the same `f64`), so serialize → parse → serialize is the
+//! identity on bytes — the property the service's cache relies on to keep
+//! daemon answers byte-identical to the direct analysis path.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a JSON number for `v` in the exact-round-trip format shared by
+/// every emitter (shortest `Display` form; non-finite values become
+/// `null`, which JSON cannot represent otherwise).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    Object { first: bool },
+    Array { first: bool },
+}
+
+/// A streaming JSON writer with explicit object/array structure.
+///
+/// The writer appends to an internal buffer; [`JsonWriter::finish`]
+/// returns it once every opened container has been closed. `pretty`
+/// writers indent with two spaces (the `BENCH_*.json` house style);
+/// compact writers emit a single line (the protocol / cache style).
+///
+/// ```
+/// use xbound_core::jsonout::JsonWriter;
+/// let mut w = JsonWriter::compact();
+/// w.begin_object();
+/// w.field_str("name", "mult");
+/// w.field_f64("peak_mw", 1.25);
+/// w.key("tags");
+/// w.begin_array();
+/// w.str_val("a");
+/// w.str_val("b");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(
+///     w.finish(),
+///     r#"{"name": "mult", "peak_mw": 1.25, "tags": ["a", "b"]}"#
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+    pretty: bool,
+    /// Set between [`JsonWriter::key`] and the value it introduces.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A single-line writer (`", "` separators, no newlines).
+    pub fn compact() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            pretty: false,
+            pending_key: false,
+        }
+    }
+
+    /// A pretty writer (two-space indent, one entry per line).
+    pub fn pretty() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            pretty: true,
+            pending_key: false,
+        }
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Separates entries and positions the cursor for the next value.
+    fn prepare_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
+        let first = match top {
+            Frame::Object { first } | Frame::Array { first } => {
+                let was = *first;
+                *first = false;
+                was
+            }
+        };
+        if !first {
+            self.out.push(',');
+        }
+        if self.pretty {
+            self.out.push('\n');
+            self.indent();
+        } else if !first {
+            self.out.push(' ');
+        }
+    }
+
+    /// Opens an object (as a value or a field's value).
+    pub fn begin_object(&mut self) {
+        self.prepare_value();
+        self.out.push('{');
+        self.stack.push(Frame::Object { first: true });
+    }
+
+    /// Closes the innermost object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the innermost open container is not an object.
+    pub fn end_object(&mut self) {
+        let frame = self.stack.pop().expect("end_object: nothing open");
+        let Frame::Object { first } = frame else {
+            panic!("end_object inside an array")
+        };
+        if self.pretty && !first {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens an array (as a value or a field's value).
+    pub fn begin_array(&mut self) {
+        self.prepare_value();
+        self.out.push('[');
+        self.stack.push(Frame::Array { first: true });
+    }
+
+    /// Closes the innermost array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the innermost open container is not an array.
+    pub fn end_array(&mut self) {
+        let frame = self.stack.pop().expect("end_array: nothing open");
+        let Frame::Array { first } = frame else {
+            panic!("end_array inside an object")
+        };
+        if self.pretty && !first {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next value call provides its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside an object or with a key already pending.
+    pub fn key(&mut self, k: &str) {
+        assert!(
+            matches!(self.stack.last(), Some(Frame::Object { .. })),
+            "key outside an object"
+        );
+        assert!(!self.pending_key, "two keys in a row");
+        self.prepare_value();
+        self.out.push('"');
+        escape_into(k, &mut self.out);
+        self.out.push_str("\": ");
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn str_val(&mut self, v: &str) {
+        self.prepare_value();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    /// Writes an `f64` value in the exact-round-trip format ([`number`]).
+    pub fn f64_val(&mut self, v: f64) {
+        let n = number(v);
+        self.prepare_value();
+        self.out.push_str(&n);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) {
+        self.prepare_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_val(&mut self, v: bool) {
+        self.prepare_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a preformatted JSON fragment as a value — for callers that
+    /// need a fixed decimal format (e.g. `{:.4}` telemetry ratios) or
+    /// splice an already-serialized object. The caller guarantees `raw`
+    /// is valid JSON.
+    pub fn raw_val(&mut self, raw: &str) {
+        self.prepare_value();
+        self.out.push_str(raw);
+    }
+
+    /// `key` + [`JsonWriter::str_val`].
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_val(v);
+    }
+
+    /// `key` + [`JsonWriter::f64_val`].
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64_val(v);
+    }
+
+    /// `key` + [`JsonWriter::u64_val`].
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64_val(v);
+    }
+
+    /// `key` + [`JsonWriter::bool_val`].
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool_val(v);
+    }
+
+    /// `key` + [`JsonWriter::raw_val`].
+    pub fn field_raw(&mut self, k: &str, raw: &str) {
+        self.key(k);
+        self.raw_val(raw);
+    }
+
+    /// Returns the serialized document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open or a key has no value.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed container");
+        assert!(!self.pending_key, "key without a value");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn compact_object_and_array() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_str("s", "x\"y");
+        w.field_u64("n", 7);
+        w.field_bool("b", true);
+        w.key("a");
+        w.begin_array();
+        w.u64_val(1);
+        w.u64_val(2);
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"s": "x\"y", "n": 7, "b": true, "a": [1, 2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_u64("n", 1);
+        w.key("a");
+        w.begin_array();
+        w.u64_val(2);
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"n\": 1,\n  \"a\": [\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.key("o");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a": [], "o": {}}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1.25e-13, f64::MAX, 5e-324, -0.0] {
+            let s = number(v);
+            let back: f64 = s.parse().expect("parses");
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+            assert_eq!(number(back), s);
+        }
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn raw_preserves_fixed_format() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_raw("occ", &format!("{:.4}", 0.5));
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"occ": 0.5000}"#);
+    }
+}

@@ -42,9 +42,12 @@
 
 pub mod activity;
 pub mod coi;
+pub mod jsonout;
 pub mod optimize;
+pub mod outdirs;
 pub mod par;
 pub mod peak_power;
+pub mod summary;
 pub mod tree;
 pub mod validate;
 
@@ -60,6 +63,7 @@ use xbound_sim::SimError;
 pub use activity::{BatchExploreStats, ExploreConfig, ExploreStats, SymbolicExplorer};
 pub use coi::{cycles_of_interest, CycleOfInterest};
 pub use peak_power::{compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult};
+pub use summary::BoundsReport;
 pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
 pub use validate::{ConcreteRunCheck, DominanceReport, SupersetReport};
 

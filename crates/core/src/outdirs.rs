@@ -1,0 +1,53 @@
+//! Output-directory resolution shared by the experiment drivers and the
+//! co-analysis service.
+//!
+//! Two environment knobs control where generated artifacts land:
+//!
+//! * `XBOUND_RESULTS_DIR` — the experiment output directory (default
+//!   `results/`, relative to the working directory). The experiment
+//!   harness writes its tables and manifest here, and the directory is
+//!   also the default *parent* of the service cache.
+//! * `XBOUND_CACHE_DIR` — the service's on-disk bound-cache directory
+//!   (default `<results dir>/cache`).
+//!
+//! Both resolvers create the directory if it is missing, so drivers work
+//! from a fresh checkout (or a scratch working directory) without manual
+//! setup.
+
+use std::path::PathBuf;
+
+/// Resolves (and creates) the experiment results directory:
+/// `XBOUND_RESULTS_DIR` if set and non-empty, else `results`.
+///
+/// # Errors
+///
+/// Returns the creation error when the directory cannot be created —
+/// callers decide whether a missing results dir is fatal.
+pub fn results_dir() -> std::io::Result<PathBuf> {
+    let dir = match std::env::var("XBOUND_RESULTS_DIR") {
+        Ok(v) if !v.trim().is_empty() => PathBuf::from(v.trim()),
+        _ => PathBuf::from("results"),
+    };
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Resolves (and creates) the service bound-cache directory: `explicit`
+/// if given, else `XBOUND_CACHE_DIR` if set and non-empty, else
+/// `<results_dir>/cache`.
+///
+/// # Errors
+///
+/// Returns the creation error when the directory cannot be created.
+pub fn cache_dir(explicit: Option<PathBuf>) -> std::io::Result<PathBuf> {
+    let dir = if let Some(d) = explicit {
+        d
+    } else {
+        match std::env::var("XBOUND_CACHE_DIR") {
+            Ok(v) if !v.trim().is_empty() => PathBuf::from(v.trim()),
+            _ => results_dir()?.join("cache"),
+        }
+    };
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}

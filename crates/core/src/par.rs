@@ -90,8 +90,9 @@ pub fn resolve_explore_lanes(requested: usize) -> usize {
 }
 
 /// Renders a panic payload for re-raising with job context (shared by
-/// [`par_map_labeled`] and the symbolic explorer's speculative pool).
-pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// [`par_map_labeled`], the symbolic explorer's speculative pool, and the
+/// co-analysis service's job workers).
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

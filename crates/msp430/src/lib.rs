@@ -178,6 +178,23 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }
+
+    /// The canonical byte encoding of the image: the entry point followed
+    /// by every `(address, word)` pair, little-endian, in emission order.
+    ///
+    /// Two programs with equal `image_bytes` load identically (the symbol
+    /// table is debug metadata and is deliberately excluded) — this is
+    /// the content the co-analysis service hashes for its
+    /// content-addressed bound cache.
+    pub fn image_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 4 * self.words.len());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        for &(addr, word) in &self.words {
+            out.extend_from_slice(&addr.to_le_bytes());
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! CLI client for the co-analysis daemon.
+//!
+//! ```text
+//! cargo run --release -p xbound_service --bin xbound-client -- [OPTIONS] COMMAND [ARGS]
+//! ```
+//!
+//! Commands:
+//!
+//! * `analyze FILE.S` — send the assembly file for analysis; prints the
+//!   daemon's response line (canonical bounds JSON);
+//! * `suite [BENCH...]` — analyze named benchmarks (none = all 14);
+//!   prints one canonical `{"name": ..., "bounds": ...}` line per
+//!   benchmark **in suite order** (byte-identical to `suite_summary
+//!   --bounds` output — results stream per-completion and are reordered
+//!   client-side);
+//! * `stats` — print the daemon's telemetry line;
+//! * `wait` — block until the daemon answers a `stats` request (CI
+//!   readiness probe);
+//! * `shutdown` — ask the daemon to shut down cleanly.
+//!
+//! Options: `--port N` (default 4517), `--addr HOST:PORT`,
+//! `--timeout-secs S` (connect retry budget for `wait`, default 30).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use xbound_service::json::Json;
+use xbound_service::protocol;
+
+const DEFAULT_PORT: u16 = 4517;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches('\n').to_string())
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("xbound-client: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut port = DEFAULT_PORT;
+    let mut timeout_secs = 30u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--port" => {
+                port = value("--port")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --port"));
+            }
+            "--timeout-secs" => {
+                timeout_secs = value("--timeout-secs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --timeout-secs"));
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| format!("127.0.0.1:{port}"));
+    let Some((command, cmd_args)) = rest.split_first() else {
+        fail("usage: xbound-client [--port N | --addr HOST:PORT] analyze|suite|stats|wait|shutdown [ARGS]");
+    };
+    match command.as_str() {
+        "analyze" => {
+            let [file] = cmd_args else {
+                fail("usage: xbound-client analyze FILE.S");
+            };
+            let source = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| fail(&format!("read {file}: {e}")));
+            let response = roundtrip(&addr, &protocol::analyze_source_request(&source));
+            check_ok(&response);
+            println!("{response}");
+        }
+        "suite" => suite(&addr, cmd_args),
+        "stats" => {
+            let response = roundtrip(&addr, &protocol::op_request("stats"));
+            check_ok(&response);
+            println!("{response}");
+        }
+        "wait" => wait_ready(&addr, timeout_secs),
+        "shutdown" => {
+            let response = roundtrip(&addr, &protocol::op_request("shutdown"));
+            check_ok(&response);
+            println!("{response}");
+        }
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn roundtrip(addr: &str, request: &str) -> String {
+    let mut conn = Conn::open(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    conn.send(request)
+        .and_then(|()| conn.recv())
+        .unwrap_or_else(|e| fail(&format!("request failed: {e}")))
+}
+
+fn check_ok(response: &str) {
+    let ok = Json::parse(response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    if !ok {
+        fail(&format!("daemon error: {response}"));
+    }
+}
+
+/// Runs a suite request and prints canonical per-benchmark bound lines
+/// in suite order (the daemon streams per-completion; we reorder).
+fn suite(addr: &str, names: &[String]) {
+    // Resolve the canonical order locally so `suite` with no arguments
+    // prints the full suite in `xbound_benchsuite::all()` order.
+    let order: Vec<String> = if names.is_empty() {
+        xbound_benchsuite::all()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect()
+    } else {
+        // The daemon analyzes duplicates once and streams one result
+        // line per distinct name — mirror that in the printed order.
+        let mut order = Vec::with_capacity(names.len());
+        for n in names {
+            if !order.contains(n) {
+                order.push(n.clone());
+            }
+        }
+        order
+    };
+    let mut conn = Conn::open(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    conn.send(&protocol::suite_request(&order))
+        .unwrap_or_else(|e| fail(&format!("request failed: {e}")));
+    let mut results: Vec<Option<String>> = vec![None; order.len()];
+    let mut errors = Vec::new();
+    loop {
+        let line = conn
+            .recv()
+            .unwrap_or_else(|e| fail(&format!("stream ended early: {e}")));
+        let v = Json::parse(&line).unwrap_or_else(|e| fail(&format!("bad response: {e}")));
+        if v.get("done").is_some() {
+            break;
+        }
+        let name = v.get("name").and_then(Json::as_str);
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            let name = name.unwrap_or_else(|| fail(&format!("result without name: {line}")));
+            let bounds = v
+                .get("bounds")
+                .unwrap_or_else(|| fail(&format!("response without bounds: {line}")));
+            let report = xbound_service::cache::bounds_from_json(bounds)
+                .unwrap_or_else(|e| fail(&format!("bad bounds: {e}")));
+            // Re-serializing the parsed report reproduces the daemon's
+            // bytes exactly (shortest-repr floats round-trip).
+            let canonical = protocol::bounds_line(name, &report);
+            // First *unfilled* slot of that name, so a repeated benchmark
+            // in the request fills every occurrence.
+            let slot = (0..order.len()).find(|&i| order[i] == name && results[i].is_none());
+            match slot {
+                Some(i) => results[i] = Some(canonical),
+                None => errors.push(format!("unexpected benchmark `{name}` in stream")),
+            }
+        } else {
+            let e = v.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            match name {
+                // A per-benchmark failure: the stream continues.
+                Some(name) => errors.push(format!("{name}: {e}")),
+                // A whole-request error (e.g. unknown benchmark): no
+                // stream and no `done` line will follow — fail now
+                // instead of waiting for one.
+                None => fail(&format!("daemon error: {e}")),
+            }
+        }
+    }
+    for (i, slot) in results.iter().enumerate() {
+        match slot {
+            Some(line) => println!("{line}"),
+            None => errors.push(format!("{}: no result", order[i])),
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("xbound-client: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Polls `stats` until the daemon answers (or the budget runs out).
+fn wait_ready(addr: &str, timeout_secs: u64) {
+    let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    loop {
+        if let Ok(mut conn) = Conn::open(addr) {
+            if conn
+                .send(&protocol::op_request("stats"))
+                .and_then(|()| conn.recv())
+                .is_ok()
+            {
+                println!("ready");
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            fail(&format!("daemon at {addr} not ready after {timeout_secs}s"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}

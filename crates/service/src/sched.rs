@@ -1,0 +1,425 @@
+//! The job scheduler: a bounded queue feeding a worker pool, with
+//! single-flight deduplication.
+//!
+//! Every connection handler funnels analysis work through
+//! [`Scheduler::analyze`]:
+//!
+//! 1. **cache probe** — a [`BoundCache`] hit answers immediately;
+//! 2. **single-flight** — if an identical key is already being analyzed,
+//!    the request waits on that job's completion slot instead of queuing
+//!    a duplicate (N concurrent identical requests run exactly one
+//!    underlying analysis);
+//! 3. **bounded queue** — otherwise the job joins the queue (submitters
+//!    block while it is full — backpressure, not unbounded memory) and a
+//!    worker runs the existing `CoAnalysis` pipeline.
+//!
+//! Worker count resolves through [`xbound_core::par::resolve_threads`]
+//! (`0` = auto, `XBOUND_THREADS`); each job explores single-threaded when
+//! the pool has more than one worker ("one layer of parallelism at a
+//! time", exactly like the suite drivers), which keeps results
+//! bit-identical to the direct path.
+
+use crate::cache::{BoundCache, CacheHit, KeyMaterial};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use xbound_core::{par, BoundsReport, CoAnalysis, ExploreConfig, UlpSystem};
+use xbound_msp430::Program;
+
+/// A successful [`Scheduler::analyze`]: the bounds, how they were
+/// served, and the content address they live under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeOutcome {
+    /// The canonical analysis result.
+    pub report: BoundsReport,
+    /// How the request was satisfied (telemetry only).
+    pub served: Served,
+    /// The 16-hex content address ([`KeyMaterial::hex`]).
+    pub key_hex: String,
+}
+
+/// How an [`Scheduler::analyze`] call was satisfied (`stats` telemetry;
+/// deliberately *not* part of the analyze response, which stays
+/// byte-identical however it was served).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// A worker ran the analysis for this request.
+    Fresh,
+    /// In-memory cache hit.
+    CacheMemory,
+    /// On-disk cache hit (daemon restarted since the analysis ran).
+    CacheDisk,
+    /// Coalesced onto an identical in-flight analysis (single-flight).
+    Coalesced,
+}
+
+/// One queued analysis.
+struct Job {
+    key: KeyMaterial,
+    program: Program,
+    config: ExploreConfig,
+    energy_rounds: u64,
+    slot: Arc<Slot>,
+}
+
+/// A completion slot shared by every request waiting on one analysis.
+struct Slot {
+    result: Mutex<Option<Result<BoundsReport, String>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, r: Result<BoundsReport, String>) {
+        *self.result.lock().expect("slot lock") = Some(r);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<BoundsReport, String> {
+        let mut guard = self.result.lock().expect("slot lock");
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self.done.wait(guard).expect("slot wait");
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Key hex → the in-flight (queued or running) analysis of that key.
+    inflight: HashMap<String, Arc<Slot>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for jobs.
+    job_ready: Condvar,
+    /// Submitters wait here for queue space.
+    space: Condvar,
+    queue_capacity: usize,
+    system: UlpSystem,
+    cache: Arc<BoundCache>,
+    analyses_run: AtomicU64,
+    coalesced: AtomicU64,
+    workers: usize,
+}
+
+/// The analysis scheduler (see the module docs).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawns `workers` analysis workers (`0` = auto via
+    /// [`par::resolve_threads`]) over a queue bounded at
+    /// `queue_capacity` jobs.
+    pub fn new(
+        system: UlpSystem,
+        cache: Arc<BoundCache>,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Scheduler {
+        let workers = par::resolve_threads(workers);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+            system,
+            cache,
+            analyses_run: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xbound-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("state lock").queue.len()
+    }
+
+    /// Keys currently in flight (queued or running).
+    pub fn inflight(&self) -> usize {
+        self.shared.state.lock().expect("state lock").inflight.len()
+    }
+
+    /// Analyses actually executed by workers (cache hits and coalesced
+    /// requests excluded).
+    pub fn analyses_run(&self) -> u64 {
+        self.shared.analyses_run.load(Ordering::Relaxed)
+    }
+
+    /// Requests that joined an identical in-flight analysis.
+    pub fn coalesced(&self) -> u64 {
+        self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Analyzes `program` under `config`, deduplicating against the cache
+    /// and identical in-flight work. Blocks until the bound is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns the analysis error message (the scheduler itself never
+    /// fails a request except at shutdown).
+    pub fn analyze(
+        &self,
+        program: &Program,
+        config: ExploreConfig,
+        energy_rounds: u64,
+    ) -> Result<AnalyzeOutcome, String> {
+        let key = KeyMaterial::new(&self.shared.system, program, &config, energy_rounds);
+        let hex = key.hex();
+        let done = |report, served| {
+            Ok(AnalyzeOutcome {
+                report,
+                served,
+                key_hex: hex.clone(),
+            })
+        };
+        if let Some((report, hit)) = self.shared.cache.get(&key) {
+            let served = match hit {
+                CacheHit::Memory => Served::CacheMemory,
+                CacheHit::Disk => Served::CacheDisk,
+            };
+            return done(report, served);
+        }
+        let slot = {
+            let mut state = self.shared.state.lock().expect("state lock");
+            if let Some(slot) = state.inflight.get(&hex) {
+                let slot = Arc::clone(slot);
+                drop(state);
+                self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                let report = slot.wait()?;
+                return done(report, Served::Coalesced);
+            }
+            // Re-probe under the state lock: an identical job may have
+            // completed (cache publish + inflight retire) between the
+            // unlocked probe above and here — without this, that window
+            // queues a redundant full analysis.
+            if let Some((report, hit)) = self.shared.cache.recheck(&key) {
+                let served = match hit {
+                    CacheHit::Memory => Served::CacheMemory,
+                    CacheHit::Disk => Served::CacheDisk,
+                };
+                return done(report, served);
+            }
+            let slot = Slot::new();
+            state.inflight.insert(hex.clone(), Arc::clone(&slot));
+            while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
+                state = self.shared.space.wait(state).expect("space wait");
+            }
+            if state.shutdown {
+                state.inflight.remove(&hex);
+                // Waiters may already have coalesced onto this slot while
+                // we were blocked on queue space — fail them, don't
+                // strand them.
+                slot.fill(Err("server is shutting down".to_string()));
+                return Err("server is shutting down".to_string());
+            }
+            state.queue.push_back(Job {
+                key,
+                program: program.clone(),
+                config,
+                energy_rounds,
+                slot: Arc::clone(&slot),
+            });
+            self.shared.job_ready.notify_one();
+            slot
+        };
+        let report = slot.wait()?;
+        done(report, Served::Fresh)
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the workers.
+    /// Queued work still completes (waiters get their results); only
+    /// submitters blocked on a full queue are refused.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("state lock");
+            state.shutdown = true;
+            self.shared.job_ready.notify_all();
+            self.shared.space.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("state lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    shared.space.notify_one();
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("job wait");
+            }
+        };
+        shared.analyses_run.fetch_add(1, Ordering::Relaxed);
+        // Workers are the concurrency layer; each analysis explores
+        // single-threaded unless this is a single-worker daemon (results
+        // are bit-identical either way).
+        let explore_threads = if shared.workers > 1 { 1 } else { 0 };
+        let config = ExploreConfig {
+            threads: explore_threads,
+            ..job.config
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            CoAnalysis::new(&shared.system)
+                .config(config)
+                .energy_rounds(job.energy_rounds)
+                .run(&job.program)
+                .map(|a| BoundsReport::from_analysis(&a))
+                .map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|p| {
+            Err(format!(
+                "analysis panicked: {}",
+                par::payload_message(p.as_ref())
+            ))
+        });
+        if let Ok(report) = &result {
+            // Publish to the cache *before* retiring the in-flight entry
+            // so a request arriving in between finds one or the other —
+            // never a third analysis.
+            shared.cache.put(&job.key, report);
+        }
+        {
+            let mut state = shared.state.lock().expect("state lock");
+            state.inflight.remove(&job.key.hex());
+        }
+        job.slot.fill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbound_msp430::assemble;
+
+    fn tiny_program(tag: u16) -> Program {
+        // Distinct immediates give distinct cache keys per tag.
+        assemble(&format!(
+            r#"
+            main:
+                mov #{tag}, r4
+                add r4, r4
+                jmp $
+            "#
+        ))
+        .expect("assembles")
+    }
+
+    fn scheduler(workers: usize) -> Scheduler {
+        let system = UlpSystem::openmsp430_class().expect("builds");
+        let cache = Arc::new(BoundCache::new(8, None));
+        Scheduler::new(system, cache, workers, 4)
+    }
+
+    #[test]
+    fn analyze_then_cache_hit() {
+        let sched = scheduler(2);
+        let program = tiny_program(1);
+        let cfg = ExploreConfig::suite_default();
+        let first = sched.analyze(&program, cfg, 1000).expect("analyzes");
+        assert_eq!(first.served, Served::Fresh);
+        let second = sched.analyze(&program, cfg, 1000).expect("analyzes");
+        assert_eq!(second.served, Served::CacheMemory);
+        assert_eq!(first.key_hex, second.key_hex);
+        assert_eq!(first.report, second.report);
+        assert_eq!(first.report.to_json(), second.report.to_json());
+        assert_eq!(sched.analyses_run(), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_run_once() {
+        let sched = Arc::new(scheduler(2));
+        let program = tiny_program(2);
+        let cfg = ExploreConfig::suite_default();
+        let results: Vec<AnalyzeOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sched = Arc::clone(&sched);
+                    let program = program.clone();
+                    s.spawn(move || sched.analyze(&program, cfg, 1000).expect("analyzes"))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect()
+        });
+        assert_eq!(sched.analyses_run(), 1, "single-flight must deduplicate");
+        let canonical = results[0].report.to_json();
+        for r in &results {
+            assert_eq!(r.report.to_json(), canonical);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sched = scheduler(2);
+        let cfg = ExploreConfig::suite_default();
+        let a = sched.analyze(&tiny_program(3), cfg, 1000).expect("a");
+        let b = sched.analyze(&tiny_program(4), cfg, 1000).expect("b");
+        assert_eq!(sched.analyses_run(), 2);
+        assert_ne!(a.key_hex, b.key_hex, "distinct programs, distinct keys");
+        assert!(a.report.cycles > 0 && b.report.cycles > 0);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_stays_clean() {
+        let sched = scheduler(1);
+        sched.shutdown();
+        let err = sched
+            .analyze(&tiny_program(5), ExploreConfig::suite_default(), 1000)
+            .expect_err("refused");
+        assert!(err.contains("shutting down"), "{err}");
+    }
+}

@@ -1,0 +1,496 @@
+//! The TCP daemon: a `std::net::TcpListener` accept loop feeding a
+//! bounded thread-per-connection pool, dispatching protocol requests
+//! into the [`Scheduler`].
+//!
+//! Concurrency layers, outermost first:
+//!
+//! 1. **accept pool** — at most `conns` connections are handled at once
+//!    (resolved via [`par::resolve_threads`], like every other pool in
+//!    the workspace); further clients queue in the listen backlog;
+//! 2. **job scheduler** — handlers funnel analysis work into the bounded
+//!    queue with cache + single-flight deduplication;
+//! 3. **analysis workers** — run the existing `CoAnalysis` pipeline.
+//!
+//! Shutdown is cooperative: a `shutdown` request answers, stops the
+//! accept loop, drains active connections and queued jobs, joins the
+//! workers, and releases the port.
+
+use crate::cache::BoundCache;
+use crate::protocol::{self, Request};
+use crate::sched::Scheduler;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use xbound_core::jsonout::JsonWriter;
+use xbound_core::{par, ExploreConfig, UlpSystem};
+use xbound_msp430::{assemble, Program};
+
+/// Daemon configuration (the `xbound-serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind host (default loopback).
+    pub host: String,
+    /// Bind port (`0` = ephemeral, reported by [`Server::addr`]).
+    pub port: u16,
+    /// Analysis workers (`0` = auto via [`par::resolve_threads`]).
+    pub workers: usize,
+    /// Concurrent connection cap (`0` = auto: 4× the
+    /// [`par::resolve_threads`] worker resolution, floor 8 — connections
+    /// mostly wait on the scheduler rather than compute).
+    pub conns: usize,
+    /// On-disk cache directory. `None` resolves through
+    /// [`xbound_core::outdirs::cache_dir`] (`XBOUND_CACHE_DIR`, then
+    /// `<results dir>/cache`). Ignored when `disk_cache` is off.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether bounds persist on disk at all.
+    pub disk_cache: bool,
+    /// In-memory LRU capacity (entries).
+    pub cache_capacity: usize,
+    /// Bounded job-queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 0,
+            conns: 0,
+            cache_dir: None,
+            disk_cache: true,
+            cache_capacity: 256,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Counting gate bounding the connection-handler pool.
+struct ConnGate {
+    active: Mutex<usize>,
+    changed: Condvar,
+    cap: usize,
+}
+
+impl ConnGate {
+    fn new(cap: usize) -> ConnGate {
+        ConnGate {
+            active: Mutex::new(0),
+            changed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut n = self.active.lock().expect("gate lock");
+        while *n >= self.cap {
+            n = self.changed.wait(n).expect("gate wait");
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        let mut n = self.active.lock().expect("gate lock");
+        *n -= 1;
+        self.changed.notify_all();
+    }
+
+    fn wait_idle(&self) {
+        let mut n = self.active.lock().expect("gate lock");
+        while *n > 0 {
+            n = self.changed.wait(n).expect("gate wait");
+        }
+    }
+}
+
+/// The daemon state shared by the accept loop and every handler.
+pub struct Service {
+    scheduler: Scheduler,
+    cache: Arc<BoundCache>,
+    started: Instant,
+    requests: AtomicU64,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+impl Service {
+    /// Resolved analysis-worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The bound cache (telemetry).
+    pub fn cache(&self) -> &BoundCache {
+        &self.cache
+    }
+
+    /// The scheduler (telemetry).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// `true` once a shutdown request was accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line, writing one or more response lines.
+    /// Returns `true` when the connection (and for `shutdown`, the
+    /// daemon) should stop.
+    fn dispatch(&self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
+        let request = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                writeln!(out, "{}", protocol::error_response(&e))?;
+                return Ok(false);
+            }
+        };
+        match request {
+            Request::Analyze {
+                source,
+                image,
+                config,
+                energy_rounds,
+            } => {
+                let program = match (source, image) {
+                    (Some(src), None) => assemble(&src).map_err(|e| e.to_string()),
+                    (None, Some((entry, words))) => Ok(Program::from_words(words, entry)),
+                    _ => unreachable!("parse_request enforces exactly one"),
+                };
+                let answer = program.and_then(|p| {
+                    self.scheduler
+                        .analyze(&p, config, energy_rounds)
+                        .map(|out| protocol::analyze_response(&out.key_hex, &out.report))
+                });
+                match answer {
+                    Ok(resp) => writeln!(out, "{resp}")?,
+                    Err(e) => writeln!(out, "{}", protocol::error_response(&e))?,
+                }
+                Ok(false)
+            }
+            Request::Suite { benches } => self.run_suite(&benches, out).map(|()| false),
+            Request::Stats => {
+                writeln!(out, "{}", self.stats_response())?;
+                Ok(false)
+            }
+            Request::Shutdown => {
+                let mut w = JsonWriter::compact();
+                w.begin_object();
+                w.field_bool("ok", true);
+                w.field_bool("shutting_down", true);
+                w.end_object();
+                writeln!(out, "{}", w.finish())?;
+                out.flush()?;
+                self.begin_shutdown();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Streams suite results per-completion, then the `done` line.
+    fn run_suite(&self, names: &[String], out: &mut impl Write) -> std::io::Result<()> {
+        // Duplicates are analyzed once (one result line per distinct
+        // name) — this also bounds the per-request fan-out at the suite
+        // size, since unknown names are rejected.
+        let list: Vec<&'static xbound_benchsuite::Benchmark> = if names.is_empty() {
+            xbound_benchsuite::all().iter().collect()
+        } else {
+            let mut list: Vec<&'static xbound_benchsuite::Benchmark> =
+                Vec::with_capacity(names.len());
+            for n in names {
+                match xbound_benchsuite::by_name(n) {
+                    Some(b) => {
+                        if !list.iter().any(|have| have.name() == b.name()) {
+                            list.push(b);
+                        }
+                    }
+                    None => {
+                        writeln!(
+                            out,
+                            "{}",
+                            protocol::error_response(&format!("unknown benchmark `{n}`"))
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+            list
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        // If the client goes away mid-stream, remember the error but keep
+        // draining so the workers' results are still cached for the next
+        // client.
+        let mut write_err: Option<std::io::Error> = None;
+        std::thread::scope(|s| {
+            for b in list {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let config = ExploreConfig {
+                        widen_threshold: b.widen_threshold(),
+                        ..ExploreConfig::suite_default()
+                    };
+                    let result = b.program().map_err(|e| e.to_string()).and_then(|p| {
+                        self.scheduler
+                            .analyze(&p, config, b.energy_rounds())
+                            .map(|out| out.report)
+                    });
+                    let _ = tx.send((b.name(), result));
+                });
+            }
+            drop(tx);
+            for (name, result) in rx {
+                let line = match result {
+                    Ok(bounds) => {
+                        completed += 1;
+                        protocol::suite_result_response(name, &bounds)
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        protocol::suite_error_response(name, &e)
+                    }
+                };
+                if write_err.is_none() {
+                    if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                        write_err = Some(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = write_err {
+            return Err(e);
+        }
+        writeln!(out, "{}", protocol::suite_done_response(completed, failed))
+    }
+
+    fn stats_response(&self) -> String {
+        let (hits_mem, hits_disk, misses) = self.cache.counters();
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_bool("ok", true);
+        w.field_raw(
+            "uptime_seconds",
+            &format!("{:.3}", self.started.elapsed().as_secs_f64()),
+        );
+        w.field_u64("workers", self.workers as u64);
+        w.field_u64("queue_depth", self.scheduler.queue_depth() as u64);
+        w.field_u64("inflight", self.scheduler.inflight() as u64);
+        w.field_u64("cache_entries", self.cache.len() as u64);
+        w.field_u64("cache_hits_memory", hits_mem);
+        w.field_u64("cache_hits_disk", hits_disk);
+        w.field_u64("cache_misses", misses);
+        w.field_u64("coalesced", self.scheduler.coalesced());
+        w.field_u64("analyses_run", self.scheduler.analyses_run());
+        w.field_u64("requests", self.requests.load(Ordering::Relaxed));
+        match self.cache.dir() {
+            Some(d) => w.field_str("cache_dir", &d.display().to_string()),
+            None => w.field_raw("cache_dir", "null"),
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Flags shutdown and pokes the accept loop awake.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds, builds the system + cache + scheduler, and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/cache-directory IO errors and core-construction
+    /// failures (as [`std::io::Error`] with `InvalidData`).
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let dir = if config.disk_cache {
+            Some(xbound_core::outdirs::cache_dir(config.cache_dir.clone())?)
+        } else {
+            None
+        };
+        let system = UlpSystem::openmsp430_class().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("core build: {e}"))
+        })?;
+        let cache = Arc::new(BoundCache::new(config.cache_capacity, dir));
+        let scheduler = Scheduler::new(
+            system,
+            Arc::clone(&cache),
+            config.workers,
+            config.queue_capacity,
+        );
+        let workers = scheduler.workers();
+        let service = Arc::new(Service {
+            scheduler,
+            cache,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            workers,
+        });
+        // Connections mostly *wait* (on the scheduler, or between client
+        // requests) rather than compute, so the auto cap is 4× the worker
+        // resolution with a floor of 8 — a single-core host still serves
+        // a client that keeps one connection open while another connects.
+        let conn_cap = if config.conns > 0 {
+            config.conns
+        } else {
+            par::resolve_threads(0).saturating_mul(4).max(8)
+        };
+        let gate = Arc::new(ConnGate::new(conn_cap));
+        let accept_service = Arc::clone(&service);
+        let accept_thread = std::thread::Builder::new()
+            .name("xbound-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_service, &gate))
+            .expect("spawn accept loop");
+        Ok(Server {
+            addr,
+            service,
+            accept_thread,
+        })
+    }
+
+    /// The bound address (resolves `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared daemon state (telemetry in tests).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Blocks until the daemon has shut down (accept loop exited,
+    /// connections drained, workers joined).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, gate: &Arc<ConnGate>) {
+    loop {
+        if service.shutting_down() {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if service.shutting_down() {
+                    break;
+                }
+                eprintln!("xbound-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        if service.shutting_down() {
+            // The wake-up connection (or a late client): drop it.
+            drop(stream);
+            break;
+        }
+        gate.acquire();
+        let service = Arc::clone(service);
+        // The guard releases the slot even if the handler panics — a
+        // leaked slot would shrink the pool for the daemon's lifetime
+        // and eventually wedge `wait_idle`.
+        let guard = SlotGuard {
+            gate: Arc::clone(gate),
+        };
+        let spawned = std::thread::Builder::new()
+            .name("xbound-conn".to_string())
+            .spawn(move || {
+                let _guard = guard;
+                handle_conn(&service, stream);
+            });
+        if let Err(e) = spawned {
+            // The closure (and its guard) never ran; `guard` was moved
+            // into the dead closure and dropped with it, releasing the
+            // slot.
+            eprintln!("xbound-serve: spawn failed: {e}");
+        }
+    }
+    // Drain live connections, then the job queue + workers.
+    gate.wait_idle();
+    service.scheduler.shutdown();
+}
+
+/// Releases a [`ConnGate`] slot on drop — panic-safe.
+struct SlotGuard {
+    gate: Arc<ConnGate>,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+fn handle_conn(service: &Arc<Service>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets an otherwise-idle handler notice a
+    // daemon shutdown: without it, one silent client parked in a
+    // blocking read would stall `wait_idle` (and the port) forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        // `read_line` appends; on a timeout the partial data stays in
+        // `line` and the retry continues the same line.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break 'conn,
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if service.shutting_down() {
+                        break 'conn;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break 'conn,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        service.requests.fetch_add(1, Ordering::Relaxed);
+        match service.dispatch(line.trim_end_matches(['\r', '\n']), &mut writer) {
+            Ok(stop) => {
+                if writer.flush().is_err() || stop {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

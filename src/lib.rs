@@ -25,6 +25,9 @@
 //! * [`baselines`] — design-tool, GA-stressmark, and guardbanded-profiling
 //!   baselines.
 //! * [`sizing`] — harvester/battery sizing models.
+//! * [`service`] — the co-analysis daemon (`xbound-serve` /
+//!   `xbound-client`): content-addressed bound cache, single-flight job
+//!   scheduler, line-delimited JSON protocol.
 //!
 //! # Quickstart
 //!
@@ -71,6 +74,7 @@ pub use xbound_logic as logic;
 pub use xbound_msp430 as msp430;
 pub use xbound_netlist as netlist;
 pub use xbound_power as power;
+pub use xbound_service as service;
 pub use xbound_sim as sim;
 pub use xbound_sizing as sizing;
 
