@@ -14,7 +14,11 @@
 //! * `--lanes N` — concrete batch lane width (sets `XBOUND_LANES`;
 //!   results are bit-identical at any width);
 //! * `--explore-lanes N` — symbolic-exploration lane width (sets
-//!   `XBOUND_EXPLORE_LANES`; results are bit-identical at any width).
+//!   `XBOUND_EXPLORE_LANES`; results are bit-identical at any width);
+//! * `--incremental` — attach a subtree memo (sets `XBOUND_MEMO=1`
+//!   unless the variable is already set): repeat runs replay memoized
+//!   execution subtrees from the shared cache directory. Results are
+//!   byte-identical with or without it.
 //!
 //! Each experiment prints its table and writes `results/<id>.txt`. See
 //! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
@@ -52,6 +56,14 @@ fn main() {
                 "XBOUND_EXPLORE_LANES",
                 flag_value(&mut it, "--explore-lanes").to_string(),
             ),
+            // Subtree memo for incremental re-analysis (results are
+            // byte-identical; repeat invocations replay from the shared
+            // cache directory). `XBOUND_MEMO` set explicitly wins.
+            "--incremental" => {
+                if std::env::var_os("XBOUND_MEMO").is_none() {
+                    std::env::set_var("XBOUND_MEMO", "1");
+                }
+            }
             _ => args.push(a),
         }
     }

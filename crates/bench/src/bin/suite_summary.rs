@@ -35,6 +35,12 @@
 //!   co-analysis service's `xbound-client suite` prints byte-identical
 //!   lines, which is how CI cross-checks the daemon against the direct
 //!   path.
+//! * `--incremental` — attach a subtree memo (incremental re-analysis;
+//!   see `xbound_core::memo`). Repeat analyses of unchanged or edited
+//!   programs replay memoized execution subtrees; the result columns are
+//!   byte-identical either way. `XBOUND_MEMO` overrides the flag (`0`
+//!   disables, `mem` keeps the memo off disk, `1` persists it under the
+//!   shared cache directory).
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
 use rand::rngs::StdRng;
@@ -72,10 +78,12 @@ fn main() {
     let mut validate_runs = 0usize;
     let mut json_path: Option<String> = None;
     let mut bounds_path: Option<String> = None;
+    let mut incremental = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--oracle" => std::env::set_var("XBOUND_SIM_ENGINE", "levelized"),
+            "--incremental" => incremental = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -115,6 +123,7 @@ fn main() {
 
     let sys = UlpSystem::openmsp430_class().unwrap();
     println!("gates: {}", sys.cpu().netlist().gate_count());
+    let memo = xbound_core::memo::from_env(incremental);
     let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
     let lane_width = par::resolve_lanes(lanes);
     let explore_lane_width = par::resolve_explore_lanes(explore_lanes);
@@ -137,6 +146,7 @@ fn main() {
                     ..ExploreConfig::suite_default()
                 })
                 .energy_rounds(b.energy_rounds())
+                .memo(memo.clone())
                 .run(&program);
             let mut explore = None;
             let mut bounds = None;
@@ -203,6 +213,19 @@ fn main() {
         suite_workers,
         if suite_workers == 1 { "" } else { "s" },
     );
+    if let Some(m) = &memo {
+        let s = m.stats();
+        println!(
+            "memo: {} hits / {} misses, {} segments stitched, {} power-trace hits{}",
+            s.hits,
+            s.misses,
+            s.stitched_segments,
+            s.power_hits,
+            m.dir()
+                .map(|d| format!(", persisted at {}", d.display()))
+                .unwrap_or_default(),
+        );
+    }
 
     if let Some(path) = json_path {
         // Self-describing metadata first, then the per-benchmark timings
@@ -238,6 +261,13 @@ fn main() {
         w.field_u64("explore_active_lane_cycles", agg.active_lane_cycles);
         w.field_u64("explore_idle_lane_cycles", agg.idle_lane_cycles);
         w.field_raw("explore_occupancy", &format!("{:.4}", agg.occupancy()));
+        if let Some(m) = &memo {
+            let s = m.stats();
+            w.field_u64("memo_hits", s.hits);
+            w.field_u64("memo_misses", s.misses);
+            w.field_u64("memo_stitched_segments", s.stitched_segments);
+            w.field_u64("memo_power_hits", s.power_hits);
+        }
         w.key("benchmarks");
         w.begin_array();
         for row in &rows {

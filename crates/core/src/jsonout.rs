@@ -41,14 +41,21 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 /// Writes a JSON number for `v` in the exact-round-trip format shared by
-/// every emitter (shortest `Display` form; non-finite values become
-/// `null`, which JSON cannot represent otherwise).
+/// every emitter (shortest `Display` form).
+///
+/// # Panics
+///
+/// Panics on non-finite values. JSON has no representation for NaN or
+/// ±inf, and silently substituting `null` would let a corrupted bound
+/// (`0.0 / 0.0` upstream) serialize as a syntactically valid document
+/// that every reader then misparses as "absent" — a hard error at the
+/// writer keeps the corruption visible at its source.
 pub fn number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
+    assert!(
+        v.is_finite(),
+        "jsonout::number: non-finite f64 ({v}) cannot be represented in JSON"
+    );
+    format!("{v}")
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -352,8 +359,22 @@ mod tests {
             assert_eq!(back.to_bits(), v.to_bits(), "{s}");
             assert_eq!(number(back), s);
         }
-        assert_eq!(number(f64::NAN), "null");
-        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn non_finite_is_a_hard_error() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = std::panic::catch_unwind(|| number(v));
+            assert!(r.is_err(), "number({v}) must panic");
+        }
+        let r = std::panic::catch_unwind(|| {
+            let mut w = JsonWriter::compact();
+            w.begin_object();
+            w.field_f64("x", f64::NAN);
+            w.end_object();
+            w.finish()
+        });
+        assert!(r.is_err(), "f64_val(NaN) must panic");
     }
 
     #[test]

@@ -42,7 +42,9 @@
 
 pub mod activity;
 pub mod coi;
+pub mod jsonin;
 pub mod jsonout;
+pub mod memo;
 pub mod optimize;
 pub mod outdirs;
 pub mod par;
@@ -366,6 +368,7 @@ pub struct CoAnalysis<'s> {
     system: &'s UlpSystem,
     config: ExploreConfig,
     energy_rounds: u64,
+    memo: Option<std::sync::Arc<memo::SubtreeMemo>>,
 }
 
 impl<'s> CoAnalysis<'s> {
@@ -375,6 +378,7 @@ impl<'s> CoAnalysis<'s> {
             system,
             config: ExploreConfig::default(),
             energy_rounds: 10_000,
+            memo: None,
         }
     }
 
@@ -391,19 +395,39 @@ impl<'s> CoAnalysis<'s> {
         self
     }
 
+    /// Attaches (or detaches, with `None`) a subtree memo store for
+    /// incremental re-analysis. The context hash binding the store to
+    /// this system's exploration knobs, cell library, and clock is
+    /// computed here; the result is byte-identical either way (see
+    /// [`memo::SubtreeMemo`]).
+    pub fn memo(mut self, memo: Option<std::sync::Arc<memo::SubtreeMemo>>) -> CoAnalysis<'s> {
+        self.memo = memo;
+        self
+    }
+
     /// Runs Algorithm 1 + Algorithm 2 + the peak-energy computation.
     ///
     /// # Errors
     ///
     /// See [`AnalysisError`].
     pub fn run(self, program: &Program) -> Result<Analysis<'s>, AnalysisError> {
-        let explorer = SymbolicExplorer::new(self.system.cpu(), self.config);
+        let mut explorer = SymbolicExplorer::new(self.system.cpu(), self.config);
+        let ctx = memo::context_hash(
+            &self.config,
+            self.system.library().name(),
+            self.system.clock_hz(),
+        );
+        if let Some(store) = &self.memo {
+            explorer = explorer.with_memo(store.clone(), ctx);
+        }
         let (tree, stats) = explorer.explore(program)?;
-        let peak = compute_peak_power(
+        let peak = peak_power::compute_peak_power_cached(
             self.system.cpu().netlist(),
             self.system.library(),
             self.system.clock_hz(),
             &tree,
+            true,
+            self.memo.as_deref().map(|m| (m.power(), ctx)),
         );
         let energy = compute_peak_energy(&tree, &peak, self.system.clock_hz(), self.energy_rounds);
         Ok(Analysis {

@@ -14,7 +14,8 @@
 //! from a fresh checkout (or a scratch working directory) without manual
 //! setup.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Resolves (and creates) the experiment results directory:
 /// `XBOUND_RESULTS_DIR` if set and non-empty, else `results`.
@@ -30,6 +31,41 @@ pub fn results_dir() -> std::io::Result<PathBuf> {
     };
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
+}
+
+/// Per-process counter distinguishing concurrent temp files; combined
+/// with the pid it makes every [`write_atomic`] scratch name unique even
+/// when several daemons (or a daemon and a warm restart) share one cache
+/// directory.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: the data lands in a uniquely
+/// named sibling temp file (`.<name>.tmp-<pid>-<seq>`) which is then
+/// renamed over `path`. Readers therefore never observe a partially
+/// written file, and two writers racing on the same `path` each rename a
+/// *complete* document into place (last rename wins — `rename(2)`
+/// replaces an existing destination atomically on POSIX).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temp file is removed on a
+/// failed rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("atomic");
+    let tmp = dir.join(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let res = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if res.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    res
 }
 
 /// Resolves (and creates) the service bound-cache directory: `explicit`
@@ -50,4 +86,29 @@ pub fn cache_dir(explicit: Option<PathBuf>) -> std::io::Result<PathBuf> {
     };
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_existing_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("xbound-outdirs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second, over an existing file").unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"second, over an existing file"
+        );
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -236,79 +236,120 @@ pub fn assign_parity_opts(
     parity: Parity,
     use_stability: bool,
 ) -> ParityAssignment {
-    // Max transition (first, second) per net, by driver cell, packed as
-    // word-wide bitplanes for the word-parallel resolve kernel; primary
-    // inputs default to (false, true).
+    let tr = max_transitions(nl, lib);
+    let mut st = AssignScratch::new(nl);
+    let segments = (0..tree.segments().len())
+        .map(|si| assign_segment(nl, tree, adjusted, si, parity, use_stability, &tr, &mut st))
+        .collect();
+    ParityAssignment { parity, segments }
+}
+
+/// Max transition (first, second) per net, by driver cell, packed as
+/// word-wide bitplanes for the word-parallel resolve kernel; primary
+/// inputs default to (false, true). Computed once per tree.
+struct MaxTransitions {
+    first: Vec<u64>,
+    second: Vec<u64>,
+}
+
+fn max_transitions(nl: &Netlist, lib: &CellLibrary) -> MaxTransitions {
     let words = nl.net_count().div_ceil(64);
-    let mut tr_first = vec![0u64; words];
-    let mut tr_second = vec![0u64; words];
+    let mut first = vec![0u64; words];
+    let mut second = vec![0u64; words];
     for i in 0..nl.net_count() {
         let (a, b) = match nl.driver_of(NetId(i as u32)) {
             Some(g) => lib.power(nl.gate(g).kind()).max_transition(),
             None => (false, true),
         };
         if a {
-            tr_first[i / 64] |= 1 << (i % 64);
+            first[i / 64] |= 1 << (i % 64);
         }
         if b {
-            tr_second[i / 64] |= 1 << (i % 64);
+            second[i / 64] |= 1 << (i % 64);
         }
     }
+    MaxTransitions { first, second }
+}
 
-    // Reusable stability bitset (all-zero when stability is disabled).
-    let mut st: Vec<u64> = Vec::new();
-    let no_stability = vec![0u64; words];
+/// Reusable per-tree scratch for the assignment kernel: the stability
+/// bitset and its all-zero stand-in for the ablation path.
+struct AssignScratch {
+    st: Vec<u64>,
+    no_stability: Vec<u64>,
+}
 
-    let mut segments = Vec::with_capacity(tree.segments().len());
-    for (si, seg) in tree.segments().iter().enumerate() {
-        // Boundary-previous frame: the parent's (adjusted) last frame.
-        let mut boundary = seg
-            .parent
-            .and_then(|(pid, _)| adjusted[pid.index()].last().cloned());
-        let orig = &adjusted[si];
-        let mut frames: Vec<Frame> = orig.clone();
-        for ci in 0..frames.len() {
-            let gc = seg.global_cycle(ci);
-            if !parity.matches(gc) || (ci == 0 && boundary.is_none()) {
-                continue;
-            }
-            // Stability is computed on the *pre-assignment* frames; a pair
-            // with no X anywhere needs neither stability nor resolution.
-            let orig_prev = if ci == 0 {
-                seg.parent
-                    .and_then(|(pid, _)| adjusted[pid.index()].last())
-                    .expect("boundary exists")
-            } else {
-                &orig[ci - 1]
-            };
-            if orig_prev.x_count() == 0 && orig[ci].x_count() == 0 {
-                continue;
-            }
-            let stable: &[u64] = if use_stability {
-                stability_words_into(nl, orig_prev, &orig[ci], &mut st);
-                &st
-            } else {
-                &no_stability
-            };
-            if ci == 0 {
-                let b = boundary.as_mut().expect("checked");
-                Frame::assign_x_pair(b, &mut frames[0], stable, &tr_first, &tr_second);
-            } else {
-                let (a, b) = frames.split_at_mut(ci);
-                Frame::assign_x_pair(&mut a[ci - 1], &mut b[0], stable, &tr_first, &tr_second);
-            }
+impl AssignScratch {
+    fn new(nl: &Netlist) -> AssignScratch {
+        AssignScratch {
+            st: Vec::new(),
+            no_stability: vec![0u64; nl.net_count().div_ceil(64)],
         }
-        // Leftover Xs (off-parity positions and cycle 0) hold 0: their
-        // cycles are discarded by the interleaving.
-        if let Some(b) = boundary.as_mut() {
-            b.resolve_x_to_zero();
-        }
-        for f in &mut frames {
-            f.resolve_x_to_zero();
-        }
-        segments.push((boundary, frames));
     }
-    ParityAssignment { parity, segments }
+}
+
+/// The per-segment body of [`assign_parity_opts`]: resolves one segment's
+/// Xs for one parity. Depends only on the segment's adjusted frames, its
+/// parent's adjusted last frame, and the segment's start-cycle parity —
+/// which is what makes the segment-power composition cache of
+/// [`compute_peak_power_cached`] sound.
+#[allow(clippy::too_many_arguments)]
+fn assign_segment(
+    nl: &Netlist,
+    tree: &ExecutionTree,
+    adjusted: &[Vec<Frame>],
+    si: usize,
+    parity: Parity,
+    use_stability: bool,
+    tr: &MaxTransitions,
+    scratch: &mut AssignScratch,
+) -> (Option<Frame>, Vec<Frame>) {
+    let seg = &tree.segments()[si];
+    // Boundary-previous frame: the parent's (adjusted) last frame.
+    let mut boundary = seg
+        .parent
+        .and_then(|(pid, _)| adjusted[pid.index()].last().cloned());
+    let orig = &adjusted[si];
+    let mut frames: Vec<Frame> = orig.clone();
+    for ci in 0..frames.len() {
+        let gc = seg.global_cycle(ci);
+        if !parity.matches(gc) || (ci == 0 && boundary.is_none()) {
+            continue;
+        }
+        // Stability is computed on the *pre-assignment* frames; a pair
+        // with no X anywhere needs neither stability nor resolution.
+        let orig_prev = if ci == 0 {
+            seg.parent
+                .and_then(|(pid, _)| adjusted[pid.index()].last())
+                .expect("boundary exists")
+        } else {
+            &orig[ci - 1]
+        };
+        if orig_prev.x_count() == 0 && orig[ci].x_count() == 0 {
+            continue;
+        }
+        let stable: &[u64] = if use_stability {
+            stability_words_into(nl, orig_prev, &orig[ci], &mut scratch.st);
+            &scratch.st
+        } else {
+            &scratch.no_stability
+        };
+        if ci == 0 {
+            let b = boundary.as_mut().expect("checked");
+            Frame::assign_x_pair(b, &mut frames[0], stable, &tr.first, &tr.second);
+        } else {
+            let (a, b) = frames.split_at_mut(ci);
+            Frame::assign_x_pair(&mut a[ci - 1], &mut b[0], stable, &tr.first, &tr.second);
+        }
+    }
+    // Leftover Xs (off-parity positions and cycle 0) hold 0: their
+    // cycles are discarded by the interleaving.
+    if let Some(b) = boundary.as_mut() {
+        b.resolve_x_to_zero();
+    }
+    for f in &mut frames {
+        f.resolve_x_to_zero();
+    }
+    (boundary, frames)
 }
 
 /// Runs Algorithm 2 end-to-end: even/odd assignment, power analysis of
@@ -332,20 +373,73 @@ pub fn compute_peak_power_opts(
     tree: &ExecutionTree,
     use_stability: bool,
 ) -> PeakPowerResult {
+    compute_peak_power_cached(nl, lib, clock_hz, tree, use_stability, None)
+}
+
+/// [`compute_peak_power_opts`] with an optional **segment-power
+/// composition cache** (incremental re-analysis). Each segment's pair of
+/// parity traces is a pure function of `(context, start-cycle parity,
+/// boundary frame, adjusted frames)`; on a warm re-analysis the traces of
+/// unperturbed segments are replayed from the cache (after exact-equality
+/// verification of that whole key) instead of re-running the stability /
+/// X-assignment / power-analysis kernels. The composed bound is
+/// recomputed from the traces either way, so the result is byte-identical
+/// with or without a cache — see `crates/core/tests/incremental.rs`.
+pub fn compute_peak_power_cached(
+    nl: &Netlist,
+    lib: &CellLibrary,
+    clock_hz: f64,
+    tree: &ExecutionTree,
+    use_stability: bool,
+    cache: Option<(&crate::memo::SegmentPowerCache, u64)>,
+) -> PeakPowerResult {
     let analyzer = PowerAnalyzer::new(nl, lib, clock_hz);
     let adjusted = merge_adjusted_frames(tree);
-    let even = assign_parity_opts(nl, lib, tree, &adjusted, Parity::Even, use_stability);
-    let odd = assign_parity_opts(nl, lib, tree, &adjusted, Parity::Odd, use_stability);
+    let tr = max_transitions(nl, lib);
+    let mut scratch = AssignScratch::new(nl);
+    // `use_stability` is result-relevant: fold it into the cache context so
+    // the ablation path can never stitch stability-refined traces.
+    let cache = cache.map(|(c, ctx)| (c, ctx ^ if use_stability { 0 } else { 0x5354_4142 }));
 
-    let analyze_segment = |(boundary, frames): &(Option<Frame>, Vec<Frame>)| -> PowerTrace {
-        analyzer.analyze_with_boundary(boundary.as_ref(), frames)
-    };
-
-    let mut even_traces = Vec::new();
-    let mut odd_traces = Vec::new();
-    for si in 0..tree.segments().len() {
-        even_traces.push(analyze_segment(&even.segments[si]));
-        odd_traces.push(analyze_segment(&odd.segments[si]));
+    let mut even_traces = Vec::with_capacity(tree.segments().len());
+    let mut odd_traces = Vec::with_capacity(tree.segments().len());
+    for (si, seg) in tree.segments().iter().enumerate() {
+        let boundary = seg.parent.and_then(|(pid, _)| adjusted[pid.index()].last());
+        let odd_start = seg.start_cycle % 2 == 1;
+        if let Some((c, ctx)) = cache {
+            if let Some((e, o)) = c.lookup(ctx, odd_start, boundary, &adjusted[si]) {
+                even_traces.push(e);
+                odd_traces.push(o);
+                continue;
+            }
+        }
+        let ev = assign_segment(
+            nl,
+            tree,
+            &adjusted,
+            si,
+            Parity::Even,
+            use_stability,
+            &tr,
+            &mut scratch,
+        );
+        let od = assign_segment(
+            nl,
+            tree,
+            &adjusted,
+            si,
+            Parity::Odd,
+            use_stability,
+            &tr,
+            &mut scratch,
+        );
+        let et = analyzer.analyze_with_boundary(ev.0.as_ref(), &ev.1);
+        let ot = analyzer.analyze_with_boundary(od.0.as_ref(), &od.1);
+        if let Some((c, ctx)) = cache {
+            c.record(ctx, odd_start, boundary, &adjusted[si], &et, &ot);
+        }
+        even_traces.push(et);
+        odd_traces.push(ot);
     }
 
     let mut bound = Vec::with_capacity(tree.segments().len());
@@ -354,8 +448,9 @@ pub fn compute_peak_power_opts(
     let mut peak_cycle = 0u64;
     for (si, seg) in tree.segments().iter().enumerate() {
         // Per-trace cycle offset: traces with a boundary frame have one
-        // extra leading cycle.
-        let off = usize::from(even.segments[si].0.is_some());
+        // extra leading cycle (the trace is longer than the segment by
+        // exactly that boundary cycle).
+        let off = even_traces[si].cycles() - seg.len();
         let mut seg_bound = Vec::with_capacity(seg.len());
         for ci in 0..seg.len() {
             let gc = seg.global_cycle(ci);

@@ -134,6 +134,17 @@ impl PowerTrace {
         self.clock_hz
     }
 
+    /// Approximate resident size of this trace in bytes — used by
+    /// byte-budgeted caches (e.g. the incremental re-analysis segment-power
+    /// cache) to account evictions. Counts the per-cycle and per-module
+    /// tables plus module-name storage; allocator overhead is ignored.
+    pub fn approx_bytes(&self) -> u64 {
+        let doubles =
+            self.per_cycle_mw.len() + self.per_module_mw.iter().map(Vec::len).sum::<usize>();
+        let names: usize = self.module_names.iter().map(String::len).sum();
+        (doubles * 8 + names) as u64 + 64
+    }
+
     /// Per-module energy at one cycle, `(module name, mW)`, descending.
     pub fn module_breakdown_at(&self, cycle: usize) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> = self

@@ -19,7 +19,9 @@
 //! * `shutdown` — ask the daemon to shut down cleanly.
 //!
 //! Options: `--port N` (default 4517), `--addr HOST:PORT`,
-//! `--timeout-secs S` (connect retry budget for `wait`, default 30).
+//! `--timeout S` (overall deadline for `wait`, default 30 s; polls with
+//! exponential backoff and exits non-zero on expiry; `--timeout-secs`
+//! is the accepted legacy spelling).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -86,10 +88,8 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("bad --port"));
             }
-            "--timeout-secs" => {
-                timeout_secs = value("--timeout-secs")
-                    .parse()
-                    .unwrap_or_else(|_| fail("bad --timeout-secs"));
+            "--timeout" | "--timeout-secs" => {
+                timeout_secs = value(&a).parse().unwrap_or_else(|_| fail("bad --timeout"));
             }
             other => rest.push(other.to_string()),
         }
@@ -220,9 +220,13 @@ fn suite(addr: &str, names: &[String]) {
     }
 }
 
-/// Polls `stats` until the daemon answers (or the budget runs out).
+/// Polls `stats` until the daemon answers (or the budget runs out),
+/// backing off exponentially (10 ms doubling to a 2 s ceiling) so a
+/// slow-starting daemon is noticed quickly without hammering the port
+/// for the rest of a long budget.
 fn wait_ready(addr: &str, timeout_secs: u64) {
     let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    let mut delay = Duration::from_millis(10);
     loop {
         if let Ok(mut conn) = Conn::open(addr) {
             if conn
@@ -234,9 +238,15 @@ fn wait_ready(addr: &str, timeout_secs: u64) {
                 return;
             }
         }
-        if Instant::now() >= deadline {
-            fail(&format!("daemon at {addr} not ready after {timeout_secs}s"));
+        let now = Instant::now();
+        if now >= deadline {
+            fail(&format!(
+                "daemon at {addr} not ready after {timeout_secs}s; \
+                 is xbound-serve running on that address?"
+            ));
         }
-        std::thread::sleep(Duration::from_millis(100));
+        // Never sleep past the deadline — expire on time, not late.
+        std::thread::sleep(delay.min(deadline - now));
+        delay = (delay * 2).min(Duration::from_secs(2));
     }
 }

@@ -325,10 +325,11 @@ impl BoundCache {
             let mut doc = w.finish();
             doc.push('\n');
             // Write-then-rename keeps readers (and a crashed daemon's
-            // successor) from ever seeing a torn entry.
-            let tmp = dir.join(format!("{}.tmp-{}", key.hex(), std::process::id()));
-            let res = std::fs::write(&tmp, &doc).and_then(|()| std::fs::rename(&tmp, &path));
-            if let Err(e) = res {
+            // successor) from ever seeing a torn entry; the helper's
+            // pid+counter temp names keep two daemons sharing one cache
+            // directory from interleaving writes into each other's
+            // scratch file before the rename.
+            if let Err(e) = xbound_core::outdirs::write_atomic(&path, doc.as_bytes()) {
                 eprintln!("xbound-serve: cache write {} failed: {e}", path.display());
             }
         }

@@ -1,365 +1,29 @@
-//! A minimal JSON value parser (std-only) for the service protocol and
-//! the on-disk bound cache.
+//! JSON value parsing for the service protocol and the on-disk caches.
 //!
-//! The writer half lives in [`xbound_core::jsonout`] — this is the read
-//! half: a strict recursive-descent parser into a small [`Json`] value
-//! tree. Numbers parse through [`str::parse::<f64>`], which recovers the
-//! exact `f64` from the shortest-representation form `jsonout` emits, so
-//! parse → re-serialize is the identity on bytes for every document the
-//! workspace produces (the service's byte-identity contract).
+//! The parser itself lives in [`xbound_core::jsonin`] (the memo table
+//! decodes its entries core-side with the same grammar); this module
+//! re-exports it under the service's historical path. The writer half is
+//! [`xbound_core::jsonout`]. Both sides reject non-finite numbers, so
+//! parse → re-serialize stays the identity on bytes for every document
+//! the workspace produces (the byte-identity contract).
 
-use std::collections::BTreeMap;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (exact for integers up to 2^53).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object. Key order is irrelevant to readers, so a map is fine.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Parses a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    ///
-    /// # Errors
-    ///
-    /// Returns a position-annotated message on malformed input.
-    pub fn parse(s: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-            depth: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup (`None` for non-objects and missing keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric value as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The boolean value, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-}
-
-/// Nesting cap: every document the workspace produces is ≤ 4 levels
-/// deep, and the daemon parses untrusted request lines — unbounded
-/// recursion would let one malicious line overflow the connection
-/// thread's stack and abort the whole process.
-const MAX_DEPTH: usize = 64;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    depth: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected byte at {}", self.pos)),
-        }
-    }
-
-    fn enter(&mut self) -> Result<(), String> {
-        self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(format!(
-                "nesting deeper than {MAX_DEPTH} at byte {}",
-                self.pos
-            ));
-        }
-        Ok(())
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        self.enter()?;
-        let mut m = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(Json::Obj(m));
-        }
-        loop {
-            self.skip_ws();
-            let k = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            m.insert(k, v);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Obj(m));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        self.enter()?;
-        let mut v = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(Json::Arr(v));
-        }
-        loop {
-            self.skip_ws();
-            v.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Arr(v));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while let Some(b) = self.peek() {
-                if b == b'"' || b == b'\\' || b < 0x20 {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8".to_string())?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our
-                            // writer; reject rather than mis-decode.
-                            let c = char::from_u32(cp)
-                                .ok_or_else(|| "unsupported \\u codepoint".to_string())?;
-                            out.push(c);
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
-                    }
-                }
-                _ => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number `{text}` at byte {start}"))
-    }
-}
+pub use xbound_core::jsonin::Json;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xbound_core::jsonout::JsonWriter;
 
+    /// The daemon parses untrusted request lines: an over-range exponent
+    /// (`1e999` overflows `f64::from_str` to `+inf`) must be a parse
+    /// error, not a silently non-finite knob value.
     #[test]
-    fn parses_scalars() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse("-2.5e3").unwrap(), Json::Num(-2500.0));
-        assert_eq!(
-            Json::parse(r#""a\nb\u0041""#).unwrap(),
-            Json::Str("a\nbA".to_string())
-        );
-    }
-
-    #[test]
-    fn parses_nested_structures() {
-        let v = Json::parse(r#"{"a": [1, {"b": "x"}], "c": false}"#).unwrap();
-        assert_eq!(v.get("c").and_then(Json::as_bool), Some(false));
-        let arr = v.get("a").and_then(Json::as_arr).unwrap();
-        assert_eq!(arr[0].as_u64(), Some(1));
-        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("x"));
-    }
-
-    #[test]
-    fn rejects_malformed() {
-        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
-            assert!(Json::parse(bad).is_err(), "{bad}");
+    fn service_parser_rejects_non_finite_numbers() {
+        for bad in [
+            r#"{"op": "analyze", "energy_rounds": 1e999}"#,
+            r#"{"clock_hz": -1e999}"#,
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.contains("non-finite"), "{bad}: {err}");
         }
-    }
-
-    #[test]
-    fn deep_nesting_is_an_error_not_a_stack_overflow() {
-        let deep = "[".repeat(500_000);
-        let err = Json::parse(&deep).expect_err("must be rejected");
-        assert!(err.contains("nesting"), "{err}");
-        // Exactly at the cap still parses.
-        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
-        assert!(Json::parse(&ok).is_ok());
-        let over = format!("{}1{}", "[".repeat(65), "]".repeat(65));
-        assert!(Json::parse(&over).is_err());
-    }
-
-    #[test]
-    fn round_trips_writer_output() {
-        let mut w = JsonWriter::compact();
-        w.begin_object();
-        w.field_str("s", "quote \" slash \\ nl \n");
-        w.field_f64("x", 1.0 / 3.0);
-        w.field_u64("n", 1 << 53);
-        w.end_object();
-        let text = w.finish();
-        let v = Json::parse(&text).unwrap();
-        assert_eq!(
-            v.get("s").and_then(Json::as_str),
-            Some("quote \" slash \\ nl \n")
-        );
-        assert_eq!(
-            v.get("x").and_then(Json::as_f64).map(f64::to_bits),
-            Some((1.0f64 / 3.0).to_bits())
-        );
-        assert_eq!(v.get("n").and_then(Json::as_u64), Some(1 << 53));
     }
 }

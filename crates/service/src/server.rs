@@ -287,6 +287,14 @@ impl Service {
         w.field_u64("cache_misses", misses);
         w.field_u64("coalesced", self.scheduler.coalesced());
         w.field_u64("analyses_run", self.scheduler.analyses_run());
+        let memo = self.scheduler.memo_stats();
+        w.field_bool("memo_enabled", self.scheduler.memo_enabled());
+        w.field_u64("memo_entries", self.scheduler.memo_entries() as u64);
+        w.field_u64("memo_hits", memo.hits);
+        w.field_u64("memo_misses", memo.misses);
+        w.field_u64("memo_stitched_segments", memo.stitched_segments);
+        w.field_u64("memo_power_hits", memo.power_hits);
+        w.field_u64("memo_power_misses", memo.power_misses);
         w.field_u64("requests", self.requests.load(Ordering::Relaxed));
         match self.cache.dir() {
             Some(d) => w.field_str("cache_dir", &d.display().to_string()),
@@ -333,10 +341,27 @@ impl Server {
         let system = UlpSystem::openmsp430_class().map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, format!("core build: {e}"))
         })?;
-        let cache = Arc::new(BoundCache::new(config.cache_capacity, dir));
+        let cache = Arc::new(BoundCache::new(config.cache_capacity, dir.clone()));
+        // Subtree memo for incremental re-analysis: on by default, opted
+        // out with `XBOUND_MEMO=0`. It persists next to the bound cache
+        // (same directory, same canonical encoding); `XBOUND_MEMO=mem` or
+        // a disabled disk cache keep it in memory only.
+        let memo = if xbound_core::memo::disabled_by_env() {
+            None
+        } else {
+            let memo_dir = match std::env::var("XBOUND_MEMO").as_deref().map(str::trim) {
+                Ok("mem") | Ok("memory") => None,
+                _ => dir,
+            };
+            Some(Arc::new(match memo_dir {
+                Some(d) => xbound_core::memo::SubtreeMemo::with_dir(d),
+                None => xbound_core::memo::SubtreeMemo::in_memory(),
+            }))
+        };
         let scheduler = Scheduler::new(
             system,
             Arc::clone(&cache),
+            memo,
             config.workers,
             config.queue_capacity,
         );

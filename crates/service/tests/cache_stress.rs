@@ -1,0 +1,84 @@
+//! Two-writer stress for the on-disk cache's write-then-rename: daemons
+//! (or a daemon racing a warm restart) sharing one `XBOUND_CACHE_DIR`
+//! must never rename a partially-written file into place. Writers use
+//! unique tmp names (pid + monotonic counter) and rename over existing
+//! entries, so a concurrent reader always sees a complete, parseable
+//! document.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use xbound_core::{BoundsReport, CoAnalysis, ExploreConfig, UlpSystem};
+use xbound_msp430::assemble;
+use xbound_service::cache::{BoundCache, KeyMaterial};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("xbound-cache-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create stress dir");
+    dir
+}
+
+#[test]
+fn two_writers_one_reader_never_observe_a_partial_entry() {
+    let system = UlpSystem::openmsp430_class().expect("builds");
+    let program = assemble("main: mov #7, r4\n add r4, r4\n jmp $\n").expect("assembles");
+    let config = ExploreConfig::suite_default();
+    let report = CoAnalysis::new(&system)
+        .run(&program)
+        .map(|a| BoundsReport::from_analysis(&a))
+        .expect("analyzes");
+    let key = KeyMaterial::new(&system, &program, &config, 1000);
+
+    let dir = fresh_dir("two-writers");
+    // Seed the entry so the reader has something to race against from
+    // iteration zero.
+    BoundCache::new(4, Some(dir.clone())).put(&key, &report);
+
+    const ROUNDS: usize = 300;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Two writers mimicking two daemons sharing the directory: both
+        // rewrite the same content address as fast as they can.
+        for w in 0..2 {
+            let cache = BoundCache::new(4, Some(dir.clone()));
+            let key = &key;
+            let report = &report;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    cache.put(key, report);
+                    i += 1;
+                    if w == 0 && i >= ROUNDS {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // The reader takes a fresh cache instance per probe (cold memory,
+        // forced disk read). Every read must produce the full report —
+        // a partial rename would parse as garbage and come back as a
+        // miss or a different report.
+        let key = &key;
+        let report = &report;
+        let dir = &dir;
+        let stop = &stop;
+        s.spawn(move || {
+            let mut reads = 0usize;
+            while !stop.load(Ordering::Relaxed) || reads == 0 {
+                let (seen, _) = BoundCache::new(4, Some(dir.clone()))
+                    .get(key)
+                    .expect("disk entry must always be complete");
+                assert_eq!(
+                    seen.to_json(),
+                    report.to_json(),
+                    "reader observed a torn cache entry"
+                );
+                reads += 1;
+            }
+        });
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

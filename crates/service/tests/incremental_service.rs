@@ -1,0 +1,202 @@
+//! Incremental re-analysis through the daemon: the subtree memo's hit /
+//! miss counters surface in `stats`, a one-instruction edit re-analyzes
+//! warm with byte-identical bounds, and the invalidation matrix holds at
+//! the protocol level (result-relevant knobs miss, result-irrelevant
+//! knobs hit).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use xbound_core::jsonout::JsonWriter;
+use xbound_service::json::Json;
+use xbound_service::{protocol, Server, ServiceConfig};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end_matches('\n').to_string()
+    }
+}
+
+fn memory_only_server() -> Server {
+    Server::start(ServiceConfig {
+        disk_cache: false,
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn stat(response: &str, key: &str) -> u64 {
+    let v = Json::parse(response).expect("stats parse");
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {key}: {response}"))
+}
+
+/// `analyze` request with explicit knobs.
+fn analyze_with(source: &str, knobs: &[(&str, u64)]) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_str("op", "analyze");
+    w.field_str("source", source);
+    for (k, v) in knobs {
+        w.field_u64(k, *v);
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// Input-dependent two-arm program; `tail_imm` parameterizes an immediate
+/// several instructions into the fall-through arm (a one-word ROM edit).
+fn two_arm_source(tail_imm: u16) -> String {
+    format!(
+        r#"
+        main:
+            mov &0x0020, r4
+            cmp #1, r4
+            jeq one
+            mov #12, r5
+            add r4, r5
+            mov #{tail_imm}, r7
+            add r7, r5
+            jmp done
+        one:
+            mov r4, &0x0130
+            nop
+            mov &0x013A, r5
+        done:
+            mov r5, &0x0200
+            jmp $
+        "#
+    )
+}
+
+struct MemoCounters {
+    hits: u64,
+    misses: u64,
+    stitched: u64,
+}
+
+fn memo_counters(client: &mut Client) -> MemoCounters {
+    let stats = client.roundtrip(&protocol::op_request("stats"));
+    assert_eq!(
+        Json::parse(&stats)
+            .expect("parse")
+            .get("memo_enabled")
+            .and_then(Json::as_bool),
+        Some(true),
+        "memo must be on by default: {stats}"
+    );
+    MemoCounters {
+        hits: stat(&stats, "memo_hits"),
+        misses: stat(&stats, "memo_misses"),
+        stitched: stat(&stats, "memo_stitched_segments"),
+    }
+}
+
+#[test]
+fn edited_program_reanalyzes_warm_with_byte_identical_bounds() {
+    let warm_server = memory_only_server();
+    let mut client = Client::connect(warm_server.addr());
+
+    // Cold: seed the memo with the original program.
+    let cold = client.roundtrip(&analyze_with(&two_arm_source(100), &[]));
+    assert!(cold.contains("\"ok\": true"), "{cold}");
+    let seeded = memo_counters(&mut client);
+    assert!(seeded.misses > 0, "cold run must look paths up");
+    assert_eq!(seeded.hits, 0, "nothing to hit on a fresh daemon");
+
+    // One-instruction edit: a different content address (the bound cache
+    // misses), but the unperturbed execution subtrees replay warm.
+    let edited = two_arm_source(101);
+    let warm = client.roundtrip(&analyze_with(&edited, &[]));
+    assert!(warm.contains("\"ok\": true"), "{warm}");
+    let after = memo_counters(&mut client);
+    assert!(after.hits > seeded.hits, "edit must stitch subtrees");
+    assert!(after.misses > seeded.misses, "edited cone must re-simulate");
+    assert!(after.stitched > 0, "stitched segments surface in stats");
+
+    // Byte-identity: a fresh daemon (cold memo) must produce the exact
+    // same response for the edited program.
+    let cold_server = memory_only_server();
+    let cold_edited = Client::connect(cold_server.addr()).roundtrip(&analyze_with(&edited, &[]));
+    assert_eq!(
+        warm, cold_edited,
+        "warm (memoized) response must be byte-identical to a cold daemon's"
+    );
+    Client::connect(cold_server.addr()).roundtrip(&protocol::op_request("shutdown"));
+    cold_server.join();
+
+    client.roundtrip(&protocol::op_request("shutdown"));
+    warm_server.join();
+}
+
+#[test]
+fn invalidation_matrix_over_the_protocol() {
+    let server = memory_only_server();
+    let mut client = Client::connect(server.addr());
+    let source = two_arm_source(100);
+
+    let r = client.roundtrip(&analyze_with(&source, &[("widen_threshold", 8)]));
+    assert!(r.contains("\"ok\": true"), "{r}");
+    let seeded = memo_counters(&mut client);
+
+    // energy_rounds is not result-relevant to exploration: a different
+    // value is a fresh analysis (new content address) that replays the
+    // whole tree from the memo.
+    let r = client.roundtrip(&analyze_with(
+        &source,
+        &[("widen_threshold", 8), ("energy_rounds", 777)],
+    ));
+    assert!(r.contains("\"ok\": true"), "{r}");
+    let warm = memo_counters(&mut client);
+    assert!(warm.hits > seeded.hits, "energy_rounds change must hit");
+    assert_eq!(
+        warm.misses, seeded.misses,
+        "energy_rounds change must not re-simulate"
+    );
+
+    // Result-relevant knobs invalidate: each change must miss (and must
+    // not stitch stale subtrees).
+    let mut before = warm;
+    let matrix: [&[(&str, u64)]; 3] = [
+        &[("widen_threshold", 9)],
+        &[("widen_threshold", 8), ("max_segment_cycles", 9_999)],
+        &[("widen_threshold", 8), ("max_total_cycles", 99_999)],
+    ];
+    for knobs in matrix {
+        let r = client.roundtrip(&analyze_with(&source, knobs));
+        assert!(r.contains("\"ok\": true"), "{r}");
+        let after = memo_counters(&mut client);
+        assert!(
+            after.misses > before.misses,
+            "knobs {knobs:?} must invalidate the memo"
+        );
+        assert_eq!(
+            after.hits, before.hits,
+            "knobs {knobs:?} must not hit stale entries"
+        );
+        before = after;
+    }
+
+    client.roundtrip(&protocol::op_request("shutdown"));
+    server.join();
+}

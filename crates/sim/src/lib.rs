@@ -268,6 +268,14 @@ pub struct MachineState {
 }
 
 impl MachineState {
+    /// Assembles a snapshot from parts — the inverse of
+    /// [`MachineState::ffs`] / [`MachineState::mems`] / *cycle*, used by
+    /// the symbolic explorer's subtree memo to reconstruct a recorded
+    /// post-fork state from a start state plus a word-level delta.
+    pub fn from_parts(ffs: Vec<Lv>, mems: Vec<Vec<XWord>>, cycle: u64) -> MachineState {
+        MachineState { ffs, mems, cycle }
+    }
+
     /// Simulation cycle at which the snapshot was taken.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -276,6 +284,11 @@ impl MachineState {
     /// Flip-flop values (ordered by the netlist's sequential gate list).
     pub fn ffs(&self) -> &[Lv] {
         &self.ffs
+    }
+
+    /// Memory contents, `[region][word]`, in the engine's region order.
+    pub fn mems(&self) -> &[Vec<XWord>] {
+        &self.mems
     }
 
     /// 64-bit content hash over flip-flops and memories (cycle excluded),
@@ -336,15 +349,57 @@ impl MachineState {
     }
 }
 
+/// One memory word a lane consulted while settling a cycle: the value of
+/// `regions[region][offset]` at read time. Emitted by the engine when
+/// [`Engine::set_mem_access_logging`] is on; the symbolic explorer's
+/// subtree memo collects these into a path's *read footprint* (the exact
+/// set of memory words its outcome depends on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRead {
+    /// Lane that performed the read.
+    pub lane: u8,
+    /// Region index within the engine's (per-lane) region set.
+    pub region: u16,
+    /// Word offset within the region.
+    pub offset: u32,
+    /// The word value observed.
+    pub value: XWord,
+}
+
+/// One memory word a lane stored to at a commit. Reads of a word the
+/// same path already wrote are *self-satisfied* and excluded from its
+/// footprint, so footprint consumers track these alongside [`MemRead`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemWrite {
+    /// Lane that performed the write.
+    pub lane: u8,
+    /// Region index within the engine's (per-lane) region set.
+    pub region: u16,
+    /// Word offset within the region.
+    pub offset: u32,
+}
+
 /// Reads `addr` from a region set, joining candidates when the address
 /// carries a bounded number of X bits (all-X past the bound, or when no
 /// region matches). Shared by the scalar and batched simulators.
-pub(crate) fn read_regions(mems: &[MemRegion], addr: XWord) -> XWord {
+///
+/// `sink` observes `(region index, word offset, value)` for every word
+/// actually consulted — reads whose result is independent of memory
+/// content (out-of-range, or an address too unknown to enumerate) emit
+/// nothing. The non-logging [`read_regions`] wrapper passes a no-op sink
+/// that monomorphizes away.
+pub(crate) fn read_regions_with<F: FnMut(u16, u32, XWord)>(
+    mems: &[MemRegion],
+    addr: XWord,
+    sink: &mut F,
+) -> XWord {
     match addr.to_u16() {
         Some(a) => {
-            for m in mems {
+            for (ri, m) in mems.iter().enumerate() {
                 if m.contains(a) {
-                    return m.read(a);
+                    let v = m.read(a);
+                    sink(ri as u16, ((a - m.base()) / 2) as u32, v);
+                    return v;
                 }
             }
             XWord::ALL_X
@@ -352,7 +407,7 @@ pub(crate) fn read_regions(mems: &[MemRegion], addr: XWord) -> XWord {
         None if addr.x_count() <= 4 => {
             let mut acc: Option<XWord> = None;
             for cand in enumerate_addresses(addr) {
-                let v = read_regions(mems, XWord::from_u16(cand));
+                let v = read_regions_with(mems, XWord::from_u16(cand), sink);
                 acc = Some(match acc {
                     None => v,
                     Some(prev) => prev.join(v),
@@ -364,19 +419,46 @@ pub(crate) fn read_regions(mems: &[MemRegion], addr: XWord) -> XWord {
     }
 }
 
+pub(crate) fn read_regions(mems: &[MemRegion], addr: XWord) -> XWord {
+    read_regions_with(mems, addr, &mut |_, _, _| {})
+}
+
 /// Applies one bus write to a region set: definite for `wen == 1`, joined
 /// ("maybe written") for `wen == X`, candidate-enumerated or smeared for
 /// X addresses. Shared by the scalar and batched simulators.
-pub(crate) fn write_regions(mems: &mut [MemRegion], wen: Lv, addr: XWord, wdata: XWord) {
+///
+/// `read_sink` / `write_sink` observe the words involved, for footprint
+/// consumers. A *joined* write stores `old.join(wdata)` — its result
+/// depends on the word's prior content, so the old value is reported as
+/// a read before the write; a definite overwrite reports only the write.
+pub(crate) fn write_regions_with<R, W>(
+    mems: &mut [MemRegion],
+    wen: Lv,
+    addr: XWord,
+    wdata: XWord,
+    read_sink: &mut R,
+    write_sink: &mut W,
+) where
+    R: FnMut(u16, u32, XWord),
+    W: FnMut(u16, u32),
+{
     if wen == Lv::Zero {
         return;
     }
     let maybe = wen == Lv::X;
     match addr.to_u16() {
         Some(a) => {
-            for m in mems.iter_mut() {
+            for (ri, m) in mems.iter_mut().enumerate() {
                 if m.contains(a) && m.kind() == RegionKind::Ram {
-                    let new = if maybe { m.read(a).join(wdata) } else { wdata };
+                    let off = ((a - m.base()) / 2) as u32;
+                    let new = if maybe {
+                        let old = m.read(a);
+                        read_sink(ri as u16, off, old);
+                        old.join(wdata)
+                    } else {
+                        wdata
+                    };
+                    write_sink(ri as u16, off);
                     m.write(a, new);
                 }
             }
@@ -384,25 +466,34 @@ pub(crate) fn write_regions(mems: &mut [MemRegion], wen: Lv, addr: XWord, wdata:
         None if addr.x_count() <= 4 => {
             // A bounded set of candidate addresses: each may be written.
             for cand in enumerate_addresses(addr) {
-                for m in mems.iter_mut() {
+                for (ri, m) in mems.iter_mut().enumerate() {
                     if m.contains(cand) && m.kind() == RegionKind::Ram {
-                        let new = m.read(cand).join(wdata);
-                        m.write(cand, new);
+                        let off = ((cand - m.base()) / 2) as u32;
+                        let old = m.read(cand);
+                        read_sink(ri as u16, off, old);
+                        write_sink(ri as u16, off);
+                        m.write(cand, old.join(wdata));
                     }
                 }
             }
         }
         None => {
             // Unknown address: conservatively smear all RAM regions.
-            for m in mems.iter_mut() {
+            for (ri, m) in mems.iter_mut().enumerate() {
                 if m.kind() == RegionKind::Ram {
-                    for w in m.data_mut() {
+                    for (off, w) in m.data_mut().iter_mut().enumerate() {
+                        read_sink(ri as u16, off as u32, *w);
+                        write_sink(ri as u16, off as u32);
                         *w = w.join(wdata);
                     }
                 }
             }
         }
     }
+}
+
+pub(crate) fn write_regions(mems: &mut [MemRegion], wen: Lv, addr: XWord, wdata: XWord) {
+    write_regions_with(mems, wen, addr, wdata, &mut |_, _, _| {}, &mut |_, _| {});
 }
 
 /// Enumerates all concrete addresses matching a partially-X address.
