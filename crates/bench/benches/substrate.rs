@@ -121,12 +121,89 @@ fn bench_batch_vs_scalar_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// Event-driven vs levelized vs compiled engine throughput on the same
+/// concrete tea8 run (identical frames — see
+/// `crates/sim/tests/differential.rs` and
+/// `crates/bench/tests/compiled_differential.rs`). One simulator per
+/// engine is built and program-loaded outside the timing loop and rewound
+/// by snapshot restore each iteration, so the numbers isolate the settle
+/// kernels: throughput is counted in gate-passes (cycles × comb gates,
+/// × 1 whichever lane width, since one pass covers all lanes word-wise).
+/// These are the `ns/gate-pass` rows recorded in `BENCH_sim.json`.
+fn bench_engine_comparison(c: &mut Criterion) {
+    use xbound_sim::EvalMode;
+    let cpu = Cpu::build().expect("builds");
+    let bench = xbound_benchsuite::by_name("tea8").expect("exists");
+    let program = bench.program().expect("assembles");
+    let cycles = 200u64;
+    let lanes = 32usize;
+    let inputs_of = |lane: usize| -> Vec<u16> {
+        (0..8)
+            .map(|i| (lane as u16).wrapping_mul(31).wrapping_add(i * 97))
+            .collect()
+    };
+    let modes = [
+        ("event_driven", EvalMode::EventDriven),
+        ("levelized", EvalMode::Levelized),
+        ("compiled", EvalMode::Compiled),
+    ];
+
+    let mut g = c.benchmark_group("engine_concrete_simulation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(
+        cycles * cpu.netlist().gate_count() as u64,
+    ));
+    for (name, mode) in modes {
+        let mut sim = cpu.new_sim();
+        sim.set_eval_mode(mode);
+        Cpu::load_program(&mut sim, &program, true);
+        Cpu::set_inputs(&mut sim, &inputs_of(0));
+        let start = sim.machine_state();
+        g.bench_function(format!("{name}_tea8_200_cycles"), |b| {
+            b.iter(|| {
+                sim.set_machine_state(&start);
+                for _ in 0..cycles {
+                    sim.step();
+                }
+                sim.cycle()
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("engine_batched_concrete_simulation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(
+        cycles * cpu.netlist().gate_count() as u64,
+    ));
+    for (name, mode) in modes {
+        let mut sim = cpu.new_batch_sim(lanes);
+        sim.set_eval_mode(mode);
+        Cpu::load_program_batch(&mut sim, &program, true);
+        for lane in 0..lanes {
+            Cpu::set_inputs_lane(&mut sim, lane, &inputs_of(lane));
+        }
+        let start = sim.machine_state();
+        g.bench_function(format!("{name}_tea8_32_lanes_200_cycles"), |b| {
+            b.iter(|| {
+                sim.set_machine_state(&start);
+                for _ in 0..cycles {
+                    sim.step();
+                }
+                sim.cycle()
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_gate_sim,
     bench_power_analysis,
     bench_assembler_and_liberty,
     bench_cpu_construction,
-    bench_batch_vs_scalar_sim
+    bench_batch_vs_scalar_sim,
+    bench_engine_comparison
 );
 criterion_main!(benches);

@@ -83,6 +83,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--oracle" => std::env::set_var("XBOUND_SIM_ENGINE", "levelized"),
+            "--compiled" => std::env::set_var("XBOUND_SIM_ENGINE", "compiled"),
             "--incremental" => incremental = true,
             "--threads" => {
                 threads = args
@@ -203,10 +204,7 @@ fn main() {
         println!("{}", row.line);
     }
     let total = t_suite.elapsed().as_secs_f64();
-    let engine = match xbound_sim::EvalMode::from_env() {
-        xbound_sim::EvalMode::EventDriven => "event-driven",
-        xbound_sim::EvalMode::Levelized => "levelized oracle",
-    };
+    let engine = xbound_core::sim_engine_name();
     println!(
         "suite: {} benchmarks in {total:.3} s ({} suite worker{}, engine: {engine}, batch lanes: {lane_width}, explore lanes: {explore_lane_width})",
         rows.len(),
@@ -245,14 +243,7 @@ fn main() {
         );
         let mut w = JsonWriter::pretty();
         w.begin_object();
-        w.field_str(
-            "engine",
-            if engine == "event-driven" {
-                "event-driven"
-            } else {
-                "levelized"
-            },
-        );
+        w.field_str("engine", engine);
         w.field_u64("threads", suite_workers as u64);
         w.field_u64("batch_lanes", lane_width as u64);
         w.field_u64("explore_lanes", explore_lane_width as u64);

@@ -1,0 +1,98 @@
+//! Differential test: the compiled (levelize + cone-dedup bytecode)
+//! engine against the default event-driven engine on the real MSP430
+//! benchmark suite.
+//!
+//! The acceptance bar of the compiled backend: for every benchmark and
+//! at explorer thread counts 1 and 3, the canonical bounds line, the
+//! `ExecutionTree` (segment shapes, parents, every per-cycle `Frame`),
+//! and the deterministic `ExploreStats` must be **byte-identical**
+//! whichever engine settles the gates.
+//!
+//! Engine selection goes through the real `XBOUND_SIM_ENGINE` knob, the
+//! same path production uses. The environment is process-global, so this
+//! file holds exactly one `#[test]` — its own test binary, its own
+//! process — and restores the variable before returning.
+
+use xbound_core::{
+    summary, BoundsReport, CoAnalysis, ExecutionTree, ExploreConfig, ExploreStats, UlpSystem,
+};
+
+fn assert_trees_identical(name: &str, cfg: &str, a: &ExecutionTree, b: &ExecutionTree) {
+    assert_eq!(
+        a.segments().len(),
+        b.segments().len(),
+        "{name} {cfg}: segment count"
+    );
+    for (i, (sa, sb)) in a.segments().iter().zip(b.segments()).enumerate() {
+        assert_eq!(
+            sa.start_cycle, sb.start_cycle,
+            "{name} {cfg}: seg {i} start"
+        );
+        assert_eq!(sa.parent, sb.parent, "{name} {cfg}: seg {i} parent");
+        assert_eq!(sa.end, sb.end, "{name} {cfg}: seg {i} end");
+        assert_eq!(sa.frames, sb.frames, "{name} {cfg}: seg {i} frames");
+    }
+}
+
+fn assert_stats_identical(name: &str, cfg: &str, a: &ExploreStats, b: &ExploreStats) {
+    assert_eq!(
+        a.deterministic(),
+        b.deterministic(),
+        "{name} {cfg}: deterministic stats"
+    );
+}
+
+/// One full co-analysis of `bench` under whatever engine
+/// `XBOUND_SIM_ENGINE` currently selects; returns the canonical bounds
+/// line plus the tree and stats.
+fn analyze(
+    sys: &UlpSystem,
+    bench: &xbound_benchsuite::Benchmark,
+    threads: usize,
+) -> (String, ExecutionTree, ExploreStats) {
+    let program = bench.program().expect("assembles");
+    let a = CoAnalysis::new(sys)
+        .config(ExploreConfig {
+            widen_threshold: bench.widen_threshold(),
+            max_total_cycles: 5_000_000,
+            threads,
+            ..ExploreConfig::default()
+        })
+        .energy_rounds(bench.energy_rounds())
+        .run(&program)
+        .expect("analysis succeeds");
+    let line = summary::bounds_line(bench.name(), &BoundsReport::from_analysis(&a));
+    (line, a.tree().clone(), a.stats())
+}
+
+/// Every benchmark, compiled vs event-driven, at explorer thread counts
+/// 1 and 3: bounds lines, execution trees, and deterministic stats are
+/// byte-identical.
+#[test]
+fn all_benchmarks_bound_identically_under_compiled_engine() {
+    // Belt and braces: the knob must not leak in from the environment,
+    // or the "event-driven" half of the comparison would silently test
+    // compiled-vs-compiled.
+    std::env::remove_var("XBOUND_SIM_ENGINE");
+    let sys = UlpSystem::openmsp430_class().expect("system builds");
+    for threads in [1usize, 3] {
+        let cfg = format!("threads={threads}");
+        for bench in xbound_benchsuite::all() {
+            std::env::remove_var("XBOUND_SIM_ENGINE");
+            let (line_ref, tree_ref, stats_ref) = analyze(&sys, bench, threads);
+
+            std::env::set_var("XBOUND_SIM_ENGINE", "compiled");
+            let (line_cmp, tree_cmp, stats_cmp) = analyze(&sys, bench, threads);
+            std::env::remove_var("XBOUND_SIM_ENGINE");
+
+            assert_eq!(
+                line_ref,
+                line_cmp,
+                "{} {cfg}: bounds line diverged",
+                bench.name()
+            );
+            assert_trees_identical(bench.name(), &cfg, &tree_ref, &tree_cmp);
+            assert_stats_identical(bench.name(), &cfg, &stats_ref, &stats_cmp);
+        }
+    }
+}

@@ -110,6 +110,21 @@ impl fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
+/// Human-readable name of the gate-evaluation engine the `XBOUND_SIM_ENGINE`
+/// environment variable currently selects (`event-driven` when unset).
+///
+/// Every driver that reports which engine served an analysis (the suite
+/// binaries, the co-analysis service's `stats`) goes through this helper;
+/// the engines themselves are result-neutral — bounds, trees, and stats are
+/// byte-identical across all of them.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value (see [`xbound_sim::EvalMode::parse`]).
+pub fn sim_engine_name() -> &'static str {
+    xbound_sim::EvalMode::from_env().name()
+}
+
 impl From<SimError> for AnalysisError {
     fn from(e: SimError) -> AnalysisError {
         AnalysisError::Sim(e)

@@ -1,0 +1,209 @@
+//! Word-wise run kernels for the compiled simulation backend.
+//!
+//! Each kernel evaluates one contiguous run of same-kind ops over a dense
+//! [`LaneVal`] slot array, driven by SoA operand-index slices (`out`/`a`/
+//! `b`/`c`, one `u32` per op). The caller dispatches **once per run**, not
+//! once per gate — inside a kernel there is no per-gate branching and no
+//! fanout-index chasing, just indexed loads, one word-wise [`LaneVal`]
+//! operation, and an indexed store.
+//!
+//! These are the same three-valued gate kernels the interpreting engines
+//! use ([`LaneVal::and`] & co.); a kernel is merely their batched,
+//! slot-indexed form, so the two backends cannot implement different gate
+//! algebra. `mask` is the caller's lane mask (kernels producing `1` bits
+//! must not set bits above the live lanes — same contract as
+//! [`LaneVal::not`]).
+
+use crate::batch::LaneVal;
+use crate::Lv;
+
+#[inline]
+fn s(x: u32) -> usize {
+    x as usize
+}
+
+/// `out[i] = 0` (three-valued constant zero).
+pub fn run_tie0(slots: &mut [LaneVal], out: &[u32]) {
+    for &o in out {
+        slots[s(o)] = LaneVal::ZERO;
+    }
+}
+
+/// `out[i] = 1` in every live lane.
+pub fn run_tie1(slots: &mut [LaneVal], out: &[u32], mask: u64) {
+    let one = LaneVal::splat(Lv::One, mask);
+    for &o in out {
+        slots[s(o)] = one;
+    }
+}
+
+/// `out[i] = a[i]` (buffer copy; emitted only for force-cut slots — plain
+/// buffers fold away at compile time).
+pub fn run_buf(slots: &mut [LaneVal], out: &[u32], a: &[u32]) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])];
+    }
+}
+
+/// `out[i] = !a[i]`.
+pub fn run_inv(slots: &mut [LaneVal], out: &[u32], a: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].not(mask);
+    }
+}
+
+/// `out[i] = a[i] & b[i]`.
+pub fn run_and2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32]) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].and(slots[s(b[i])]);
+    }
+}
+
+/// `out[i] = a[i] | b[i]`.
+pub fn run_or2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32]) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].or(slots[s(b[i])]);
+    }
+}
+
+/// `out[i] = !(a[i] & b[i])`.
+pub fn run_nand2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].nand(slots[s(b[i])], mask);
+    }
+}
+
+/// `out[i] = !(a[i] | b[i])`.
+pub fn run_nor2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].nor(slots[s(b[i])], mask);
+    }
+}
+
+/// `out[i] = a[i] ^ b[i]`.
+pub fn run_xor2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32]) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].xor(slots[s(b[i])]);
+    }
+}
+
+/// `out[i] = !(a[i] ^ b[i])`.
+pub fn run_xnor2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = slots[s(a[i])].xnor(slots[s(b[i])], mask);
+    }
+}
+
+/// `out[i] = c[i] ? b[i] : a[i]` (2:1 mux; `c` is the select).
+pub fn run_mux2(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], c: &[u32]) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = LaneVal::mux(slots[s(c[i])], slots[s(a[i])], slots[s(b[i])]);
+    }
+}
+
+/// `out[i] = !((a[i] & b[i]) | c[i])`.
+pub fn run_aoi21(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], c: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = LaneVal::aoi21(slots[s(a[i])], slots[s(b[i])], slots[s(c[i])], mask);
+    }
+}
+
+/// `out[i] = !((a[i] | b[i]) & c[i])`.
+pub fn run_oai21(slots: &mut [LaneVal], out: &[u32], a: &[u32], b: &[u32], c: &[u32], mask: u64) {
+    for i in 0..out.len() {
+        slots[s(out[i])] = LaneVal::oai21(slots[s(a[i])], slots[s(b[i])], slots[s(c[i])], mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Lv; 3] = [Lv::Zero, Lv::One, Lv::X];
+
+    /// Every (a, b) lane combination packed into one LaneVal pair.
+    fn pairs() -> (LaneVal, LaneVal, u64) {
+        let mut a = LaneVal::ZERO;
+        let mut b = LaneVal::ZERO;
+        let mut l = 0;
+        for &va in &ALL {
+            for &vb in &ALL {
+                a.set(l, va);
+                b.set(l, vb);
+                l += 1;
+            }
+        }
+        (a, b, (1u64 << l) - 1)
+    }
+
+    /// Each run kernel must agree with the word-wise `LaneVal` op it wraps,
+    /// through an out-of-order index map.
+    #[test]
+    fn kernels_match_word_ops() {
+        let (a, b, mask) = pairs();
+        let c = a.xor(b);
+        // Slots: [a, b, c, out0, out1]; two ops with swapped operand order.
+        let base = [a, b, c, LaneVal::ZERO, LaneVal::ZERO];
+        let out = [3u32, 4];
+        let ia = [0u32, 1];
+        let ib = [1u32, 0];
+        let ic = [2u32, 2];
+
+        let mut slots = base;
+        run_and2(&mut slots, &out, &ia, &ib);
+        assert_eq!(slots[3], a.and(b));
+        assert_eq!(slots[4], b.and(a));
+
+        let mut slots = base;
+        run_nand2(&mut slots, &out, &ia, &ib, mask);
+        assert_eq!(slots[3], a.nand(b, mask));
+
+        let mut slots = base;
+        run_or2(&mut slots, &out, &ia, &ib);
+        assert_eq!(slots[3], a.or(b));
+
+        let mut slots = base;
+        run_nor2(&mut slots, &out, &ia, &ib, mask);
+        assert_eq!(slots[4], b.nor(a, mask));
+
+        let mut slots = base;
+        run_xor2(&mut slots, &out, &ia, &ib);
+        assert_eq!(slots[3], a.xor(b));
+
+        let mut slots = base;
+        run_xnor2(&mut slots, &out, &ia, &ib, mask);
+        assert_eq!(slots[3], a.xnor(b, mask));
+
+        let mut slots = base;
+        run_inv(&mut slots, &out, &ia, mask);
+        assert_eq!(slots[3], a.not(mask));
+        assert_eq!(slots[4], b.not(mask));
+
+        let mut slots = base;
+        run_buf(&mut slots, &out, &ia);
+        assert_eq!(slots[3], a);
+
+        let mut slots = base;
+        run_mux2(&mut slots, &out, &ia, &ib, &ic);
+        assert_eq!(slots[3], LaneVal::mux(c, a, b));
+        assert_eq!(slots[4], LaneVal::mux(c, b, a));
+
+        let mut slots = base;
+        run_aoi21(&mut slots, &out, &ia, &ib, &ic, mask);
+        assert_eq!(slots[3], LaneVal::aoi21(a, b, c, mask));
+
+        let mut slots = base;
+        run_oai21(&mut slots, &out, &ia, &ib, &ic, mask);
+        assert_eq!(slots[4], LaneVal::oai21(b, a, c, mask));
+
+        let mut slots = base;
+        run_tie0(&mut slots, &out);
+        assert_eq!(slots[3], LaneVal::ZERO);
+
+        let mut slots = base;
+        run_tie1(&mut slots, &out, mask);
+        assert_eq!(slots[4], LaneVal::splat(Lv::One, mask));
+        // Tie1 must not set bits above the lane mask.
+        assert_eq!(slots[4].val & !mask, 0);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod batch;
 mod frame;
+pub mod kernels;
 mod word;
 
 pub use batch::{BatchFrame, LaneVal, MAX_LANES};

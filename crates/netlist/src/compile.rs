@@ -1,0 +1,710 @@
+//! One-time compilation of a finalized netlist into a flat, structurally
+//! deduplicated SoA program for the simulator's compiled backend.
+//!
+//! The builder walks the combinational gates in topological order and
+//! hash-conses every gate into a **value class**: two gates land in the same
+//! class exactly when they have the same [`CellKind`] and (canonicalized)
+//! operand classes — i.e. when their input cones are structurally identical
+//! all the way down to the *same* leaf nets. Leaves (primary inputs,
+//! flip-flop outputs, and any other net without a combinational driver) each
+//! get a unique class salted by their [`NetId`], so cones that differ only in
+//! which flip-flop or which bus/input net feeds them are **never** merged —
+//! dedup is common-subexpression elimination over the netlist, not code
+//! sharing across distinct data.
+//!
+//! The output is a flat program over a dense slot array (one slot per
+//! class):
+//!
+//! * a **gather** list mapping leaf nets to slots (filled from the frame
+//!   before execution),
+//! * **steps** — contiguous [`OpRun`]s of a single cell kind, emitted
+//!   level-major (kind-grouped within each logic level, so the executor
+//!   dispatches once per run, not once per gate), interleaved with
+//!   [`Step::ForceFixup`] markers for *cut* slots (see below),
+//! * SoA operand index arrays (`out`/`a`/`b`/`c`, one `u32` per op), and
+//! * a **scatter** list mapping every combinationally driven net to the slot
+//!   holding its value (written back to the frame after execution).
+//!
+//! This crate knows nothing about lane values; the executor over
+//! `LaneVal` slots lives in the simulator crate.
+//!
+//! # Force cuts
+//!
+//! Class sharing assumes a net's value is a pure function of its cone. A
+//! simulator *force* on a combinationally driven net breaks that: the forced
+//! net must diverge from structurally identical siblings, and downstream
+//! readers must see the forced value. Callers pass such nets as `cuts`: a
+//! cut net always gets a fresh, unshared class (its op is excluded from
+//! hash-consing, and a `Buf`/`Tie` driving it is materialized instead of
+//! folded), and the program records a [`Step::ForceFixup`] after the level
+//! that computes it so the executor can overwrite the slot before any
+//! higher-level op reads it (readers are always at a strictly higher level).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::{CellKind, NetId, Netlist};
+
+/// A contiguous run of ops of one cell kind (indices into [`OpArrays`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRun {
+    /// The cell kind every op in the run evaluates.
+    pub kind: CellKind,
+    /// First op index (inclusive).
+    pub start: u32,
+    /// Number of ops in the run.
+    pub len: u32,
+}
+
+/// One step of the compiled program, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Evaluate a kind-homogeneous run of ops.
+    Run(OpRun),
+    /// Apply the engine's per-net force to a cut slot before any
+    /// higher-level op reads it.
+    ForceFixup {
+        /// The forced (cut) net.
+        net: NetId,
+        /// The slot holding its value.
+        slot: u32,
+    },
+}
+
+/// Structure-of-arrays operand indices, one entry per op.
+///
+/// Unused operand positions hold `0`; `out[i]` is always the op's
+/// destination slot.
+#[derive(Debug, Clone, Default)]
+pub struct OpArrays {
+    /// Destination slot per op.
+    pub out: Vec<u32>,
+    /// First operand slot per op.
+    pub a: Vec<u32>,
+    /// Second operand slot per op.
+    pub b: Vec<u32>,
+    /// Third operand slot per op.
+    pub c: Vec<u32>,
+}
+
+/// Compilation statistics (dedup effectiveness, program shape).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Combinational gates in the source netlist.
+    pub comb_gates: usize,
+    /// Ops in the compiled program (after dedup and folding).
+    pub ops: usize,
+    /// Gates that reused an existing class (structural duplicates).
+    pub deduped: usize,
+    /// `Buf`/`Tie` gates folded into their operand / a shared constant.
+    pub folded: usize,
+    /// Leaf slots gathered from the frame.
+    pub leaves: usize,
+    /// Logic levels in the program.
+    pub levels: usize,
+    /// Force-cut slots.
+    pub cuts: usize,
+}
+
+/// A netlist compiled to a flat, deduplicated slot program.
+///
+/// Built once per (netlist, cut set) by [`compile`]; executed every cycle by
+/// the simulator's compiled backend.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    slot_count: u32,
+    gather: Vec<(NetId, u32)>,
+    steps: Vec<Step>,
+    ops: OpArrays,
+    scatter: Vec<(NetId, u32)>,
+    stats: CompileStats,
+}
+
+impl CompiledNetlist {
+    /// Number of value slots (classes) the executor must allocate.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count as usize
+    }
+
+    /// Leaf `(net, slot)` pairs to gather from the frame before execution.
+    pub fn gather(&self) -> &[(NetId, u32)] {
+        &self.gather
+    }
+
+    /// The program steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The SoA operand arrays indexed by [`OpRun`] ranges.
+    pub fn ops(&self) -> &OpArrays {
+        &self.ops
+    }
+
+    /// `(net, slot)` pairs to scatter back into the frame after execution —
+    /// every combinationally driven net, in ascending net order.
+    pub fn scatter(&self) -> &[(NetId, u32)] {
+        &self.scatter
+    }
+
+    /// Compilation statistics.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Total op count (sum over all runs).
+    pub fn op_count(&self) -> usize {
+        self.ops.out.len()
+    }
+
+    /// Restricts the program to the cone transitively reachable from the
+    /// given leaf nets — the sub-program that must re-run when only those
+    /// leaves changed since the last full execution.
+    ///
+    /// The returned program shares this program's slot numbering (run it
+    /// over the same slot array, whose untouched slots still hold valid
+    /// values from the full pass): its gather list is the subset of leaf
+    /// slots fed by `leaves`, its steps re-evaluate exactly the tainted
+    /// classes (force fixups of untainted cut slots are dropped — their
+    /// slots are not rewritten), and its scatter writes back only nets
+    /// whose class is tainted. Leaves the program never reads are ignored.
+    ///
+    /// The simulator uses this for bus read-data settling: after a full
+    /// pass, each settle iteration rewrites only the read-data nets, so
+    /// only their cone needs re-evaluating.
+    pub fn cone_from_leaves(&self, leaves: &[NetId]) -> CompiledNetlist {
+        let want: BTreeSet<NetId> = leaves.iter().copied().collect();
+        let mut tainted = vec![false; self.slot_count as usize];
+        let mut gather = Vec::new();
+        for &(net, slot) in &self.gather {
+            if want.contains(&net) {
+                tainted[slot as usize] = true;
+                gather.push((net, slot));
+            }
+        }
+        let mut ops = OpArrays::default();
+        let mut steps = Vec::new();
+        let mut levels = 0usize;
+        let mut cuts = 0usize;
+        for step in &self.steps {
+            match *step {
+                Step::Run(r) => {
+                    let start = ops.out.len() as u32;
+                    for i in r.start..r.start + r.len {
+                        let i = i as usize;
+                        let k = r.kind.input_count();
+                        let hit = (k >= 1 && tainted[self.ops.a[i] as usize])
+                            || (k >= 2 && tainted[self.ops.b[i] as usize])
+                            || (k >= 3 && tainted[self.ops.c[i] as usize]);
+                        if !hit {
+                            continue;
+                        }
+                        tainted[self.ops.out[i] as usize] = true;
+                        ops.out.push(self.ops.out[i]);
+                        ops.a.push(self.ops.a[i]);
+                        ops.b.push(self.ops.b[i]);
+                        ops.c.push(self.ops.c[i]);
+                    }
+                    let len = ops.out.len() as u32 - start;
+                    if len > 0 {
+                        steps.push(Step::Run(OpRun {
+                            kind: r.kind,
+                            start,
+                            len,
+                        }));
+                    }
+                }
+                Step::ForceFixup { net, slot } => {
+                    // Only re-forced when its op re-ran; otherwise the slot
+                    // still holds the forced value from the full pass.
+                    if tainted[slot as usize] {
+                        steps.push(Step::ForceFixup { net, slot });
+                        cuts += 1;
+                    }
+                }
+            }
+        }
+        let scatter: Vec<(NetId, u32)> = self
+            .scatter
+            .iter()
+            .copied()
+            .filter(|&(_, slot)| tainted[slot as usize])
+            .collect();
+        for step in &steps {
+            if let Step::Run(_) = step {
+                levels += 1; // runs per (level, kind); an upper bound is fine
+            }
+        }
+        let stats = CompileStats {
+            comb_gates: self.stats.comb_gates,
+            ops: ops.out.len(),
+            deduped: 0,
+            folded: 0,
+            leaves: gather.len(),
+            levels,
+            cuts,
+        };
+        CompiledNetlist {
+            slot_count: self.slot_count,
+            gather,
+            steps,
+            ops,
+            scatter,
+            stats,
+        }
+    }
+}
+
+/// `a`/`b` operands that commute (including the AND/OR pair inside
+/// AOI21/OAI21; the `c` leg and the mux select/data legs do not commute).
+fn ab_commutes(kind: CellKind) -> bool {
+    matches!(
+        kind,
+        CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::Aoi21
+            | CellKind::Oai21
+    )
+}
+
+/// Compiles a finalized netlist into a deduplicated slot program.
+///
+/// `cuts` names combinationally driven nets that must keep an unshared slot
+/// (because the simulator may force them); pass an empty set when no
+/// interior net is forced.
+///
+/// # Panics
+///
+/// Panics if the netlist has not been finalized.
+pub fn compile(nl: &Netlist, cuts: &BTreeSet<NetId>) -> CompiledNetlist {
+    assert!(nl.is_finalized(), "netlist not finalized");
+    let mut stats = CompileStats {
+        comb_gates: nl.topo_order().len(),
+        ..CompileStats::default()
+    };
+
+    // class id -> logic level (leaves and constants are level 0).
+    let mut class_level: Vec<u32> = Vec::new();
+    // net -> class holding its settled value (combinational outputs + leaves).
+    let mut class_of_net: Vec<Option<u32>> = vec![None; nl.net_count()];
+    let mut gather: Vec<(NetId, u32)> = Vec::new();
+    // Hash-cons table: (kind, canonical operand classes) -> class.
+    let mut cse: HashMap<(CellKind, [u32; 3]), u32> = HashMap::new();
+    // Pending ops bucketed by (level, kind) for level-major, kind-grouped
+    // emission: [out, a, b, c] per op.
+    let mut pending: Vec<BTreeMap<CellKind, Vec<[u32; 4]>>> = Vec::new();
+    let mut fixups: Vec<Vec<(NetId, u32)>> = Vec::new();
+
+    let new_class = |class_level: &mut Vec<u32>, level: u32| -> u32 {
+        let c = class_level.len() as u32;
+        class_level.push(level);
+        c
+    };
+
+    for &gid in nl.topo_order() {
+        let gate = nl.gate(gid);
+        let kind = gate.kind();
+        // Resolve operand classes; nets without a combinational driver are
+        // leaves, salted by net id (never shared between distinct nets).
+        let mut operands = [0u32; 3];
+        let mut op_level = 0u32;
+        for (i, &inp) in gate.inputs().iter().enumerate() {
+            let class = match class_of_net[inp.index()] {
+                Some(c) => c,
+                None => {
+                    let c = new_class(&mut class_level, 0);
+                    class_of_net[inp.index()] = Some(c);
+                    gather.push((inp, c));
+                    c
+                }
+            };
+            operands[i] = class;
+            op_level = op_level.max(class_level[class as usize] + 1);
+        }
+        if kind.input_count() == 0 {
+            // Constants sit at level 0.
+            op_level = 0;
+        }
+        let out = gate.output();
+        let is_cut = cuts.contains(&out);
+
+        if !is_cut {
+            // Folding and hash-consing only apply to uncut gates.
+            if kind == CellKind::Buf {
+                class_of_net[out.index()] = Some(operands[0]);
+                stats.folded += 1;
+                continue;
+            }
+            let mut key_ops = operands;
+            if ab_commutes(kind) && key_ops[0] > key_ops[1] {
+                key_ops.swap(0, 1);
+            }
+            if let Some(&c) = cse.get(&(kind, key_ops)) {
+                class_of_net[out.index()] = Some(c);
+                if matches!(kind, CellKind::Tie0 | CellKind::Tie1) {
+                    stats.folded += 1;
+                } else {
+                    stats.deduped += 1;
+                }
+                continue;
+            }
+            let c = new_class(&mut class_level, op_level);
+            cse.insert((kind, key_ops), c);
+            class_of_net[out.index()] = Some(c);
+            push_op(
+                &mut pending,
+                op_level,
+                kind,
+                [c, operands[0], operands[1], operands[2]],
+            );
+        } else {
+            // Cut: fresh unshared class, op materialized (even Buf/Tie),
+            // excluded from the cse table, force applied after its level.
+            let c = new_class(&mut class_level, op_level);
+            class_of_net[out.index()] = Some(c);
+            push_op(
+                &mut pending,
+                op_level,
+                kind,
+                [c, operands[0], operands[1], operands[2]],
+            );
+            if fixups.len() <= op_level as usize {
+                fixups.resize(op_level as usize + 1, Vec::new());
+            }
+            fixups[op_level as usize].push((out, c));
+            stats.cuts += 1;
+        }
+    }
+
+    // Emit: level-major, kind-grouped runs, with each level's force fixups
+    // after its runs (readers of a net are always at a strictly higher
+    // level than its driver, so the fixed-up value is what they see).
+    let mut ops = OpArrays::default();
+    let mut steps = Vec::new();
+    for (level, buckets) in pending.iter().enumerate() {
+        for (&kind, items) in buckets {
+            let start = ops.out.len() as u32;
+            for &[o, a, b, c] in items {
+                ops.out.push(o);
+                ops.a.push(a);
+                ops.b.push(b);
+                ops.c.push(c);
+            }
+            steps.push(Step::Run(OpRun {
+                kind,
+                start,
+                len: items.len() as u32,
+            }));
+        }
+        if let Some(fx) = fixups.get(level) {
+            for &(net, slot) in fx {
+                steps.push(Step::ForceFixup { net, slot });
+            }
+        }
+    }
+
+    // Scatter every combinationally driven net, ascending net order.
+    let mut scatter = Vec::new();
+    for (i, class) in class_of_net.iter().enumerate() {
+        let net = NetId(i as u32);
+        let comb_driven = nl
+            .driver_of(net)
+            .is_some_and(|g| !nl.gate(g).kind().is_sequential());
+        if comb_driven {
+            scatter.push((net, class.expect("comb net has a class")));
+        }
+    }
+
+    stats.ops = ops.out.len();
+    stats.leaves = gather.len();
+    stats.levels = pending.len();
+    CompiledNetlist {
+        slot_count: class_level.len() as u32,
+        gather,
+        steps,
+        ops,
+        scatter,
+        stats,
+    }
+}
+
+fn push_op(
+    pending: &mut Vec<BTreeMap<CellKind, Vec<[u32; 4]>>>,
+    level: u32,
+    kind: CellKind,
+    op: [u32; 4],
+) {
+    if pending.len() <= level as usize {
+        pending.resize(level as usize + 1, BTreeMap::new());
+    }
+    pending[level as usize].entry(kind).or_default().push(op);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two structurally identical AND-OR cones over the *same* leaf nets
+    /// share one op block; a third cone over different leaves does not.
+    #[test]
+    fn identical_cones_share_one_block() {
+        let mut nl = Netlist::new("dedup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let t1 = nl.add_net("t1");
+        let t2 = nl.add_net("t2");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        // Cone 1 and cone 2: (a & b) | c — identical structure, same leaves.
+        nl.add_gate(CellKind::And2, "g1", &[a, b], t1).unwrap();
+        nl.add_gate(CellKind::Or2, "g2", &[t1, c], y1).unwrap();
+        nl.add_gate(CellKind::And2, "g3", &[b, a], t2).unwrap();
+        nl.add_gate(CellKind::Or2, "g4", &[t2, c], y2).unwrap();
+        nl.add_output("y1", y1);
+        nl.add_output("y2", y2);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        // One AND op + one OR op — the second cone dedups entirely (note the
+        // commuted AND operands still merge).
+        assert_eq!(p.op_count(), 2, "identical cones must share one block");
+        assert_eq!(p.stats().deduped, 2);
+        // Both outputs scatter from the same slot.
+        let slot_of = |net: NetId| {
+            p.scatter()
+                .iter()
+                .find(|(n, _)| *n == net)
+                .map(|&(_, s)| s)
+                .unwrap()
+        };
+        assert_eq!(slot_of(y1), slot_of(y2));
+        // All four comb nets are scattered (t1/t2 share, y1/y2 share).
+        assert_eq!(p.scatter().len(), 4);
+    }
+
+    /// Cones that differ only in which flip-flop feeds them never merge:
+    /// leaves are salted by net id.
+    #[test]
+    fn cones_on_distinct_ff_outputs_do_not_merge() {
+        let mut nl = Netlist::new("ff");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q1 = nl.add_net("q1");
+        let q2 = nl.add_net("q2");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        // Two flip-flops with identical input cones (same d, same en) but
+        // distinct outputs — e.g. they could be initialized differently.
+        nl.add_gate(CellKind::Dffe, "f1", &[d, en], q1).unwrap();
+        nl.add_gate(CellKind::Dffe, "f2", &[d, en], q2).unwrap();
+        // Structurally identical inverters hanging off each FF.
+        nl.add_gate(CellKind::Inv, "i1", &[q1], y1).unwrap();
+        nl.add_gate(CellKind::Inv, "i2", &[q2], y2).unwrap();
+        nl.add_output("y1", y1);
+        nl.add_output("y2", y2);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        assert_eq!(p.op_count(), 2, "distinct FF leaves must not merge");
+        assert_eq!(p.stats().deduped, 0);
+        assert_eq!(p.stats().leaves, 2, "q1 and q2 gather separately");
+    }
+
+    /// Cones that differ only in which primary input (e.g. a bus read-data
+    /// net vs a plain port net) feeds them never merge.
+    #[test]
+    fn cones_on_distinct_inputs_do_not_merge() {
+        let mut nl = Netlist::new("inp");
+        let rdata = nl.add_input("rdata0"); // bus-owned in the simulator
+        let port = nl.add_input("port0"); // plain input
+        let shared = nl.add_input("shared");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        nl.add_gate(CellKind::Xor2, "x1", &[rdata, shared], y1)
+            .unwrap();
+        nl.add_gate(CellKind::Xor2, "x2", &[port, shared], y2)
+            .unwrap();
+        nl.add_output("y1", y1);
+        nl.add_output("y2", y2);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        assert_eq!(p.op_count(), 2, "distinct input leaves must not merge");
+        assert_eq!(p.stats().deduped, 0);
+    }
+
+    /// Buf gates fold into their operand's class; Tie constants share one
+    /// class per polarity.
+    #[test]
+    fn buf_and_tie_fold() {
+        let mut nl = Netlist::new("fold");
+        let a = nl.add_input("a");
+        let b1 = nl.add_net("b1");
+        let b2 = nl.add_net("b2");
+        let z1 = nl.add_net("z1");
+        let z2 = nl.add_net("z2");
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Buf, "u1", &[a], b1).unwrap();
+        nl.add_gate(CellKind::Buf, "u2", &[b1], b2).unwrap();
+        nl.add_gate(CellKind::Tie0, "t1", &[], z1).unwrap();
+        nl.add_gate(CellKind::Tie0, "t2", &[], z2).unwrap();
+        nl.add_gate(CellKind::Or2, "o", &[b2, z1], y).unwrap();
+        nl.add_output("y", y);
+        nl.add_output("z2", z2);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        // One Tie0 op + one Or2 op; both Bufs and the second Tie0 fold.
+        assert_eq!(p.op_count(), 2);
+        assert_eq!(p.stats().folded, 3);
+        // b1/b2 scatter from a's leaf slot; z1/z2 from the shared constant.
+        let slot_of = |net: NetId| {
+            p.scatter()
+                .iter()
+                .find(|(n, _)| *n == net)
+                .map(|&(_, s)| s)
+                .unwrap()
+        };
+        assert_eq!(slot_of(b1), slot_of(b2));
+        assert_eq!(slot_of(z1), slot_of(z2));
+    }
+
+    /// A cut net gets a fresh, unshared class even when an identical
+    /// sibling exists, and the program records its force fixup.
+    #[test]
+    fn cut_nets_never_share_and_emit_fixups() {
+        let mut nl = Netlist::new("cut");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        let z = nl.add_net("z");
+        nl.add_gate(CellKind::And2, "g1", &[a, b], y1).unwrap();
+        nl.add_gate(CellKind::And2, "g2", &[a, b], y2).unwrap();
+        nl.add_gate(CellKind::Inv, "g3", &[y2], z).unwrap();
+        nl.add_output("y1", y1);
+        nl.add_output("z", z);
+        let nl = nl.finalize().unwrap();
+
+        let uncut = compile(&nl, &BTreeSet::new());
+        assert_eq!(uncut.op_count(), 2, "AND dedups, plus the inverter");
+
+        let cuts: BTreeSet<NetId> = [y2].into_iter().collect();
+        let cut = compile(&nl, &cuts);
+        assert_eq!(cut.op_count(), 3, "cut AND must not share");
+        assert_eq!(cut.stats().cuts, 1);
+        let fixup = cut
+            .steps()
+            .iter()
+            .find_map(|s| match s {
+                Step::ForceFixup { net, slot } => Some((*net, *slot)),
+                _ => None,
+            })
+            .expect("cut emits a fixup");
+        assert_eq!(fixup.0, y2);
+        // The fixup must precede the inverter's run (its only reader).
+        let fixup_pos = cut
+            .steps()
+            .iter()
+            .position(|s| matches!(s, Step::ForceFixup { .. }))
+            .unwrap();
+        let inv_pos = cut
+            .steps()
+            .iter()
+            .position(|s| matches!(s, Step::Run(r) if r.kind == CellKind::Inv))
+            .unwrap();
+        assert!(fixup_pos < inv_pos, "fixup must run before readers");
+        // The cut slot is the inverter's operand.
+        let inv_run = cut
+            .steps()
+            .iter()
+            .find_map(|s| match s {
+                Step::Run(r) if r.kind == CellKind::Inv => Some(*r),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cut.ops().a[inv_run.start as usize], fixup.1);
+    }
+
+    /// The cone restriction keeps exactly the ops transitively reachable
+    /// from the requested leaves, and scatters only their nets.
+    #[test]
+    fn cone_from_leaves_restricts_to_reachable_ops() {
+        let mut nl = Netlist::new("cone");
+        let rd = nl.add_input("rdata0");
+        let other = nl.add_input("other");
+        let t = nl.add_net("t");
+        let u = nl.add_net("u");
+        let v = nl.add_net("v");
+        // rd feeds t feeds u; `other` feeds v independently.
+        nl.add_gate(CellKind::Inv, "g1", &[rd], t).unwrap();
+        nl.add_gate(CellKind::And2, "g2", &[t, other], u).unwrap();
+        nl.add_gate(CellKind::Inv, "g3", &[other], v).unwrap();
+        nl.add_output("u", u);
+        nl.add_output("v", v);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        assert_eq!(p.op_count(), 3);
+
+        let cone = p.cone_from_leaves(&[rd]);
+        // g3 is outside the cone; g1 and g2 re-run.
+        assert_eq!(cone.op_count(), 2, "only rd's cone re-runs");
+        assert_eq!(cone.gather().len(), 1, "only rd's leaf slot re-gathers");
+        assert_eq!(cone.gather()[0].0, rd);
+        let cone_nets: Vec<NetId> = cone.scatter().iter().map(|&(n, _)| n).collect();
+        assert_eq!(cone_nets, vec![t, u], "v's slot is untouched");
+        // Same slot numbering as the full program.
+        assert_eq!(cone.slot_count(), p.slot_count());
+
+        // A net that is not a leaf of the program yields an empty cone.
+        let empty = p.cone_from_leaves(&[u]);
+        assert_eq!(empty.op_count(), 0);
+        assert!(empty.scatter().is_empty());
+    }
+
+    /// Runs are kind-homogeneous and level-major: no op reads a slot written
+    /// by a later op.
+    #[test]
+    fn program_is_topologically_ordered() {
+        let mut nl = Netlist::new("order");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut prev = a;
+        for i in 0..6 {
+            let t = nl.add_net(format!("t{i}"));
+            let kind = if i % 2 == 0 {
+                CellKind::Nand2
+            } else {
+                CellKind::Xor2
+            };
+            nl.add_gate(kind, format!("g{i}"), &[prev, b], t).unwrap();
+            prev = t;
+        }
+        nl.add_output("y", prev);
+        let nl = nl.finalize().unwrap();
+        let p = compile(&nl, &BTreeSet::new());
+        let mut written: Vec<bool> = vec![false; p.slot_count()];
+        for &(_, slot) in p.gather() {
+            written[slot as usize] = true;
+        }
+        for step in p.steps() {
+            if let Step::Run(r) = step {
+                for i in r.start..r.start + r.len {
+                    let i = i as usize;
+                    let k = r.kind.input_count();
+                    let used: &[u32] = match k {
+                        0 => &[],
+                        1 => std::slice::from_ref(&p.ops().a[i]),
+                        2 => &[p.ops().a[i], p.ops().b[i]][..],
+                        _ => &[p.ops().a[i], p.ops().b[i], p.ops().c[i]][..],
+                    };
+                    for &s in used {
+                        assert!(written[s as usize], "op reads unwritten slot");
+                    }
+                    written[p.ops().out[i] as usize] = true;
+                }
+            }
+        }
+        assert!(written.iter().all(|&w| w), "every slot is written");
+    }
+}

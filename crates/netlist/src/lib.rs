@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod rtl;
 pub mod verilog;
 

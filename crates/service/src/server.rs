@@ -287,6 +287,10 @@ impl Service {
         w.field_u64("cache_misses", misses);
         w.field_u64("coalesced", self.scheduler.coalesced());
         w.field_u64("analyses_run", self.scheduler.analyses_run());
+        // Which gate-eval engine serves analyses (result-neutral: cached
+        // and fresh answers are byte-identical across engines, so it is
+        // telemetry, not key material).
+        w.field_str("sim_engine", xbound_core::sim_engine_name());
         let memo = self.scheduler.memo_stats();
         w.field_bool("memo_enabled", self.scheduler.memo_enabled());
         w.field_u64("memo_entries", self.scheduler.memo_entries() as u64);

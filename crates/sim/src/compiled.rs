@@ -1,0 +1,150 @@
+//! The compiled backend's executor: a [`CompiledNetlist`] program (built
+//! once per (netlist, cut set) by `xbound_netlist::compile`) plus the dense
+//! [`LaneVal`] slot array it evaluates over.
+//!
+//! A settle in compiled mode is gather → execute → scatter:
+//!
+//! 1. **gather** copies every leaf slot (primary inputs, flip-flop outputs)
+//!    out of the engine's frame — after the engine applied drives, reset,
+//!    and forces to those nets, so leaf forces flow in for free;
+//! 2. **execute** runs the program's kind-homogeneous op runs in level
+//!    order through the word-wise run kernels in `xbound_logic::kernels`
+//!    (one dispatch per run, no per-gate branching), applying force fixups
+//!    to cut slots between levels;
+//! 3. the engine **scatters** every combinationally driven net's slot back
+//!    into the frame through its levelized store (change-logged,
+//!    scalar-mirrored), which is what makes the result byte-identical to
+//!    the interpreting engines.
+//!
+//! When the engine has a bus, the executor also carries the **read-data
+//! cone** ([`CompiledNetlist::cone_from_leaves`] of the rdata nets): each
+//! bus settle iteration rewrites only the read-data nets, so only their
+//! cone re-runs over the same slot array — untouched slots still hold the
+//! full pass's values.
+
+use std::collections::BTreeSet;
+
+use xbound_logic::{kernels, BatchFrame, LaneVal};
+use xbound_netlist::compile::{compile, CompileStats, CompiledNetlist, Step};
+use xbound_netlist::{CellKind, NetId, Netlist};
+
+use crate::engine::LaneForce;
+
+/// A compiled program and its slot state, owned by one engine.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledExec {
+    program: CompiledNetlist,
+    /// Sub-program re-run per bus settle iteration (empty leaf set — and
+    /// therefore an empty program — when the engine has no bus).
+    rdata_cone: CompiledNetlist,
+    slots: Vec<LaneVal>,
+}
+
+impl CompiledExec {
+    /// Compiles `nl` with the given force-cut set; `rdata` names the
+    /// bus-owned read-data nets whose cone re-runs during bus settling.
+    pub(crate) fn new(nl: &Netlist, cuts: &BTreeSet<NetId>, rdata: &[NetId]) -> CompiledExec {
+        let program = compile(nl, cuts);
+        let rdata_cone = program.cone_from_leaves(rdata);
+        let slots = vec![LaneVal::ZERO; program.slot_count()];
+        CompiledExec {
+            program,
+            rdata_cone,
+            slots,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CompileStats {
+        self.program.stats()
+    }
+
+    /// `(net, slot)` pairs to write back after [`CompiledExec::execute`].
+    pub(crate) fn scatter(&self) -> &[(NetId, u32)] {
+        self.program.scatter()
+    }
+
+    /// `(net, slot)` pairs to write back after
+    /// [`CompiledExec::execute_rdata_cone`].
+    pub(crate) fn cone_scatter(&self) -> &[(NetId, u32)] {
+        self.rdata_cone.scatter()
+    }
+
+    pub(crate) fn slot(&self, slot: u32) -> LaneVal {
+        self.slots[slot as usize]
+    }
+
+    /// Ops evaluated by one full [`CompiledExec::execute`].
+    pub(crate) fn op_count(&self) -> u64 {
+        self.program.op_count() as u64
+    }
+
+    /// Ops evaluated by one [`CompiledExec::execute_rdata_cone`].
+    pub(crate) fn cone_op_count(&self) -> u64 {
+        self.rdata_cone.op_count() as u64
+    }
+
+    /// Loads every leaf slot from the frame.
+    pub(crate) fn gather(&mut self, frame: &BatchFrame) {
+        for &(net, slot) in self.program.gather() {
+            self.slots[slot as usize] = frame.get(net.index());
+        }
+    }
+
+    /// Evaluates the whole program (all lanes at once).
+    pub(crate) fn execute(&mut self, mask: u64, forces: &[LaneForce]) {
+        run_program(&self.program, &mut self.slots, mask, forces);
+    }
+
+    /// Re-loads the read-data leaf slots and re-evaluates their cone over
+    /// the current slot state (valid since the last full
+    /// [`CompiledExec::execute`]).
+    pub(crate) fn execute_rdata_cone(
+        &mut self,
+        frame: &BatchFrame,
+        mask: u64,
+        forces: &[LaneForce],
+    ) {
+        for &(net, slot) in self.rdata_cone.gather() {
+            self.slots[slot as usize] = frame.get(net.index());
+        }
+        run_program(&self.rdata_cone, &mut self.slots, mask, forces);
+    }
+}
+
+fn run_program(program: &CompiledNetlist, slots: &mut [LaneVal], mask: u64, forces: &[LaneForce]) {
+    let ops = program.ops();
+    for step in program.steps() {
+        match *step {
+            Step::Run(r) => {
+                let lo = r.start as usize;
+                let hi = lo + r.len as usize;
+                let out = &ops.out[lo..hi];
+                let a = &ops.a[lo..hi];
+                let b = &ops.b[lo..hi];
+                let c = &ops.c[lo..hi];
+                match r.kind {
+                    CellKind::Tie0 => kernels::run_tie0(slots, out),
+                    CellKind::Tie1 => kernels::run_tie1(slots, out, mask),
+                    CellKind::Buf => kernels::run_buf(slots, out, a),
+                    CellKind::Inv => kernels::run_inv(slots, out, a, mask),
+                    CellKind::And2 => kernels::run_and2(slots, out, a, b),
+                    CellKind::Or2 => kernels::run_or2(slots, out, a, b),
+                    CellKind::Nand2 => kernels::run_nand2(slots, out, a, b, mask),
+                    CellKind::Nor2 => kernels::run_nor2(slots, out, a, b, mask),
+                    CellKind::Xor2 => kernels::run_xor2(slots, out, a, b),
+                    CellKind::Xnor2 => kernels::run_xnor2(slots, out, a, b, mask),
+                    CellKind::Mux2 => kernels::run_mux2(slots, out, a, b, c),
+                    CellKind::Aoi21 => kernels::run_aoi21(slots, out, a, b, c, mask),
+                    CellKind::Oai21 => kernels::run_oai21(slots, out, a, b, c, mask),
+                    CellKind::Dff | CellKind::Dffe | CellKind::Dffr | CellKind::Dffre => {
+                        unreachable!("sequential gate in compiled program")
+                    }
+                }
+            }
+            Step::ForceFixup { net, slot } => {
+                let i = slot as usize;
+                slots[i] = forces[net.index()].apply(slots[i]);
+            }
+        }
+    }
+}

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+mod compiled;
 pub mod engine;
 
 pub use engine::{BatchMachineState, Engine, Lanes, Scalar, Wide};
@@ -93,18 +94,63 @@ pub enum EvalMode {
     /// Retained as the differential-testing oracle; select globally with
     /// `XBOUND_SIM_ENGINE=levelized`.
     Levelized,
+    /// Compiled backend: the netlist is levelized once, structurally
+    /// identical logic cones are hash-consed into shared value classes, and
+    /// the result is a flat SoA bytecode program of word-wise
+    /// [`xbound_logic::LaneVal`] ops executed by a tight per-kind run loop —
+    /// no per-gate dispatch, no fanout-index chasing. Select globally with
+    /// `XBOUND_SIM_ENGINE=compiled`.
+    Compiled,
 }
 
 impl EvalMode {
-    /// The process-wide default: [`EvalMode::Levelized`] when the
-    /// `XBOUND_SIM_ENGINE` environment variable is `levelized` (or
-    /// `oracle`), [`EvalMode::EventDriven`] otherwise.
+    /// Every value `XBOUND_SIM_ENGINE` accepts, for error messages.
+    pub const ACCEPTED: &'static str = "event, event-driven, levelized, oracle, compiled";
+
+    /// Parses an `XBOUND_SIM_ENGINE` value (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Unknown values are a hard error listing the accepted spellings —
+    /// a typo must never silently fall back to the default engine.
+    pub fn parse(s: &str) -> Result<EvalMode, String> {
+        if s.eq_ignore_ascii_case("event") || s.eq_ignore_ascii_case("event-driven") {
+            Ok(EvalMode::EventDriven)
+        } else if s.eq_ignore_ascii_case("levelized") || s.eq_ignore_ascii_case("oracle") {
+            Ok(EvalMode::Levelized)
+        } else if s.eq_ignore_ascii_case("compiled") {
+            Ok(EvalMode::Compiled)
+        } else {
+            Err(format!(
+                "unknown XBOUND_SIM_ENGINE value {s:?}; accepted values: {}",
+                EvalMode::ACCEPTED
+            ))
+        }
+    }
+
+    /// The engine's human-readable name (as printed by drivers and the
+    /// service's `stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::EventDriven => "event-driven",
+            EvalMode::Levelized => "levelized",
+            EvalMode::Compiled => "compiled",
+        }
+    }
+
+    /// The process-wide default: whatever the `XBOUND_SIM_ENGINE`
+    /// environment variable selects ([`EvalMode::EventDriven`] when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value (see [`EvalMode::parse`]).
     pub fn from_env() -> EvalMode {
         match std::env::var("XBOUND_SIM_ENGINE") {
-            Ok(v) if v.eq_ignore_ascii_case("levelized") || v.eq_ignore_ascii_case("oracle") => {
-                EvalMode::Levelized
-            }
-            _ => EvalMode::EventDriven,
+            Ok(v) => match EvalMode::parse(&v) {
+                Ok(mode) => mode,
+                Err(e) => panic!("{e}"),
+            },
+            Err(_) => EvalMode::EventDriven,
         }
     }
 }
@@ -536,6 +582,34 @@ mod tests {
             .map(|i| nl.find_net(&format!("{prefix}[{i}]")).unwrap())
             .collect();
         sim.value_word(&nets)
+    }
+
+    #[test]
+    fn eval_mode_parse_accepts_every_documented_spelling() {
+        for (s, want) in [
+            ("event", EvalMode::EventDriven),
+            ("event-driven", EvalMode::EventDriven),
+            ("EVENT-DRIVEN", EvalMode::EventDriven),
+            ("levelized", EvalMode::Levelized),
+            ("oracle", EvalMode::Levelized),
+            ("Oracle", EvalMode::Levelized),
+            ("compiled", EvalMode::Compiled),
+            ("COMPILED", EvalMode::Compiled),
+        ] {
+            assert_eq!(EvalMode::parse(s), Ok(want), "spelling {s:?}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_parse_rejects_unknown_values_listing_accepted() {
+        for bad in ["", "compile", "evnt", "levelised", "fast", "0"] {
+            let err = EvalMode::parse(bad).expect_err("must be a hard error");
+            assert!(err.contains(&format!("{bad:?}")), "names the value: {err}");
+            assert!(
+                err.contains(EvalMode::ACCEPTED),
+                "lists accepted values: {err}"
+            );
+        }
     }
 
     #[test]

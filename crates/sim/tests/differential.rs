@@ -1,19 +1,36 @@
 //! Differential test: the event-driven incremental engine against the
-//! full-levelized oracle.
+//! full-levelized oracle and the compiled (levelize + cone-dedup
+//! bytecode) backend.
 //!
-//! Both engines must settle every cycle to the *same* frame: combinational
+//! All engines must settle every cycle to the *same* frame: combinational
 //! values are a pure function of flip-flop, input, and forced values on an
 //! acyclic netlist, so the engines may only differ in how much work they
 //! do. Random designs are driven with random sequences of input drives,
 //! forces/releases (on inputs, internal nets, and flip-flop outputs), state
 //! snapshots and restores — every operation the symbolic explorer performs
-//! — and the frames are compared after every eval.
+//! — and the frames are compared after every eval, both on the scalar
+//! engine and on the batched engine at lane widths 1, 8, and 64.
+//!
+//! Case counts honour the `PROPTEST_CASES` environment variable as a
+//! ceiling, so CI can bound the fuzz budget without editing the tests.
 
 use proptest::prelude::*;
 use xbound_logic::{Lv, XWord};
 use xbound_netlist::rtl::Rtl;
 use xbound_netlist::{CellKind, NetId, Netlist};
-use xbound_sim::{BusSpec, EvalMode, MachineState, MemRegion, RegionKind, Simulator};
+use xbound_sim::{
+    BatchSimulator, BusSpec, EvalMode, MachineState, MemRegion, RegionKind, Simulator,
+};
+
+/// Proptest case budget: the source default, clamped down (never up) by
+/// `PROPTEST_CASES` so CI invocations stay bounded.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|env| env.min(default))
+        .unwrap_or(default)
+}
 
 /// Builds a random DAG netlist (combinational + flip-flop mix) from a seed.
 fn random_netlist(n_gates: usize, seed: u64) -> Netlist {
@@ -67,11 +84,11 @@ fn lv_of(x: u64) -> Lv {
     }
 }
 
-/// One random stimulus step applied identically to both simulators.
+/// One random stimulus step applied identically to every simulator.
 fn apply_op<F: FnMut() -> u64>(
     next: &mut F,
     nl: &Netlist,
-    sims: &mut [&mut Simulator<'_>; 2],
+    sims: &mut [&mut Simulator<'_>],
     snapshots: &mut Vec<MachineState>,
 ) {
     let nets = nl.net_count() as u64;
@@ -115,10 +132,10 @@ fn apply_op<F: FnMut() -> u64>(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
 
-    /// Event-driven and levelized evaluation produce identical frames at
-    /// every cycle of a random drive/force/restore sequence.
+    /// Event-driven, levelized, and compiled evaluation produce identical
+    /// frames at every cycle of a random drive/force/restore sequence.
     #[test]
     fn engines_agree_on_random_designs(
         n_gates in 4usize..80,
@@ -131,6 +148,8 @@ proptest! {
         let mut oracle = Simulator::new(&nl);
         oracle.set_eval_mode(EvalMode::Levelized);
         prop_assert_eq!(oracle.eval_mode(), EvalMode::Levelized);
+        let mut compiled = Simulator::new(&nl);
+        compiled.set_eval_mode(EvalMode::Compiled);
 
         let mut rng = seed ^ 0x9E3779B97F4A7C15 | 1;
         let mut next = move || {
@@ -142,19 +161,27 @@ proptest! {
         let mut snapshots = Vec::new();
         for step in 0..steps {
             {
-                let mut sims = [&mut event, &mut oracle];
+                let mut sims = [&mut event, &mut oracle, &mut compiled];
                 apply_op(&mut next, &nl, &mut sims, &mut snapshots);
             }
             let fe = event.eval().expect("no bus: settles").clone();
             let fo = oracle.eval().expect("no bus: settles").clone();
+            let fc = compiled.eval().expect("no bus: settles").clone();
             prop_assert_eq!(
                 &fe, &fo,
-                "frames diverge at step {} (diff nets: {:?})",
+                "event vs levelized diverge at step {} (diff nets: {:?})",
                 step, fe.diff_indices(&fo)
+            );
+            prop_assert_eq!(
+                &fe, &fc,
+                "event vs compiled diverge at step {} (diff nets: {:?})",
+                step, fe.diff_indices(&fc)
             );
             event.commit();
             oracle.commit();
+            compiled.commit();
             prop_assert_eq!(event.machine_state(), oracle.machine_state());
+            prop_assert_eq!(event.machine_state(), compiled.machine_state());
         }
     }
 
@@ -205,6 +232,9 @@ proptest! {
         let mut oracle = Simulator::new(&nl);
         oracle.set_eval_mode(EvalMode::Levelized);
         oracle.attach_bus(bus(), mems()).expect("bus ok");
+        let mut compiled = Simulator::new(&nl);
+        compiled.set_eval_mode(EvalMode::Compiled);
+        compiled.attach_bus(bus(), mems()).expect("bus ok");
 
         let mut rng = seed | 1;
         let mut next = move || {
@@ -228,15 +258,18 @@ proptest! {
                 };
                 event.drive_input(n, v);
                 oracle.drive_input(n, v);
+                compiled.drive_input(n, v);
                 let d = nl.find_net(&format!("data_in[{i}]")).expect("net");
                 let dv = lv_of(next());
                 event.drive_input(d, dv);
                 oracle.drive_input(d, dv);
+                compiled.drive_input(d, dv);
             }
             let wen = lv_of(next());
             let wn = nl.find_net("wen_in").expect("net");
             event.drive_input(wn, wen);
             oracle.drive_input(wn, wen);
+            compiled.drive_input(wn, wen);
             if next() % 5 == 0 {
                 snapshots.push(event.machine_state());
             }
@@ -244,17 +277,163 @@ proptest! {
                 let s = &snapshots[(next() as usize) % snapshots.len()];
                 event.set_machine_state(s);
                 oracle.set_machine_state(s);
+                compiled.set_machine_state(s);
             }
             let fe = event.eval().expect("bus settles").clone();
             let fo = oracle.eval().expect("bus settles").clone();
+            let fc = compiled.eval().expect("bus settles").clone();
             prop_assert_eq!(
                 &fe, &fo,
-                "frames diverge at step {} (diff nets: {:?})",
+                "event vs levelized diverge at step {} (diff nets: {:?})",
                 step, fe.diff_indices(&fo)
+            );
+            prop_assert_eq!(
+                &fe, &fc,
+                "event vs compiled diverge at step {} (diff nets: {:?})",
+                step, fe.diff_indices(&fc)
             );
             event.commit();
             oracle.commit();
+            compiled.commit();
             prop_assert_eq!(event.machine_state(), oracle.machine_state());
+            prop_assert_eq!(event.machine_state(), compiled.machine_state());
+        }
+    }
+}
+
+/// One random batched stimulus step applied identically to every batched
+/// simulator: whole-vector and per-lane drives, whole-vector and per-lane
+/// forces/releases, and per-lane snapshot restores.
+fn apply_batch_op<F: FnMut() -> u64>(
+    next: &mut F,
+    nl: &Netlist,
+    lanes: usize,
+    sims: &mut [&mut BatchSimulator<'_>],
+    snapshots: &mut Vec<MachineState>,
+) {
+    let nets = nl.net_count() as u64;
+    match next() % 12 {
+        // Drive a random primary input across every lane.
+        0..=2 => {
+            let inputs = nl.inputs();
+            let n = inputs[(next() as usize) % inputs.len()];
+            let v = lv_of(next());
+            for sim in sims.iter_mut() {
+                sim.drive_input(n, v);
+            }
+        }
+        // Drive one lane of a random primary input (possibly X).
+        3..=5 => {
+            let inputs = nl.inputs();
+            let n = inputs[(next() as usize) % inputs.len()];
+            let lane = (next() as usize) % lanes;
+            let v = lv_of(next());
+            for sim in sims.iter_mut() {
+                sim.drive_input_lane(n, lane, v);
+            }
+        }
+        // Force a random net in every lane.
+        6 => {
+            let n = NetId((next() % nets) as u32);
+            let v = lv_of(next());
+            for sim in sims.iter_mut() {
+                sim.force(n, Some(v));
+            }
+        }
+        // Force one lane of a random net (partial-lane force masks).
+        7..=8 => {
+            let n = NetId((next() % nets) as u32);
+            let lane = (next() as usize) % lanes;
+            let v = lv_of(next());
+            for sim in sims.iter_mut() {
+                sim.force_lane(n, lane, Some(v));
+            }
+        }
+        // Release a random net's force in one lane.
+        9 => {
+            let n = NetId((next() % nets) as u32);
+            let lane = (next() as usize) % lanes;
+            for sim in sims.iter_mut() {
+                sim.force_lane(n, lane, None);
+            }
+        }
+        // Snapshot a random lane.
+        10 => {
+            let lane = (next() as usize) % lanes;
+            snapshots.push(sims[0].lane_machine_state(lane));
+        }
+        // Restore an earlier snapshot into a random lane.
+        _ => {
+            if !snapshots.is_empty() {
+                let s = &snapshots[(next() as usize) % snapshots.len()];
+                let lane = (next() as usize) % lanes;
+                for sim in sims.iter_mut() {
+                    sim.set_lane_machine_state(lane, s);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    /// The three engines also agree on the batched (wide) instantiation at
+    /// lane widths 1, 8, and 64, under per-lane drives, partial-lane
+    /// forces, and cross-lane snapshot restores.
+    #[test]
+    fn engines_agree_batched_at_lane_widths(
+        n_gates in 4usize..60,
+        seed in any::<u64>(),
+        steps in 4usize..24,
+    ) {
+        let nl = random_netlist(n_gates, seed);
+        for &lanes in &[1usize, 8, 64] {
+            let mut event = BatchSimulator::new(&nl, lanes);
+            event.set_eval_mode(EvalMode::EventDriven);
+            let mut oracle = BatchSimulator::new(&nl, lanes);
+            oracle.set_eval_mode(EvalMode::Levelized);
+            let mut compiled = BatchSimulator::new(&nl, lanes);
+            compiled.set_eval_mode(EvalMode::Compiled);
+
+            let mut rng = seed ^ 0xD1B54A32D192ED03 | 1;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut snapshots = Vec::new();
+            for step in 0..steps {
+                {
+                    let mut sims = [&mut event, &mut oracle, &mut compiled];
+                    apply_batch_op(&mut next, &nl, lanes, &mut sims, &mut snapshots);
+                }
+                let fe = event.eval().expect("no bus: settles").clone();
+                let fo = oracle.eval().expect("no bus: settles").clone();
+                let fc = compiled.eval().expect("no bus: settles").clone();
+                prop_assert_eq!(
+                    &fe, &fo,
+                    "event vs levelized diverge at step {} ({} lanes)",
+                    step, lanes
+                );
+                prop_assert_eq!(
+                    &fe, &fc,
+                    "event vs compiled diverge at step {} ({} lanes)",
+                    step, lanes
+                );
+                event.commit();
+                oracle.commit();
+                compiled.commit();
+                for lane in 0..lanes {
+                    prop_assert_eq!(
+                        event.lane_machine_state(lane),
+                        compiled.lane_machine_state(lane),
+                        "machine state diverges in lane {} at step {}",
+                        lane, step
+                    );
+                }
+            }
         }
     }
 }
