@@ -179,7 +179,7 @@ fn main() {
                         String::new()
                     };
                     let s = a.stats();
-                    explore = Some(s.batch);
+                    explore = Some(s.batch.clone());
                     bounds = Some(BoundsReport::from_analysis(&a));
                     let e = a.peak_energy();
                     format!(
@@ -231,13 +231,11 @@ fn main() {
         // speculative-waste telemetry (scheduling-dependent; the bounds
         // themselves are byte-identical at any lane width or thread
         // count). Emitted through the shared `jsonout` writer.
-        let agg = rows.iter().filter_map(|r| r.explore).fold(
+        let agg = rows.iter().filter_map(|r| r.explore.as_ref()).fold(
             xbound_core::BatchExploreStats::default(),
             |mut acc, b| {
                 acc.lanes = b.lanes;
-                acc.gate_passes += b.gate_passes;
-                acc.active_lane_cycles += b.active_lane_cycles;
-                acc.idle_lane_cycles += b.idle_lane_cycles;
+                acc.absorb(b);
                 acc
             },
         );
@@ -245,6 +243,13 @@ fn main() {
         w.begin_object();
         w.field_str("engine", engine);
         w.field_u64("threads", suite_workers as u64);
+        // The cached process-wide worker resolution for this run's
+        // `--threads` knob (par::resolve_threads caches the auto path).
+        w.field_u64("resolved_threads", par::resolve_threads(threads) as u64);
+        w.field_u64(
+            "explore_threads",
+            par::resolve_threads(explore_threads) as u64,
+        );
         w.field_u64("batch_lanes", lane_width as u64);
         w.field_u64("explore_lanes", explore_lane_width as u64);
         w.field_u64("validate_runs", validate_runs as u64);
@@ -252,6 +257,18 @@ fn main() {
         w.field_u64("explore_active_lane_cycles", agg.active_lane_cycles);
         w.field_u64("explore_idle_lane_cycles", agg.idle_lane_cycles);
         w.field_raw("explore_occupancy", &format!("{:.4}", agg.occupancy()));
+        // Work-stealing scheduler telemetry (scheduling-dependent, like
+        // the occupancy counters above).
+        w.field_u64("explore_steals", agg.steals);
+        w.field_u64("explore_steal_failures", agg.steal_failures);
+        w.field_u64("explore_idle_wakeups", agg.idle_wakeups);
+        w.field_u64("explore_max_speculation_depth", agg.max_speculation_depth);
+        w.key("explore_committed_cycles_per_worker");
+        w.begin_array();
+        for c in &agg.committed_cycles_per_worker {
+            w.u64_val(*c);
+        }
+        w.end_array();
         if let Some(m) = &memo {
             let s = m.stats();
             w.field_u64("memo_hits", s.hits);
@@ -265,9 +282,11 @@ fn main() {
             w.begin_object();
             w.field_str("name", row.name);
             w.field_raw("seconds", &format!("{:.6}", row.seconds));
-            if let Some(b) = row.explore {
+            if let Some(b) = &row.explore {
                 w.field_u64("explore_gate_passes", b.gate_passes);
                 w.field_raw("explore_occupancy", &format!("{:.4}", b.occupancy()));
+                w.field_u64("explore_steals", b.steals);
+                w.field_u64("explore_max_speculation_depth", b.max_speculation_depth);
             }
             if let Some(bounds) = &row.bounds {
                 w.key("bounds");

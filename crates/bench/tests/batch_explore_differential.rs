@@ -98,6 +98,26 @@ fn all_benchmarks_explore_identically_at_8_lanes() {
     }
 }
 
+/// Every benchmark under the work-stealing pool (threads 4, lanes 8)
+/// against the single-threaded scalar reference: the tree and the
+/// deterministic stats must be byte-identical no matter how the region
+/// deques drained.
+#[test]
+fn all_benchmarks_explore_identically_under_work_stealing() {
+    let sys = UlpSystem::openmsp430_class().expect("system builds");
+    for bench in xbound_benchsuite::all() {
+        let program = bench.program().expect("assembles");
+        let reference = SymbolicExplorer::new(sys.cpu(), explore_config(bench, 1, 1))
+            .explore(&program)
+            .expect("reference explores");
+        let stolen = SymbolicExplorer::new(sys.cpu(), explore_config(bench, 4, 8))
+            .explore(&program)
+            .expect("work-stealing explores");
+        assert_trees_identical(bench.name(), "4x8", &reference.0, &stolen.0);
+        assert_stats_identical(bench.name(), "4x8", &reference.1, &stolen.1);
+    }
+}
+
 /// Fork-heavy benchmarks across the full `(threads, lanes)` matrix of the
 /// satellite spec: lanes ∈ {1, 8, 64} × threads ∈ {1, 3}.
 #[test]

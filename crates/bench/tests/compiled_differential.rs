@@ -62,7 +62,7 @@ fn analyze(
         .run(&program)
         .expect("analysis succeeds");
     let line = summary::bounds_line(bench.name(), &BoundsReport::from_analysis(&a));
-    (line, a.tree().clone(), a.stats())
+    (line, a.tree().clone(), a.stats().clone())
 }
 
 /// Every benchmark, compiled vs event-driven, at explorer thread counts

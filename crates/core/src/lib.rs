@@ -472,8 +472,8 @@ impl Analysis<'_> {
     }
 
     /// Exploration statistics.
-    pub fn stats(&self) -> ExploreStats {
-        self.stats
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
     }
 
     /// The input-independent peak power bound.

@@ -209,6 +209,66 @@ fn parallel_exploration_is_thread_and_lane_invariant() {
     );
 }
 
+/// A panic inside a speculatively-executed branch must surface with the
+/// committed segment id and scheduling provenance (driver-inline, a
+/// worker's own deque, or a steal) — never as a bare payload from a
+/// detached thread.
+#[test]
+fn speculative_panic_carries_segment_and_provenance() {
+    let sys = system();
+    // One input-dependent branch: both fork children sit at fork depth 1,
+    // so the injected panic fires in whichever thread claims the first
+    // child, and commit-order determinism fixes the reported segment.
+    let p = assemble(
+        r#"
+        main:
+            mov &0x0020, r4
+            cmp #1, r4
+            jeq one
+            mov #100, r5
+            jmp done
+        one:
+            mov r4, &0x0130
+        done:
+            mov r5, &0x0200
+            jmp $
+        "#,
+    )
+    .unwrap();
+    let cfg = ExploreConfig {
+        threads: 2,
+        test_panic_depth: 1,
+        ..ExploreConfig::default()
+    };
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        xbound_core::SymbolicExplorer::new(sys.cpu(), cfg).explore(&p)
+    }))
+    .expect_err("injected panic must propagate to the caller");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload is a string");
+    assert!(
+        msg.starts_with("explorer driver") || msg.starts_with("explorer worker"),
+        "payload names the panicking participant: {msg}"
+    );
+    assert!(
+        msg.contains("claimed inline") || msg.contains("own deque") || msg.contains("stolen from"),
+        "payload names the work's provenance: {msg}"
+    );
+    // Commit order is deterministic, so the segment id in the payload is
+    // too, no matter which thread actually ran the batch.
+    assert!(
+        msg.contains("(segment 2,"),
+        "payload pins the committed segment: {msg}"
+    );
+    assert!(
+        msg.contains("test-injected panic at fork depth 1"),
+        "payload keeps the original message: {msg}"
+    );
+}
+
 #[test]
 fn tighter_than_rated_power() {
     let sys = system();

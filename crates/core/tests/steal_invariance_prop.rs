@@ -1,0 +1,93 @@
+//! Property test: the work-stealing explorer is invariant under steal
+//! interleaving.
+//!
+//! The scheduler's core contract is that trees, deterministic stats, and
+//! bounds are a pure function of the program — not of `(threads, lanes)`
+//! and not of *which* victim each idle worker happened to rob first. The
+//! test-only `steal_seed` knob shuffles every worker's victim order with
+//! a seeded Fisher-Yates permutation, letting proptest drive the
+//! scheduler through arbitrary steal interleavings that wall-clock
+//! timing alone would rarely produce.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use xbound_core::{ExecutionTree, ExploreConfig, ExploreStats, SymbolicExplorer, UlpSystem};
+use xbound_msp430::{assemble, Program};
+
+/// Fork-heavy kernel: an input-dependent loop (up to 16 forks) plus the
+/// final input-dependent exit branch, so every thread count leaves real
+/// work on the deques.
+const KERNEL: &str = r#"
+        main:
+            mov &0x0020, r4
+            mov #0, r5
+        loop:
+            bit #0x8000, r4
+            jnz done
+            add r4, r4
+            add #1, r5
+            cmp #16, r5
+            jnz loop
+        done:
+            mov r5, &0x0200
+            jmp $
+        "#;
+
+fn fixture() -> &'static (UlpSystem, Program, ExecutionTree, ExploreStats) {
+    static FIXTURE: OnceLock<(UlpSystem, Program, ExecutionTree, ExploreStats)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let sys = UlpSystem::openmsp430_class().expect("system builds");
+        let program = assemble(KERNEL).expect("assembles");
+        let (tree, stats) = SymbolicExplorer::new(sys.cpu(), config(1, 1, 0))
+            .explore(&program)
+            .expect("reference explores");
+        assert!(stats.forks >= 16, "kernel must fork for this test to bite");
+        (sys, program, tree, stats)
+    })
+}
+
+fn config(threads: usize, lanes: usize, steal_seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        max_total_cycles: 500_000,
+        threads,
+        lanes,
+        steal_seed,
+        ..ExploreConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any steal interleaving, any pool shape: byte-identical tree and
+    /// deterministic stats against the 1-thread/1-lane reference.
+    #[test]
+    fn exploration_is_invariant_under_steal_interleaving(
+        steal_seed in any::<u64>(),
+        threads in prop_oneof![Just(2usize), Just(3), Just(8)],
+        lanes in prop_oneof![Just(1usize), Just(8)],
+    ) {
+        let (sys, program, ref_tree, ref_stats) = fixture();
+        let (tree, stats) = SymbolicExplorer::new(sys.cpu(), config(threads, lanes, steal_seed))
+            .explore(program)
+            .expect("explores");
+        prop_assert_eq!(
+            ref_stats.deterministic(),
+            stats.deterministic(),
+            "stats diverged at {}x{} seed {}",
+            threads, lanes, steal_seed
+        );
+        prop_assert_eq!(
+            ref_tree.segments().len(),
+            tree.segments().len(),
+            "segment count diverged at {}x{} seed {}",
+            threads, lanes, steal_seed
+        );
+        for (i, (a, b)) in ref_tree.segments().iter().zip(tree.segments()).enumerate() {
+            prop_assert_eq!(a.start_cycle, b.start_cycle, "seg {} start", i);
+            prop_assert_eq!(&a.parent, &b.parent, "seg {} parent", i);
+            prop_assert_eq!(&a.end, &b.end, "seg {} end", i);
+            prop_assert_eq!(&a.frames, &b.frames, "seg {} frames", i);
+        }
+    }
+}

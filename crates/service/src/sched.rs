@@ -115,7 +115,40 @@ struct Shared {
     memo: Option<Arc<SubtreeMemo>>,
     analyses_run: AtomicU64,
     coalesced: AtomicU64,
+    /// Work-stealing explorer telemetry accumulated across every fresh
+    /// analysis (scheduling-dependent; surfaced by `stats`, never part of
+    /// any analyze response).
+    explore_steals: AtomicU64,
+    explore_steal_failures: AtomicU64,
+    explore_idle_wakeups: AtomicU64,
+    explore_max_speculation_depth: AtomicU64,
     workers: usize,
+}
+
+impl Shared {
+    fn note_explore(&self, b: &xbound_core::BatchExploreStats) {
+        self.explore_steals.fetch_add(b.steals, Ordering::Relaxed);
+        self.explore_steal_failures
+            .fetch_add(b.steal_failures, Ordering::Relaxed);
+        self.explore_idle_wakeups
+            .fetch_add(b.idle_wakeups, Ordering::Relaxed);
+        self.explore_max_speculation_depth
+            .fetch_max(b.max_speculation_depth, Ordering::Relaxed);
+    }
+}
+
+/// Work-stealing explorer counters accumulated by a scheduler (see
+/// [`Scheduler::explore_telemetry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreTelemetry {
+    /// Total successful steals across analyses.
+    pub steals: u64,
+    /// Total empty victim probes.
+    pub steal_failures: u64,
+    /// Total idle-worker wakeups.
+    pub idle_wakeups: u64,
+    /// Deepest speculation past any commit frontier.
+    pub max_speculation_depth: u64,
 }
 
 /// The analysis scheduler (see the module docs).
@@ -153,6 +186,10 @@ impl Scheduler {
             memo,
             analyses_run: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            explore_steals: AtomicU64::new(0),
+            explore_steal_failures: AtomicU64::new(0),
+            explore_idle_wakeups: AtomicU64::new(0),
+            explore_max_speculation_depth: AtomicU64::new(0),
             workers,
         });
         let handles = (0..workers)
@@ -194,6 +231,21 @@ impl Scheduler {
     /// Requests that joined an identical in-flight analysis.
     pub fn coalesced(&self) -> u64 {
         self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Work-stealing explorer telemetry accumulated across every fresh
+    /// analysis this scheduler ran (all zero on a multi-worker daemon,
+    /// where each analysis explores single-threaded).
+    pub fn explore_telemetry(&self) -> ExploreTelemetry {
+        ExploreTelemetry {
+            steals: self.shared.explore_steals.load(Ordering::Relaxed),
+            steal_failures: self.shared.explore_steal_failures.load(Ordering::Relaxed),
+            idle_wakeups: self.shared.explore_idle_wakeups.load(Ordering::Relaxed),
+            max_speculation_depth: self
+                .shared
+                .explore_max_speculation_depth
+                .load(Ordering::Relaxed),
+        }
     }
 
     /// `true` when a subtree memo is attached.
@@ -344,7 +396,10 @@ fn worker_loop(shared: &Shared) {
                 .energy_rounds(job.energy_rounds)
                 .memo(shared.memo.clone())
                 .run(&job.program)
-                .map(|a| BoundsReport::from_analysis(&a))
+                .map(|a| {
+                    shared.note_explore(&a.stats().batch);
+                    BoundsReport::from_analysis(&a)
+                })
                 .map_err(|e| e.to_string())
         }))
         .unwrap_or_else(|p| {

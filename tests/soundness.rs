@@ -97,7 +97,9 @@ fn analysis_is_deterministic() {
     let (a2, _) = analysis_for(&system, "binSearch");
     assert_eq!(a1.peak_power().peak_mw, a2.peak_power().peak_mw);
     assert_eq!(a1.tree().segments().len(), a2.tree().segments().len());
-    assert_eq!(a1.stats(), a2.stats());
+    // Batch telemetry varies with worker timing at threads > 1; the
+    // determinism contract covers the exploration core.
+    assert_eq!(a1.stats().deterministic(), a2.stats().deterministic());
 }
 
 /// Bounds are application-specific: different applications, different peaks
