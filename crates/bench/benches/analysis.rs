@@ -118,12 +118,68 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// Operating-point sweep amortization: one shared exploration feeding
+/// the default 8-corner grid's composition passes, vs 8 independent cold
+/// co-analyses of the same corners (no memo, no cache). The per-corner
+/// reports are byte-identical either way
+/// (`crates/core/tests/sweep_differential.rs`); only the wall clock
+/// changes.
+fn bench_sweep_amortization(c: &mut Criterion) {
+    use xbound_core::sweep::{run_sweep, SweepSpec};
+    let sys = UlpSystem::openmsp430_class().expect("builds");
+    let spec = SweepSpec::suite_default();
+    let mut g = c.benchmark_group("sweep_amortization");
+    g.sample_size(10);
+    for name in ["mult", "tHold", "binSearch"] {
+        let bench = xbound_benchsuite::by_name(name).expect("exists");
+        let program = bench.program().expect("assembles");
+        let cfg = ExploreConfig {
+            widen_threshold: bench.widen_threshold(),
+            threads: 1,
+            ..ExploreConfig::suite_default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("sweep_8_corners", name),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    run_sweep(sys.cpu(), &spec, p, cfg, bench.energy_rounds(), 1).expect("sweeps")
+                });
+            },
+        );
+        // The naive curve: one full cold analysis per corner, exactly as
+        // a driver without the sweep engine would produce it.
+        let corner_systems: Vec<UlpSystem> = spec
+            .corners()
+            .iter()
+            .map(|corner| UlpSystem::new(sys.cpu().clone(), corner.library(), corner.clock_hz()))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("cold_8_analyses", name),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    for corner_sys in &corner_systems {
+                        CoAnalysis::new(corner_sys)
+                            .config(cfg)
+                            .energy_rounds(bench.energy_rounds())
+                            .run(p)
+                            .expect("analyzes");
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_algorithm1,
     bench_batched_symbolic_exploration,
     bench_explore_thread_scaling,
     bench_algorithm2,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_sweep_amortization
 );
 criterion_main!(benches);

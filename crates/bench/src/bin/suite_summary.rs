@@ -41,6 +41,17 @@
 //!   byte-identical either way. `XBOUND_MEMO` overrides the flag (`0`
 //!   disables, `mem` keeps the memo off disk, `1` persists it under the
 //!   shared cache directory).
+//! * `--sweep PATH` — operating-point sweep mode (`xbound_core::sweep`):
+//!   explore each benchmark **once**, then bound every corner of the
+//!   default library × voltage × clock grid, writing the
+//!   bound-vs-operating-point curves as JSON to `PATH`. One summary line
+//!   prints per (benchmark, corner); the final `sweep:` line carries the
+//!   tree-reuse counter CI greps. With `--bounds PATH`, each line gains a
+//!   trailing `"corner"` field — stripping it yields bytes identical to a
+//!   plain single-corner `--bounds` run of that corner (the CI sweep
+//!   smoke contract). Not combinable with `--validate`/`--incremental`.
+//! * `--sweep-corners N` — truncate the default 8-corner grid to its
+//!   first `N` corners (the CI smoke runs 4).
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
 use rand::rngs::StdRng;
@@ -78,6 +89,8 @@ fn main() {
     let mut validate_runs = 0usize;
     let mut json_path: Option<String> = None;
     let mut bounds_path: Option<String> = None;
+    let mut sweep_path: Option<String> = None;
+    let mut sweep_corners = 0usize;
     let mut incremental = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -85,6 +98,13 @@ fn main() {
             "--oracle" => std::env::set_var("XBOUND_SIM_ENGINE", "levelized"),
             "--compiled" => std::env::set_var("XBOUND_SIM_ENGINE", "compiled"),
             "--incremental" => incremental = true,
+            "--sweep" => sweep_path = Some(args.next().expect("--sweep PATH")),
+            "--sweep-corners" => {
+                sweep_corners = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sweep-corners N");
+            }
             "--threads" => {
                 threads = args
                     .next()
@@ -124,6 +144,22 @@ fn main() {
 
     let sys = UlpSystem::openmsp430_class().unwrap();
     println!("gates: {}", sys.cpu().netlist().gate_count());
+    if let Some(curve_path) = sweep_path {
+        assert!(
+            validate_runs == 0 && !incremental,
+            "--sweep is not combinable with --validate/--incremental"
+        );
+        sweep_mode(
+            &sys,
+            &benches,
+            &curve_path,
+            sweep_corners,
+            threads,
+            explore_lanes,
+            bounds_path.as_deref(),
+        );
+        return;
+    }
     let memo = xbound_core::memo::from_env(incremental);
     let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
     let lane_width = par::resolve_lanes(lanes);
@@ -322,6 +358,192 @@ fn main() {
             out.push('\n');
         }
         std::fs::write(&path, out).expect("write bounds");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// The `--sweep` flow: each benchmark explores **once**, then every
+/// corner of the (possibly truncated) default operating-point grid is
+/// bounded from the shared tree (`xbound_core::sweep::run_sweep`).
+fn sweep_mode(
+    sys: &UlpSystem,
+    benches: &[&'static xbound_benchsuite::Benchmark],
+    curve_path: &str,
+    sweep_corners: usize,
+    threads: usize,
+    explore_lanes: usize,
+    bounds_path: Option<&str>,
+) {
+    use xbound_core::sweep::{run_sweep, SweepAnalysis, SweepSpec};
+
+    struct SweepRow {
+        name: &'static str,
+        result: Result<SweepAnalysis, String>,
+        seconds: f64,
+    }
+
+    let spec = SweepSpec::suite_default().truncated(sweep_corners);
+    let suite_workers = par::resolve_threads(threads).min(benches.len().max(1));
+    let explore_lane_width = par::resolve_explore_lanes(explore_lanes);
+    // One layer of parallelism at a time: when benchmarks already fan out
+    // across the pool, each sweep explores single-threaded and bounds its
+    // corners serially.
+    let inner_threads = if suite_workers > 1 { 1 } else { 0 };
+    let t_suite = Instant::now();
+    let rows = par::par_map_labeled(
+        suite_workers,
+        benches.to_vec(),
+        |_, b| b.name().to_string(),
+        |_, b| {
+            let t0 = Instant::now();
+            let program = b.program().unwrap();
+            let config = ExploreConfig {
+                widen_threshold: b.widen_threshold(),
+                threads: inner_threads,
+                lanes: explore_lane_width,
+                ..ExploreConfig::suite_default()
+            };
+            let result = run_sweep(
+                sys.cpu(),
+                &spec,
+                &program,
+                config,
+                b.energy_rounds(),
+                inner_threads,
+            )
+            .map_err(|e| e.to_string());
+            SweepRow {
+                name: b.name(),
+                result,
+                seconds: t0.elapsed().as_secs_f64(),
+            }
+        },
+    );
+
+    let mut tree_reuse = 0u64;
+    let mut tables_built = 0u64;
+    let mut trace_reuse = 0u64;
+    for row in &rows {
+        match &row.result {
+            Ok(s) => {
+                for cr in &s.corners {
+                    println!(
+                        "{:10} {:22} peak={:.4} mW npe={:.3e} J/cyc conv={} [{:.2}ms]",
+                        row.name,
+                        cr.corner.label(),
+                        cr.report.peak_mw,
+                        cr.report.npe_j_per_cycle,
+                        cr.report.converged,
+                        cr.seconds * 1e3,
+                    );
+                }
+                tree_reuse += s.stats.tree_reuse_hits;
+                tables_built += s.stats.tables_built;
+                trace_reuse += s.stats.trace_reuse_hits;
+            }
+            Err(e) => println!("{:10} ERROR: {e}", row.name),
+        }
+    }
+    let total = t_suite.elapsed().as_secs_f64();
+    let engine = xbound_core::sim_engine_name();
+    println!(
+        "sweep: {} benchmarks x {} corners in {total:.3} s (tree_reuse={tree_reuse}, tables={tables_built}, trace_reuse={trace_reuse}, {} suite worker{}, engine: {engine})",
+        rows.len(),
+        spec.corners().len(),
+        suite_workers,
+        if suite_workers == 1 { "" } else { "s" },
+    );
+
+    // The bound-vs-operating-point curve document.
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("engine", engine);
+    w.field_u64("threads", suite_workers as u64);
+    w.field_u64("explore_lanes", explore_lane_width as u64);
+    w.key("corners");
+    w.begin_array();
+    for c in spec.corners() {
+        w.begin_object();
+        w.field_str("label", &c.label());
+        w.field_str("library", c.library().name());
+        w.field_f64("voltage_v", c.vdd_v());
+        w.field_f64("clock_hz", c.clock_hz());
+        w.end_object();
+    }
+    w.end_array();
+    w.key("benchmarks");
+    w.begin_array();
+    for row in &rows {
+        w.begin_object();
+        w.field_str("name", row.name);
+        w.field_raw("seconds", &format!("{:.6}", row.seconds));
+        match &row.result {
+            Ok(s) => {
+                w.field_raw(
+                    "explore_seconds",
+                    &format!("{:.6}", s.stats.explore_seconds),
+                );
+                w.field_u64("tree_reuse_hits", s.stats.tree_reuse_hits);
+                w.field_u64("tables_built", s.stats.tables_built);
+                w.field_u64("trace_sets_built", s.stats.trace_sets_built);
+                w.field_u64("trace_reuse_hits", s.stats.trace_reuse_hits);
+                w.key("curve");
+                w.begin_array();
+                for cr in &s.corners {
+                    w.begin_object();
+                    w.field_str("corner", &cr.corner.label());
+                    w.field_raw("seconds", &format!("{:.6}", cr.seconds));
+                    w.key("bounds");
+                    cr.report.write(&mut w);
+                    w.end_object();
+                }
+                w.end_array();
+            }
+            Err(e) => w.field_str("error", e),
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.field_raw("total_seconds", &format!("{total:.6}"));
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    std::fs::write(curve_path, doc).expect("write sweep curves");
+    eprintln!("wrote {curve_path}");
+
+    if let Some(path) = bounds_path {
+        // Corner-stamped canonical bound lines: drop the trailing
+        // `, "corner": "..."` and the bytes equal a plain single-corner
+        // `--bounds` run of that corner — the CI sweep smoke strips it
+        // with sed and diffs.
+        let mut out = String::new();
+        for row in &rows {
+            match &row.result {
+                Ok(s) => {
+                    for cr in &s.corners {
+                        let mut w = JsonWriter::compact();
+                        w.begin_object();
+                        w.field_str("name", row.name);
+                        w.key("bounds");
+                        cr.report.write(&mut w);
+                        w.field_str("corner", &cr.corner.label());
+                        w.end_object();
+                        out.push_str(&w.finish());
+                        out.push('\n');
+                    }
+                }
+                Err(_) => {
+                    let mut w = JsonWriter::compact();
+                    w.begin_object();
+                    w.field_str("name", row.name);
+                    w.field_str("error", "analysis failed");
+                    w.end_object();
+                    out.push_str(&w.finish());
+                    out.push('\n');
+                }
+            }
+        }
+        std::fs::write(path, out).expect("write bounds");
         eprintln!("wrote {path}");
     }
 }

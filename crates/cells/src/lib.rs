@@ -191,6 +191,38 @@ impl CellLibrary {
     pub fn ulp130() -> CellLibrary {
         liberty::parse(ULP130_LIB).expect("embedded ulp130.lib is valid")
     }
+
+    /// A voltage-scaled derate of this library: every switching energy
+    /// (rise, fall, clock pin) and the leakage scale by `(v / Vnom)²`,
+    /// the first-order CV² dependence; area is voltage-independent.
+    ///
+    /// `derated(Vnom)` is the **identity** — same name, equal cells — so
+    /// a nominal operating-point corner keys and caches exactly like the
+    /// base library. Any other voltage yields a distinct name
+    /// (`"<name>@<v>v"`): the name is the only library-identifying key
+    /// material in the bound cache and the subtree memo, so two voltages
+    /// must never share it. Scaling rise and fall by the same positive
+    /// factor preserves every cell's [`CellPower::max_transition`]
+    /// direction, which is what lets operating-point sweeps share one
+    /// max-transitions table across the derates of a base library.
+    pub fn derated(&self, v: f64) -> CellLibrary {
+        if v == self.voltage_v {
+            return self.clone();
+        }
+        let s = (v / self.voltage_v) * (v / self.voltage_v);
+        let mut cells = self.cells;
+        for c in &mut cells {
+            c.energy_rise_fj *= s;
+            c.energy_fall_fj *= s;
+            c.clock_pin_fj *= s;
+            c.leakage_nw *= s;
+        }
+        CellLibrary {
+            name: format!("{}@{}v", self.name, v),
+            voltage_v: v,
+            cells,
+        }
+    }
 }
 
 /// Raw Liberty text of the 65 nm-class library.
@@ -269,6 +301,46 @@ mod tests {
         };
         assert_eq!(p.max_transition(), (true, false));
         assert_eq!(p.max_energy_fj(), 5.0);
+    }
+
+    #[test]
+    fn derated_at_nominal_voltage_is_identity() {
+        let lib = CellLibrary::ulp65();
+        let same = lib.derated(lib.voltage_v());
+        assert_eq!(same, lib);
+        assert_eq!(same.name(), "ulp65");
+    }
+
+    #[test]
+    fn derated_energies_scale_quadratically() {
+        let lib = CellLibrary::ulp65();
+        let v = 0.9;
+        let low = lib.derated(v);
+        assert_eq!(low.name(), "ulp65@0.9v");
+        assert_eq!(low.voltage_v(), v);
+        let s = (v / lib.voltage_v()) * (v / lib.voltage_v());
+        for k in CellKind::ALL {
+            let base = lib.power(k);
+            let der = low.power(k);
+            assert_eq!(der.energy_rise_fj, base.energy_rise_fj * s, "{k} rise");
+            assert_eq!(der.energy_fall_fj, base.energy_fall_fj * s, "{k} fall");
+            assert_eq!(der.clock_pin_fj, base.clock_pin_fj * s, "{k} clock");
+            assert_eq!(der.leakage_nw, base.leakage_nw * s, "{k} leakage");
+            assert_eq!(der.area_um2, base.area_um2, "{k} area is voltage-free");
+        }
+    }
+
+    #[test]
+    fn derating_preserves_max_transition_direction() {
+        let lib = CellLibrary::ulp130();
+        let low = lib.derated(2.7);
+        for k in CellKind::ALL {
+            assert_eq!(
+                low.power(k).max_transition(),
+                lib.power(k).max_transition(),
+                "{k}"
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod outdirs;
 pub mod par;
 pub mod peak_power;
 pub mod summary;
+pub mod sweep;
 pub mod tree;
 pub mod validate;
 
@@ -66,6 +67,7 @@ pub use activity::{BatchExploreStats, ExploreConfig, ExploreStats, SymbolicExplo
 pub use coi::{cycles_of_interest, CycleOfInterest};
 pub use peak_power::{compute_peak_energy, compute_peak_power, PeakEnergyResult, PeakPowerResult};
 pub use summary::BoundsReport;
+pub use sweep::{run_sweep, Corner, SweepAnalysis, SweepSpec};
 pub use tree::{ExecutionTree, SegmentEnd, SegmentId};
 pub use validate::{ConcreteRunCheck, DominanceReport, SupersetReport};
 

@@ -647,6 +647,19 @@ impl SegmentPowerCache {
         }
     }
 
+    /// A standalone cache with its own byte budget, detached from any
+    /// subtree memo — the per-corner composition cache of an
+    /// operating-point sweep ([`crate::sweep`]), where each corner's
+    /// context would otherwise thrash one shared LRU.
+    pub fn with_budget(budget_bytes: usize) -> SegmentPowerCache {
+        SegmentPowerCache::new(budget_bytes)
+    }
+
+    /// Traces replayed from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
     /// Number of resident entries.
     pub fn entries(&self) -> usize {
         self.inner.lock().expect("power cache lock").len()

@@ -19,7 +19,7 @@ use crate::tree::{ExecutionTree, SegmentEnd, SegmentId};
 use xbound_cells::CellLibrary;
 use xbound_logic::{Frame, Lv};
 use xbound_netlist::{NetId, Netlist};
-use xbound_power::{PowerAnalyzer, PowerTrace};
+use xbound_power::{EnergyTrace, PowerAnalyzer, PowerTrace};
 
 /// Cycle parity an assignment maximizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,7 +236,7 @@ pub fn assign_parity_opts(
     parity: Parity,
     use_stability: bool,
 ) -> ParityAssignment {
-    let tr = max_transitions(nl, lib);
+    let tr = MaxTransitions::build(nl, lib);
     let mut st = AssignScratch::new(nl);
     let segments = (0..tree.segments().len())
         .map(|si| assign_segment(nl, tree, adjusted, si, parity, use_stability, &tr, &mut st))
@@ -246,29 +246,42 @@ pub fn assign_parity_opts(
 
 /// Max transition (first, second) per net, by driver cell, packed as
 /// word-wide bitplanes for the word-parallel resolve kernel; primary
-/// inputs default to (false, true). Computed once per tree.
-struct MaxTransitions {
+/// inputs default to (false, true).
+///
+/// The table is a pure function of *(netlist, library energy ordering)*:
+/// it only reads each cell's [`xbound_cells::CellPower::max_transition`]
+/// direction, never the energy magnitudes. Build it once per
+/// `(netlist, library)` and reuse it across every
+/// [`compute_peak_power_shared`] call — in particular across all the
+/// voltage/clock corners of an operating-point sweep, since a voltage
+/// derate scales rise and fall by the same factor and cannot flip any
+/// direction (see [`xbound_cells::CellLibrary::derated`]).
+#[derive(Debug, Clone)]
+pub struct MaxTransitions {
     first: Vec<u64>,
     second: Vec<u64>,
 }
 
-fn max_transitions(nl: &Netlist, lib: &CellLibrary) -> MaxTransitions {
-    let words = nl.net_count().div_ceil(64);
-    let mut first = vec![0u64; words];
-    let mut second = vec![0u64; words];
-    for i in 0..nl.net_count() {
-        let (a, b) = match nl.driver_of(NetId(i as u32)) {
-            Some(g) => lib.power(nl.gate(g).kind()).max_transition(),
-            None => (false, true),
-        };
-        if a {
-            first[i / 64] |= 1 << (i % 64);
+impl MaxTransitions {
+    /// Builds the table for `nl` mapped to `lib`.
+    pub fn build(nl: &Netlist, lib: &CellLibrary) -> MaxTransitions {
+        let words = nl.net_count().div_ceil(64);
+        let mut first = vec![0u64; words];
+        let mut second = vec![0u64; words];
+        for i in 0..nl.net_count() {
+            let (a, b) = match nl.driver_of(NetId(i as u32)) {
+                Some(g) => lib.power(nl.gate(g).kind()).max_transition(),
+                None => (false, true),
+            };
+            if a {
+                first[i / 64] |= 1 << (i % 64);
+            }
+            if b {
+                second[i / 64] |= 1 << (i % 64);
+            }
         }
-        if b {
-            second[i / 64] |= 1 << (i % 64);
-        }
+        MaxTransitions { first, second }
     }
-    MaxTransitions { first, second }
 }
 
 /// Reusable per-tree scratch for the assignment kernel: the stability
@@ -352,6 +365,99 @@ fn assign_segment(
     (boundary, frames)
 }
 
+/// Both parity assignments of a whole tree — the discrete stage of
+/// Algorithm 2.
+///
+/// The assignment depends on the library only through the
+/// [`MaxTransitions`] table, which is shared by every voltage derate of a
+/// base library. An operating-point sweep therefore resolves the tree's
+/// Xs **once per base library** and reuses the frames for every corner;
+/// frames are exact logic values, so the reuse cannot perturb a single
+/// bit downstream.
+#[derive(Debug, Clone)]
+pub struct TreeAssignments {
+    /// The even-maximizing assignment.
+    pub even: ParityAssignment,
+    /// The odd-maximizing assignment.
+    pub odd: ParityAssignment,
+}
+
+/// Resolves both parity assignments over precomputed adjusted frames and
+/// a precomputed max-transitions table (the per-base-library stage of a
+/// sweep; see [`TreeAssignments`]).
+pub fn assign_tree(
+    nl: &Netlist,
+    tree: &ExecutionTree,
+    adjusted: &[Vec<Frame>],
+    use_stability: bool,
+    tr: &MaxTransitions,
+) -> TreeAssignments {
+    let mut st = AssignScratch::new(nl);
+    let mut resolve = |parity| ParityAssignment {
+        parity,
+        segments: (0..tree.segments().len())
+            .map(|si| assign_segment(nl, tree, adjusted, si, parity, use_stability, tr, &mut st))
+            .collect(),
+    };
+    TreeAssignments {
+        even: resolve(Parity::Even),
+        odd: resolve(Parity::Odd),
+    }
+}
+
+/// Per-segment even/odd **energy** traces of one library — the gate-level
+/// stage of Algorithm 2, stopped before the clock enters.
+///
+/// Transition energies depend on the (possibly derated) library but not
+/// on the clock ([`EnergyTrace`]); a sweep runs this once per distinct
+/// library and converts per corner via [`compose_peak_power`].
+#[derive(Debug, Clone)]
+pub struct TreeEnergyTraces {
+    /// Even-assignment energy traces, per segment.
+    pub even: Vec<EnergyTrace>,
+    /// Odd-assignment energy traces, per segment.
+    pub odd: Vec<EnergyTrace>,
+}
+
+/// Power-analyzes both assignments into per-segment energy traces under
+/// `analyzer`'s library (the per-library stage of a sweep; `analyzer`'s
+/// clock is not read — see [`TreeEnergyTraces`]).
+pub fn analyze_tree_energy(
+    analyzer: &PowerAnalyzer,
+    assignments: &TreeAssignments,
+) -> TreeEnergyTraces {
+    let energy = |asg: &ParityAssignment| {
+        asg.segments
+            .iter()
+            .map(|(boundary, frames)| {
+                analyzer.analyze_energy_with_boundary(boundary.as_ref(), frames)
+            })
+            .collect()
+    };
+    TreeEnergyTraces {
+        even: energy(&assignments.even),
+        odd: energy(&assignments.odd),
+    }
+}
+
+/// Converts shared energy traces at `analyzer`'s clock and composes the
+/// peak-power bound — the per-corner stage of a sweep.
+///
+/// Bit-identical to [`compute_peak_power_shared`] over the same
+/// assignments with `analyzer`'s library and clock: the conversion
+/// replays the exact float operations of the analyzer's own finish step
+/// ([`EnergyTrace::to_power_trace`]), and the composition below is the
+/// same code both paths run.
+pub fn compose_peak_power(
+    tree: &ExecutionTree,
+    analyzer: &PowerAnalyzer,
+    energy: &TreeEnergyTraces,
+) -> PeakPowerResult {
+    let convert =
+        |traces: &[EnergyTrace]| traces.iter().map(|e| e.to_power_trace(analyzer)).collect();
+    compose_bound(tree, convert(&energy.even), convert(&energy.odd))
+}
+
 /// Runs Algorithm 2 end-to-end: even/odd assignment, power analysis of
 /// both, and interleaving into the peak-power bound.
 pub fn compute_peak_power(
@@ -393,9 +499,42 @@ pub fn compute_peak_power_cached(
     use_stability: bool,
     cache: Option<(&crate::memo::SegmentPowerCache, u64)>,
 ) -> PeakPowerResult {
-    let analyzer = PowerAnalyzer::new(nl, lib, clock_hz);
     let adjusted = merge_adjusted_frames(tree);
-    let tr = max_transitions(nl, lib);
+    let tr = MaxTransitions::build(nl, lib);
+    compute_peak_power_shared(
+        nl,
+        lib,
+        clock_hz,
+        tree,
+        use_stability,
+        &tr,
+        &adjusted,
+        cache,
+    )
+}
+
+/// [`compute_peak_power_cached`] over a **precomputed** max-transitions
+/// table and merge-adjusted frames — the per-corner kernel of an
+/// operating-point sweep ([`crate::sweep`]).
+///
+/// Both precomputed inputs are corner-invariant: the adjusted frames
+/// depend only on the execution tree, and the table only on the library's
+/// per-cell energy *ordering* (preserved by voltage derating). A sweep
+/// therefore computes each once and fans this function out per corner;
+/// the single-corner entry points above delegate here after computing the
+/// same values, so the result is byte-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_peak_power_shared(
+    nl: &Netlist,
+    lib: &CellLibrary,
+    clock_hz: f64,
+    tree: &ExecutionTree,
+    use_stability: bool,
+    tr: &MaxTransitions,
+    adjusted: &[Vec<Frame>],
+    cache: Option<(&crate::memo::SegmentPowerCache, u64)>,
+) -> PeakPowerResult {
+    let analyzer = PowerAnalyzer::new(nl, lib, clock_hz);
     let mut scratch = AssignScratch::new(nl);
     // `use_stability` is result-relevant: fold it into the cache context so
     // the ablation path can never stitch stability-refined traces.
@@ -416,21 +555,21 @@ pub fn compute_peak_power_cached(
         let ev = assign_segment(
             nl,
             tree,
-            &adjusted,
+            adjusted,
             si,
             Parity::Even,
             use_stability,
-            &tr,
+            tr,
             &mut scratch,
         );
         let od = assign_segment(
             nl,
             tree,
-            &adjusted,
+            adjusted,
             si,
             Parity::Odd,
             use_stability,
-            &tr,
+            tr,
             &mut scratch,
         );
         let et = analyzer.analyze_with_boundary(ev.0.as_ref(), &ev.1);
@@ -441,7 +580,18 @@ pub fn compute_peak_power_cached(
         even_traces.push(et);
         odd_traces.push(ot);
     }
+    compose_bound(tree, even_traces, odd_traces)
+}
 
+/// Interleaves per-segment even/odd traces into the peak-power bound —
+/// the one composition loop shared by every Algorithm 2 entry point
+/// (single-corner, cached, and sweep), which is what keeps their results
+/// byte-identical.
+fn compose_bound(
+    tree: &ExecutionTree,
+    even_traces: Vec<PowerTrace>,
+    odd_traces: Vec<PowerTrace>,
+) -> PeakPowerResult {
     let mut bound = Vec::with_capacity(tree.segments().len());
     let mut peak = 0.0f64;
     let mut peak_at = (SegmentId(0), 0usize);

@@ -12,7 +12,9 @@
 //! daemon's on-disk cache.
 
 use crate::jsonout::JsonWriter;
-use crate::Analysis;
+use crate::peak_power::{PeakEnergyResult, PeakPowerResult};
+use crate::tree::ExecutionTree;
+use crate::{Analysis, ExploreStats};
 
 /// The owned, serializable bounds of one co-analysis.
 ///
@@ -49,9 +51,20 @@ pub struct BoundsReport {
 impl BoundsReport {
     /// Extracts the report from a finished analysis.
     pub fn from_analysis(a: &Analysis<'_>) -> BoundsReport {
-        let peak = a.peak_power();
-        let energy = a.peak_energy();
-        let stats = a.stats();
+        BoundsReport::from_parts(a.tree(), a.stats(), a.peak_power(), &a.peak_energy())
+    }
+
+    /// Assembles the report from the pipeline's parts — the
+    /// operating-point sweep path, where one shared exploration feeds many
+    /// per-corner Algorithm 2 / peak-energy results and no per-corner
+    /// [`Analysis`] is ever materialized. [`BoundsReport::from_analysis`]
+    /// delegates here, so both paths fill the fields identically.
+    pub fn from_parts(
+        tree: &ExecutionTree,
+        stats: &ExploreStats,
+        peak: &PeakPowerResult,
+        energy: &PeakEnergyResult,
+    ) -> BoundsReport {
         BoundsReport {
             peak_mw: peak.peak_mw,
             peak_cycle: peak.peak_cycle,
@@ -59,7 +72,7 @@ impl BoundsReport {
             peak_energy_j: energy.peak_energy_j,
             energy_cycles: energy.cycles,
             converged: energy.converged,
-            segments: a.tree().segments().len() as u64,
+            segments: tree.segments().len() as u64,
             cycles: stats.cycles,
             forks: stats.forks,
             merges: stats.merges,

@@ -1,0 +1,370 @@
+//! Operating-point sweeps: explore once, bound every corner.
+//!
+//! A peak-power/energy bound is per *(application, core, library, clock,
+//! voltage)* — but Algorithm 1 (symbolic exploration) never reads the
+//! library, clock, or voltage. The execution tree depends only on the
+//! program and the netlist; the operating point enters solely at
+//! Algorithm 2 ([`peak_power::compute_peak_power_shared`]) and the
+//! peak-energy value iteration (where the clock sets the period). A
+//! bound-vs-operating-point curve over N corners therefore costs ~1
+//! exploration plus N cheap composition passes, not N full analyses.
+//!
+//! [`run_sweep`] is that amortization, staged by how far each
+//! intermediate is corner-invariant:
+//!
+//! * **once per sweep** — the execution tree, its deterministic
+//!   [`ExploreStats`], and the merge-adjusted frames (pure functions of
+//!   the program and netlist);
+//! * **once per base library** — the max-transitions table and the
+//!   even/odd X-**assignment** of the whole tree: a voltage derate
+//!   scales rise and fall energies by the same `(V/Vnom)²` factor, so
+//!   it can never flip a cell's max-energy transition direction (see
+//!   [`CellLibrary::derated`]), and the assignment reads the library
+//!   only through that table;
+//! * **once per derated library** — the gate-level **energy traces**
+//!   ([`peak_power::analyze_tree_energy`]): transition energies never
+//!   read the clock, so corners differing only in clock share them.
+//!
+//! Per corner, all that remains is the exact femtojoule→milliwatt
+//! conversion at that corner's clock, the bound composition, and the
+//! peak-energy value iteration. Every stage fans out over the shared
+//! [`par`] worker pool.
+//!
+//! **Byte-identity contract.** Every corner's [`BoundsReport`] is
+//! byte-identical to an independent single-corner [`crate::CoAnalysis`]
+//! run of the same program on a [`crate::UlpSystem`] built from that
+//! corner's `(library(), clock_hz)` — at any `(threads, lanes)` setting.
+//! The single-corner entry points compute exactly the shared values this
+//! module precomputes, so the numeric path is the same code either way
+//! (`crates/core/tests/sweep_differential.rs` pins this).
+
+use crate::activity::{ExploreConfig, ExploreStats, SymbolicExplorer};
+use crate::peak_power::{self, MaxTransitions, TreeAssignments, TreeEnergyTraces};
+use crate::summary::BoundsReport;
+use crate::{par, AnalysisError};
+use std::time::Instant;
+use xbound_cells::CellLibrary;
+use xbound_cpu::Cpu;
+use xbound_msp430::Program;
+use xbound_power::PowerAnalyzer;
+
+/// One operating point: a base library, a supply voltage, and a clock.
+///
+/// The voltage is stored against the *base* library and applied lazily
+/// ([`Corner::library`]), so a sweep can group corners by base library
+/// when sharing max-transitions tables. At the base library's nominal
+/// voltage the derate is the identity — the corner keys and caches
+/// exactly like the base library.
+#[derive(Debug, Clone)]
+pub struct Corner {
+    base: CellLibrary,
+    vdd_v: f64,
+    clock_hz: f64,
+}
+
+impl Corner {
+    /// A corner at an explicit supply voltage (volts, absolute).
+    pub fn new(base: CellLibrary, vdd_v: f64, clock_hz: f64) -> Corner {
+        Corner {
+            base,
+            vdd_v,
+            clock_hz,
+        }
+    }
+
+    /// A corner at the base library's nominal voltage.
+    pub fn nominal(base: CellLibrary, clock_hz: f64) -> Corner {
+        let vdd_v = base.voltage_v();
+        Corner::new(base, vdd_v, clock_hz)
+    }
+
+    /// The base (nominal-voltage) library.
+    pub fn base(&self) -> &CellLibrary {
+        &self.base
+    }
+
+    /// Supply voltage, volts.
+    pub fn vdd_v(&self) -> f64 {
+        self.vdd_v
+    }
+
+    /// Operating clock, hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// The (possibly derated) library this corner analyzes under — what a
+    /// direct single-corner [`crate::UlpSystem`] would be built from.
+    pub fn library(&self) -> CellLibrary {
+        self.base.derated(self.vdd_v)
+    }
+
+    /// Canonical corner label, `<library>@<MHz>MHz` — the derated library
+    /// name already encodes the voltage (e.g. `ulp65@0.9v@50MHz`), and
+    /// the nominal corner reads as the bare base (`ulp65@100MHz`).
+    pub fn label(&self) -> String {
+        format!("{}@{}MHz", self.library().name(), self.clock_hz / 1e6)
+    }
+}
+
+/// An ordered list of operating-point corners.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    corners: Vec<Corner>,
+}
+
+impl SweepSpec {
+    /// A sweep over an explicit corner list (order is preserved in every
+    /// result).
+    pub fn new(corners: Vec<Corner>) -> SweepSpec {
+        SweepSpec { corners }
+    }
+
+    /// The cross product `bases × vdd_scales × clocks`, in that nesting
+    /// order. `vdd_scales` are relative to each base's nominal voltage
+    /// (`1.0` = nominal), so one grid spans libraries with different
+    /// nominal supplies.
+    pub fn grid(bases: &[CellLibrary], vdd_scales: &[f64], clocks_hz: &[f64]) -> SweepSpec {
+        let mut corners = Vec::with_capacity(bases.len() * vdd_scales.len() * clocks_hz.len());
+        for base in bases {
+            for &s in vdd_scales {
+                for &clock_hz in clocks_hz {
+                    corners.push(Corner::new(base.clone(), base.voltage_v() * s, clock_hz));
+                }
+            }
+        }
+        SweepSpec { corners }
+    }
+
+    /// The default 8-corner grid of the drivers and the service: each
+    /// embedded library at nominal and 0.9× supply, at its class clock
+    /// and half of it. The first corner is the paper's evaluation target
+    /// (ulp65, 1.0 V, 100 MHz) — the corner CI byte-diffs against a plain
+    /// single-corner run.
+    pub fn suite_default() -> SweepSpec {
+        let mut corners =
+            SweepSpec::grid(&[CellLibrary::ulp65()], &[1.0, 0.9], &[100.0e6, 50.0e6]).corners;
+        corners.extend(
+            SweepSpec::grid(&[CellLibrary::ulp130()], &[1.0, 0.9], &[8.0e6, 4.0e6]).corners,
+        );
+        SweepSpec { corners }
+    }
+
+    /// The first `n` corners (`0` = all) — the drivers' `--sweep-corners`
+    /// truncation knob.
+    pub fn truncated(mut self, n: usize) -> SweepSpec {
+        if n > 0 {
+            self.corners.truncate(n);
+        }
+        self
+    }
+
+    /// The corners, in sweep order.
+    pub fn corners(&self) -> &[Corner] {
+        &self.corners
+    }
+}
+
+/// Sweep telemetry: how much work the corner fan-out reused.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Corners answered.
+    pub corners: u64,
+    /// Corners that reused the shared exploration instead of exploring
+    /// themselves — every corner after the first, per sweep.
+    pub tree_reuse_hits: u64,
+    /// Max-transitions tables built — and with each, one shared even/odd
+    /// X-assignment of the whole tree (one per distinct base library).
+    pub tables_built: u64,
+    /// Gate-level energy-trace sets built (one per distinct derated
+    /// library; corners differing only in clock share one).
+    pub trace_sets_built: u64,
+    /// Corners that converted a shared energy-trace set at their own
+    /// clock instead of re-running the gate-level analysis.
+    pub trace_reuse_hits: u64,
+    /// Wall-clock of the one shared exploration, seconds.
+    pub explore_seconds: f64,
+}
+
+/// One corner's result: the corner, its canonical bounds, and its
+/// composition wall-clock.
+#[derive(Debug, Clone)]
+pub struct CornerResult {
+    /// The operating point.
+    pub corner: Corner,
+    /// Canonical bounds — byte-identical (via
+    /// [`BoundsReport::to_json`]) to a direct single-corner run.
+    pub report: BoundsReport,
+    /// Wall-clock of this corner's Algorithm 2 + peak-energy passes,
+    /// seconds (excludes the shared exploration).
+    pub seconds: f64,
+}
+
+/// The result of one sweep: per-corner bounds in spec order, the shared
+/// exploration's statistics, and the reuse telemetry.
+#[derive(Debug, Clone)]
+pub struct SweepAnalysis {
+    /// Per-corner results, in [`SweepSpec`] order.
+    pub corners: Vec<CornerResult>,
+    /// Statistics of the one shared exploration (corner-invariant).
+    pub explore: ExploreStats,
+    /// Reuse telemetry.
+    pub stats: SweepStats,
+}
+
+/// Runs one sweep: explores `program` once on `cpu`, then fans the
+/// per-corner power-composition and peak-energy passes of `spec` over
+/// `threads` workers (`0` = auto via [`par::resolve_threads`]).
+///
+/// `config.threads`/`config.lanes` govern the shared exploration exactly
+/// as in [`crate::CoAnalysis`]; `threads` governs only the corner
+/// fan-out. Callers already running inside a worker pool should pass
+/// `threads = 1` ("one layer of parallelism at a time").
+///
+/// # Errors
+///
+/// Propagates exploration errors ([`AnalysisError`]); the per-corner
+/// passes are infallible.
+pub fn run_sweep(
+    cpu: &Cpu,
+    spec: &SweepSpec,
+    program: &Program,
+    config: ExploreConfig,
+    energy_rounds: u64,
+    threads: usize,
+) -> Result<SweepAnalysis, AnalysisError> {
+    let t_explore = Instant::now();
+    let (tree, explore) = SymbolicExplorer::new(cpu, config).explore(program)?;
+    let explore_seconds = t_explore.elapsed().as_secs_f64();
+    let nl = cpu.netlist();
+    // Corner-invariant precomputation, shared by every corner below.
+    let adjusted = peak_power::merge_adjusted_frames(&tree);
+    // Group corners by base library (one max-transitions table + one
+    // even/odd X-assignment each: derates share their base's table, and
+    // the assignment reads the library only through the table) and by
+    // derated library (one gate-level energy-trace set each: transition
+    // energies never read the clock).
+    let mut base_of: Vec<usize> = Vec::with_capacity(spec.corners().len());
+    let mut base_names: Vec<&str> = Vec::new();
+    let mut lib_of: Vec<usize> = Vec::with_capacity(spec.corners().len());
+    let mut libs: Vec<(CellLibrary, usize)> = Vec::new();
+    for c in spec.corners() {
+        let base = match base_names.iter().position(|n| *n == c.base().name()) {
+            Some(i) => i,
+            None => {
+                base_names.push(c.base().name());
+                base_names.len() - 1
+            }
+        };
+        base_of.push(base);
+        let lib = c.library();
+        let slot = match libs.iter().position(|(l, _)| l.name() == lib.name()) {
+            Some(i) => i,
+            None => {
+                libs.push((lib, base));
+                libs.len() - 1
+            }
+        };
+        lib_of.push(slot);
+    }
+    // Stage 1, per base library: max-transitions table + tree assignment.
+    let assignments: Vec<(MaxTransitions, TreeAssignments)> = par::par_map_labeled(
+        threads,
+        (0..base_names.len()).collect::<Vec<_>>(),
+        |_, i| format!("assign:{}", base_names[*i]),
+        |_, i| {
+            let base =
+                spec.corners()[base_of.iter().position(|&b| b == i).expect("base in use")].base();
+            let tr = MaxTransitions::build(nl, base);
+            let asg = peak_power::assign_tree(nl, &tree, &adjusted, true, &tr);
+            (tr, asg)
+        },
+    );
+    // Stage 2, per derated library: clock-independent energy traces.
+    let trace_sets: Vec<TreeEnergyTraces> = par::par_map_labeled(
+        threads,
+        (0..libs.len()).collect::<Vec<_>>(),
+        |_, i| format!("analyze:{}", libs[*i].0.name()),
+        |_, i| {
+            let (lib, base) = &libs[i];
+            // Any positive clock works: the energy stage never reads it.
+            let analyzer = PowerAnalyzer::new(nl, lib, 1.0);
+            peak_power::analyze_tree_energy(&analyzer, &assignments[*base].1)
+        },
+    );
+    // Stage 3, per corner: exact fJ→mW conversion, bound composition,
+    // peak-energy value iteration.
+    let corners = par::par_map_labeled(
+        threads,
+        (0..spec.corners().len()).collect::<Vec<_>>(),
+        |_, i| spec.corners()[*i].label(),
+        |_, i| {
+            let corner = &spec.corners()[i];
+            let t0 = Instant::now();
+            let analyzer = PowerAnalyzer::new(nl, &libs[lib_of[i]].0, corner.clock_hz());
+            let peak = peak_power::compose_peak_power(&tree, &analyzer, &trace_sets[lib_of[i]]);
+            let energy =
+                peak_power::compute_peak_energy(&tree, &peak, corner.clock_hz(), energy_rounds);
+            CornerResult {
+                corner: corner.clone(),
+                report: BoundsReport::from_parts(&tree, &explore, &peak, &energy),
+                seconds: t0.elapsed().as_secs_f64(),
+            }
+        },
+    );
+    let stats = SweepStats {
+        corners: corners.len() as u64,
+        tree_reuse_hits: corners.len().saturating_sub(1) as u64,
+        tables_built: assignments.len() as u64,
+        trace_sets_built: trace_sets.len() as u64,
+        trace_reuse_hits: (corners.len() - trace_sets.len()) as u64,
+        explore_seconds,
+    };
+    Ok(SweepAnalysis {
+        corners,
+        explore,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_crosses_in_order_and_truncates() {
+        let spec = SweepSpec::grid(&[CellLibrary::ulp65()], &[1.0, 0.9], &[100.0e6, 50.0e6]);
+        let labels: Vec<String> = spec.corners().iter().map(Corner::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "ulp65@100MHz",
+                "ulp65@50MHz",
+                "ulp65@0.9v@100MHz",
+                "ulp65@0.9v@50MHz",
+            ]
+        );
+        assert_eq!(spec.clone().truncated(3).corners().len(), 3);
+        assert_eq!(spec.clone().truncated(0).corners().len(), 4);
+    }
+
+    #[test]
+    fn suite_default_grid_leads_with_the_paper_target() {
+        let spec = SweepSpec::suite_default();
+        assert_eq!(spec.corners().len(), 8);
+        let first = &spec.corners()[0];
+        assert_eq!(first.library().name(), "ulp65");
+        assert_eq!(first.clock_hz(), 100.0e6);
+        assert_eq!(first.label(), "ulp65@100MHz");
+        // Exactly two distinct base libraries → two shared tables.
+        let distinct: std::collections::BTreeSet<&str> =
+            spec.corners().iter().map(|c| c.base().name()).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn nominal_corner_library_is_the_base_library() {
+        let c = Corner::nominal(CellLibrary::ulp65(), 100.0e6);
+        assert_eq!(c.library(), *c.base());
+    }
+}

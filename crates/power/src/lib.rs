@@ -162,6 +162,64 @@ impl PowerTrace {
 /// for the clock distribution buffers of a placed-and-routed design.
 pub const CLOCK_TREE_FACTOR: f64 = 1.25;
 
+/// The clock-independent part of a power analysis: per-cycle and
+/// per-module **dynamic switching energy** in femtojoules.
+///
+/// A [`PowerTrace`] is `floor + fj × (clock_hz × 1e-12)` per cycle — the
+/// transition accumulation itself never reads the clock. Capturing the
+/// femtojoule sums lets one gate-level analysis serve every clock of an
+/// operating-point sweep: [`EnergyTrace::to_power_trace`] applies exactly
+/// the float operations [`BatchPowerAccumulator::finish`] applies, so the
+/// converted trace is bit-identical to re-analyzing the same frames with
+/// an analyzer bound to that clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTrace {
+    /// Per-cycle switching energy, femtojoules (cycle 0 is always 0).
+    per_cycle_fj: Vec<f64>,
+    /// Per-module per-cycle switching energy, `[module][cycle]`,
+    /// femtojoules.
+    per_module_fj: Vec<Vec<f64>>,
+}
+
+impl EnergyTrace {
+    /// Per-cycle switching energy, femtojoules.
+    pub fn per_cycle_fj(&self) -> &[f64] {
+        &self.per_cycle_fj
+    }
+
+    /// Number of cycles in the trace.
+    pub fn cycles(&self) -> usize {
+        self.per_cycle_fj.len()
+    }
+
+    /// Converts to the [`PowerTrace`] that `analyzer` would have produced
+    /// by analyzing the same frames directly — bit-identical, because
+    /// both paths compute `(leakage + clock) + fj × (clock_hz × 1e-12)`
+    /// per cycle with the same operations in the same order.
+    ///
+    /// `analyzer` must be bound to the same netlist and library the
+    /// energies were accumulated under; only its clock may differ.
+    pub fn to_power_trace(&self, analyzer: &PowerAnalyzer) -> PowerTrace {
+        let fj_to_mw = analyzer.clock_hz * 1e-12;
+        let floor = analyzer.leakage_mw + analyzer.clock_mw;
+        PowerTrace {
+            per_cycle_mw: self
+                .per_cycle_fj
+                .iter()
+                .map(|&fj| floor + fj * fj_to_mw)
+                .collect(),
+            per_module_mw: self
+                .per_module_fj
+                .iter()
+                .map(|m| m.iter().map(|&fj| fj * fj_to_mw).collect())
+                .collect(),
+            module_names: analyzer.nl.modules().to_vec(),
+            clock_hz: analyzer.clock_hz,
+            leakage_mw: analyzer.leakage_mw,
+        }
+    }
+}
+
 /// Activity-based power analyzer bound to a netlist + library + clock.
 #[derive(Debug, Clone)]
 pub struct PowerAnalyzer<'a> {
@@ -307,6 +365,24 @@ impl<'a> PowerAnalyzer<'a> {
         acc.finish(lane_cycles)
     }
 
+    /// [`PowerAnalyzer::analyze_with_boundary`], stopped at the
+    /// clock-independent femtojoule stage (see [`EnergyTrace`]). The full
+    /// trace is `energy.to_power_trace(analyzer)`; an operating-point
+    /// sweep accumulates once per library and converts once per clock.
+    pub fn analyze_energy_with_boundary(
+        &self,
+        boundary: Option<&Frame>,
+        frames: &[Frame],
+    ) -> EnergyTrace {
+        let mut acc = self.batch_accumulator(1);
+        let mut prev: Option<&Frame> = None;
+        for cur in boundary.into_iter().chain(frames) {
+            acc.push_scalar_pair(prev, cur);
+            prev = Some(cur);
+        }
+        acc.finish_energy(None).pop().expect("one lane")
+    }
+
     /// Creates a streaming accumulator for batched per-lane power
     /// analysis; push one settled [`BatchFrame`] per cycle and
     /// [`BatchPowerAccumulator::finish`] into per-lane traces.
@@ -315,9 +391,8 @@ impl<'a> PowerAnalyzer<'a> {
             analyzer: self,
             lanes,
             prev: None,
-            per_cycle: vec![Vec::new(); lanes],
-            per_module: vec![vec![Vec::new(); self.nl.modules().len()]; lanes],
-            cycle_fj: vec![0.0; lanes],
+            per_cycle_fj: vec![Vec::new(); lanes],
+            per_module_fj: vec![vec![Vec::new(); self.nl.modules().len()]; lanes],
         }
     }
 
@@ -353,40 +428,40 @@ impl<'a> PowerAnalyzer<'a> {
 /// Per lane, energies accumulate in the exact order and with the exact
 /// f64 operations of the scalar [`PowerAnalyzer::analyze`], so the
 /// finished traces are bit-identical to per-lane scalar analysis.
+///
+/// Internally the accumulation is pure femtojoules ([`EnergyTrace`]
+/// layout); the clock enters only in [`BatchPowerAccumulator::finish`]'s
+/// conversion, which is what makes one accumulation reusable across every
+/// clock of a sweep.
 #[derive(Debug, Clone)]
 pub struct BatchPowerAccumulator<'a> {
     analyzer: &'a PowerAnalyzer<'a>,
     lanes: usize,
     prev: Option<BatchFrame>,
-    /// `[lane][cycle]`.
-    per_cycle: Vec<Vec<f64>>,
-    /// `[lane][module][cycle]`.
-    per_module: Vec<Vec<Vec<f64>>>,
-    cycle_fj: Vec<f64>,
+    /// `[lane][cycle]`, femtojoules.
+    per_cycle_fj: Vec<Vec<f64>>,
+    /// `[lane][module][cycle]`, femtojoules.
+    per_module_fj: Vec<Vec<Vec<f64>>>,
 }
 
 impl BatchPowerAccumulator<'_> {
     /// Number of cycles pushed so far.
     pub fn cycles(&self) -> usize {
-        self.per_cycle.first().map(|v| v.len()).unwrap_or(0)
+        self.per_cycle_fj.first().map(|v| v.len()).unwrap_or(0)
     }
 
-    /// Opens a cycle row: every lane gets the input-independent floor
-    /// (leakage + clock), every module row a zero. Returns the cycle
-    /// index the transition kernel accumulates into.
+    /// Opens a cycle row: a zero femtojoule slot per lane and per module.
+    /// Returns the cycle index the transition kernel accumulates into.
     fn begin_cycle(&mut self) -> usize {
-        let a = self.analyzer;
-        let floor = a.leakage_mw + a.clock_mw;
         let c = self.cycles();
-        for pc in &mut self.per_cycle {
-            pc.push(floor);
+        for pc in &mut self.per_cycle_fj {
+            pc.push(0.0);
         }
-        for pm in &mut self.per_module {
+        for pm in &mut self.per_module_fj {
             for m in pm.iter_mut() {
                 m.push(0.0);
             }
         }
-        self.cycle_fj.fill(0.0);
         c
     }
 
@@ -412,7 +487,6 @@ impl BatchPowerAccumulator<'_> {
         };
         let (rise_e, fall_e, max_e) = a.energies[gid.index()];
         let module = a.nl.gate(gid).module().index();
-        let fj_to_mw = a.clock_hz * 1e-12;
         let known = !p.unk & !q.unk;
         let rise = changed & known & !p.val & q.val;
         let fall = changed & known & p.val & !q.val;
@@ -421,19 +495,10 @@ impl BatchPowerAccumulator<'_> {
             let mut m = mask;
             while m != 0 {
                 let l = m.trailing_zeros() as usize;
-                self.cycle_fj[l] += e;
-                self.per_module[l][module][c] += e * fj_to_mw;
+                self.per_cycle_fj[l][c] += e;
+                self.per_module_fj[l][module][c] += e;
                 m &= m - 1;
             }
-        }
-    }
-
-    /// Closes a cycle row: folds the accumulated per-lane femtojoules
-    /// into the per-cycle milliwatt rows.
-    fn end_cycle(&mut self, c: usize) {
-        let fj_to_mw = self.analyzer.clock_hz * 1e-12;
-        for (l, fj) in self.cycle_fj.iter().enumerate() {
-            self.per_cycle[l][c] += fj * fj_to_mw;
         }
     }
 
@@ -452,12 +517,10 @@ impl BatchPowerAccumulator<'_> {
             for i in 0..frame.len() {
                 self.accumulate_net(c, i, prev.get(i), frame.get(i));
             }
-            self.end_cycle(c);
             let mut prev = prev;
             prev.clone_from(frame);
             self.prev = Some(prev);
         } else {
-            self.end_cycle(c);
             self.prev = Some(frame.clone());
         }
     }
@@ -482,7 +545,6 @@ impl BatchPowerAccumulator<'_> {
                 let i = i as usize;
                 self.accumulate_net(c, i, prev.get(i), frame.get(i));
             }
-            self.end_cycle(c);
             let mut prev = prev;
             for &i in changed {
                 let i = i as usize;
@@ -490,7 +552,6 @@ impl BatchPowerAccumulator<'_> {
             }
             self.prev = Some(prev);
         } else {
-            self.end_cycle(c);
             self.prev = Some(frame.clone());
         }
     }
@@ -518,18 +579,37 @@ impl BatchPowerAccumulator<'_> {
                 );
             });
         }
-        self.end_cycle(c);
     }
 
     /// Finishes into one [`PowerTrace`] per lane. `lane_cycles`
     /// optionally truncates each lane's trace to its first
     /// `lane_cycles[l]` cycles (see [`PowerAnalyzer::analyze_batch`]).
     ///
+    /// Delegates to [`BatchPowerAccumulator::finish_energy`] +
+    /// [`EnergyTrace::to_power_trace`], so the milliwatt trace and an
+    /// energy trace converted later at the same clock cannot diverge.
+    ///
     /// # Panics
     ///
     /// Panics if `lane_cycles` has the wrong arity or exceeds the number
     /// of pushed cycles.
     pub fn finish(self, lane_cycles: Option<&[usize]>) -> Vec<PowerTrace> {
+        let analyzer = self.analyzer;
+        self.finish_energy(lane_cycles)
+            .into_iter()
+            .map(|e| e.to_power_trace(analyzer))
+            .collect()
+    }
+
+    /// Finishes into one clock-independent [`EnergyTrace`] per lane (the
+    /// femtojoule stage of [`BatchPowerAccumulator::finish`]); convert
+    /// with [`EnergyTrace::to_power_trace`] once per clock of interest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_cycles` has the wrong arity or exceeds the number
+    /// of pushed cycles.
+    pub fn finish_energy(self, lane_cycles: Option<&[usize]>) -> Vec<EnergyTrace> {
         let pushed = self.cycles();
         let full = vec![pushed; self.lanes];
         let lane_cycles = lane_cycles.unwrap_or(&full);
@@ -537,22 +617,18 @@ impl BatchPowerAccumulator<'_> {
         for &n in lane_cycles {
             assert!(n <= pushed, "lane cycle count exceeds pushed cycles");
         }
-        let module_names = self.analyzer.nl.modules().to_vec();
-        self.per_cycle
+        self.per_cycle_fj
             .into_iter()
-            .zip(self.per_module)
+            .zip(self.per_module_fj)
             .zip(lane_cycles)
             .map(|((mut pc, mut pm), &n)| {
                 pc.truncate(n);
                 for m in pm.iter_mut() {
                     m.truncate(n);
                 }
-                PowerTrace {
-                    per_cycle_mw: pc,
-                    per_module_mw: pm,
-                    module_names: module_names.clone(),
-                    clock_hz: self.analyzer.clock_hz,
-                    leakage_mw: self.analyzer.leakage_mw,
+                EnergyTrace {
+                    per_cycle_fj: pc,
+                    per_module_fj: pm,
                 }
             })
             .collect()

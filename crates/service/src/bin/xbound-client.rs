@@ -13,6 +13,14 @@
 //!   benchmark **in suite order** (byte-identical to `suite_summary
 //!   --bounds` output — results stream per-completion and are reordered
 //!   client-side);
+//! * `sweep [--corners N] [BENCH...]` — bound named benchmarks at every
+//!   corner of the operating-point grid (N caps the grid; 0/absent =
+//!   all corners), exploring each benchmark once server-side; prints
+//!   one corner-stamped `{"name": ..., "bounds": ..., "corner": ...}`
+//!   line per `(benchmark, corner)` in suite × grid order
+//!   (byte-identical to `suite_summary --sweep --bounds` output) and
+//!   writes one bound-vs-corner curve JSON per benchmark under
+//!   `<results dir>/sweeps/`;
 //! * `stats` — print the daemon's telemetry line;
 //! * `wait` — block until the daemon answers a `stats` request (CI
 //!   readiness probe);
@@ -96,7 +104,7 @@ fn main() {
     }
     let addr = addr.unwrap_or_else(|| format!("127.0.0.1:{port}"));
     let Some((command, cmd_args)) = rest.split_first() else {
-        fail("usage: xbound-client [--port N | --addr HOST:PORT] analyze|suite|stats|wait|shutdown [ARGS]");
+        fail("usage: xbound-client [--port N | --addr HOST:PORT] analyze|suite|sweep|stats|wait|shutdown [ARGS]");
     };
     match command.as_str() {
         "analyze" => {
@@ -110,6 +118,7 @@ fn main() {
             println!("{response}");
         }
         "suite" => suite(&addr, cmd_args),
+        "sweep" => sweep(&addr, cmd_args),
         "stats" => {
             let response = roundtrip(&addr, &protocol::op_request("stats"));
             check_ok(&response);
@@ -142,19 +151,17 @@ fn check_ok(response: &str) {
     }
 }
 
-/// Runs a suite request and prints canonical per-benchmark bound lines
-/// in suite order (the daemon streams per-completion; we reorder).
-fn suite(addr: &str, names: &[String]) {
-    // Resolve the canonical order locally so `suite` with no arguments
-    // prints the full suite in `xbound_benchsuite::all()` order.
-    let order: Vec<String> = if names.is_empty() {
+/// Resolves the canonical client-side print order: the full suite in
+/// `xbound_benchsuite::all()` order when no names are given, the
+/// deduplicated request order otherwise (the daemon analyzes duplicates
+/// once and streams one result per distinct name).
+fn canonical_order(names: &[String]) -> Vec<String> {
+    if names.is_empty() {
         xbound_benchsuite::all()
             .iter()
             .map(|b| b.name().to_string())
             .collect()
     } else {
-        // The daemon analyzes duplicates once and streams one result
-        // line per distinct name — mirror that in the printed order.
         let mut order = Vec::with_capacity(names.len());
         for n in names {
             if !order.contains(n) {
@@ -162,7 +169,13 @@ fn suite(addr: &str, names: &[String]) {
             }
         }
         order
-    };
+    }
+}
+
+/// Runs a suite request and prints canonical per-benchmark bound lines
+/// in suite order (the daemon streams per-completion; we reorder).
+fn suite(addr: &str, names: &[String]) {
+    let order = canonical_order(names);
     let mut conn = Conn::open(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
     conn.send(&protocol::suite_request(&order))
         .unwrap_or_else(|e| fail(&format!("request failed: {e}")));
@@ -210,6 +223,124 @@ fn suite(addr: &str, names: &[String]) {
         match slot {
             Some(line) => println!("{line}"),
             None => errors.push(format!("{}: no result", order[i])),
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("xbound-client: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Runs a sweep request: prints corner-stamped canonical bound lines in
+/// suite × grid order (the daemon streams whole benchmarks
+/// per-completion, corners in grid order within each; we reorder the
+/// benchmarks) and writes one bound-vs-corner curve JSON per benchmark
+/// under `<results dir>/sweeps/`.
+fn sweep(addr: &str, cmd_args: &[String]) {
+    let mut corners = 0u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = cmd_args.iter();
+    while let Some(a) = it.next() {
+        if a == "--corners" {
+            corners = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail("--corners needs a non-negative integer"));
+        } else {
+            names.push(a.clone());
+        }
+    }
+    let order = canonical_order(&names);
+    let mut conn = Conn::open(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    conn.send(&protocol::sweep_request(&order, corners))
+        .unwrap_or_else(|e| fail(&format!("request failed: {e}")));
+    // Per-benchmark corner results, in arrival order within a benchmark
+    // (the daemon writes each benchmark's corners consecutively in grid
+    // order).
+    let mut results: Vec<Vec<(String, xbound_core::BoundsReport)>> = vec![Vec::new(); order.len()];
+    let mut errors = Vec::new();
+    loop {
+        let line = conn
+            .recv()
+            .unwrap_or_else(|e| fail(&format!("stream ended early: {e}")));
+        let v = Json::parse(&line).unwrap_or_else(|e| fail(&format!("bad response: {e}")));
+        if v.get("done").is_some() {
+            break;
+        }
+        let name = v.get("name").and_then(Json::as_str);
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            let name = name.unwrap_or_else(|| fail(&format!("result without name: {line}")));
+            let corner = v
+                .get("corner")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(&format!("result without corner: {line}")));
+            let bounds = v
+                .get("bounds")
+                .unwrap_or_else(|| fail(&format!("response without bounds: {line}")));
+            let report = xbound_service::cache::bounds_from_json(bounds)
+                .unwrap_or_else(|e| fail(&format!("bad bounds: {e}")));
+            match order.iter().position(|n| n == name) {
+                Some(i) => results[i].push((corner.to_string(), report)),
+                None => errors.push(format!("unexpected benchmark `{name}` in stream")),
+            }
+        } else {
+            let e = v.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            match name {
+                Some(name) => errors.push(format!("{name}: {e}")),
+                None => fail(&format!("daemon error: {e}")),
+            }
+        }
+    }
+    let sweeps_dir = xbound_core::outdirs::results_dir().and_then(|d| {
+        let dir = d.join("sweeps");
+        std::fs::create_dir_all(&dir)?;
+        Ok(dir)
+    });
+    for (i, corners) in results.iter().enumerate() {
+        if corners.is_empty() {
+            errors.push(format!("{}: no result", order[i]));
+            continue;
+        }
+        for (corner, report) in corners {
+            // Re-serializing reproduces the daemon's bytes exactly; the
+            // line matches `suite_summary --sweep --bounds` output.
+            let mut w = xbound_core::jsonout::JsonWriter::compact();
+            w.begin_object();
+            w.field_str("name", &order[i]);
+            w.key("bounds");
+            report.write(&mut w);
+            w.field_str("corner", corner);
+            w.end_object();
+            println!("{}", w.finish());
+        }
+        // The per-benchmark bound-vs-corner curve document.
+        match &sweeps_dir {
+            Ok(dir) => {
+                let mut w = xbound_core::jsonout::JsonWriter::pretty();
+                w.begin_object();
+                w.field_str("name", &order[i]);
+                w.key("curve");
+                w.begin_array();
+                for (corner, report) in corners {
+                    w.begin_object();
+                    w.field_str("corner", corner);
+                    w.key("bounds");
+                    report.write(&mut w);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+                let mut doc = w.finish();
+                doc.push('\n');
+                let path = dir.join(format!("{}.json", order[i]));
+                match xbound_core::outdirs::write_atomic(&path, doc.as_bytes()) {
+                    Ok(()) => eprintln!("xbound-client: wrote {}", path.display()),
+                    Err(e) => errors.push(format!("write {}: {e}", path.display())),
+                }
+            }
+            Err(e) => errors.push(format!("results dir: {e}")),
         }
     }
     if !errors.is_empty() {

@@ -55,10 +55,31 @@ impl KeyMaterial {
         config: &ExploreConfig,
         energy_rounds: u64,
     ) -> KeyMaterial {
+        KeyMaterial::for_corner(
+            program,
+            system.library().name(),
+            system.clock_hz(),
+            config,
+            energy_rounds,
+        )
+    }
+
+    /// Builds the key for one operating-point corner, given the corner's
+    /// (possibly derated) library name and clock directly. `new`
+    /// delegates here, so a sweep corner and a direct single-corner run
+    /// of the same operating point produce the same key — their cache
+    /// entries compose.
+    pub fn for_corner(
+        program: &Program,
+        library: &str,
+        clock_hz: f64,
+        config: &ExploreConfig,
+        energy_rounds: u64,
+    ) -> KeyMaterial {
         KeyMaterial {
             image: program.image_bytes(),
-            library: system.library().name().to_string(),
-            clock_hz: system.clock_hz(),
+            library: library.to_string(),
+            clock_hz,
             max_segment_cycles: config.max_segment_cycles,
             max_total_cycles: config.max_total_cycles,
             widen_threshold: config.widen_threshold,

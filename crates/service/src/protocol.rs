@@ -13,6 +13,7 @@
 //! {"op": "analyze", "source": "<assembly>"}
 //! {"op": "analyze", "image": {"entry": 49152, "words": [[49152, 16451], ...]}}
 //! {"op": "suite", "benches": ["mult", "tea8"]}        // [] or absent = all
+//! {"op": "sweep", "benches": ["mult"], "corners": 4}  // 0/absent = full grid
 //! {"op": "stats"}
 //! {"op": "shutdown"}
 //! ```
@@ -56,6 +57,15 @@ pub enum Request {
     Suite {
         /// Benchmark names; empty = the whole suite.
         benches: Vec<String>,
+    },
+    /// Analyze named benchmarks over the operating-point grid, exploring
+    /// each benchmark once and bounding every corner from the shared
+    /// tree. Streams one result line per `(benchmark, corner)`.
+    Sweep {
+        /// Benchmark names; empty = the whole suite.
+        benches: Vec<String>,
+        /// Corner-count cap over the default grid; 0 = the full grid.
+        corners: u64,
     },
     /// Service telemetry.
     Stats,
@@ -143,25 +153,41 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 energy_rounds,
             })
         }
-        "suite" => {
-            let benches = match v.get("benches") {
-                None => Vec::new(),
-                Some(b) => b
-                    .as_arr()
-                    .ok_or("`benches` must be an array of names")?
-                    .iter()
-                    .map(|n| {
-                        n.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| "`benches` must be an array of names".to_string())
-                    })
-                    .collect::<Result<Vec<String>, String>>()?,
+        "suite" => Ok(Request::Suite {
+            benches: parse_benches(&v)?,
+        }),
+        "sweep" => {
+            let corners = match v.get("corners") {
+                None => 0,
+                Some(c) => c
+                    .as_u64()
+                    .ok_or("`corners` must be a non-negative integer")?,
             };
-            Ok(Request::Suite { benches })
+            Ok(Request::Sweep {
+                benches: parse_benches(&v)?,
+                corners,
+            })
         }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Parses the optional `benches` array shared by `suite` and `sweep`.
+fn parse_benches(v: &Json) -> Result<Vec<String>, String> {
+    match v.get("benches") {
+        None => Ok(Vec::new()),
+        Some(b) => b
+            .as_arr()
+            .ok_or("`benches` must be an array of names")?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "`benches` must be an array of names".to_string())
+            })
+            .collect(),
     }
 }
 
@@ -208,6 +234,23 @@ pub fn suite_request(benches: &[String]) -> String {
         w.str_val(b);
     }
     w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Serializes a `sweep` request (client side). `corners == 0` asks for
+/// the full default grid.
+pub fn sweep_request(benches: &[String], corners: u64) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_str("op", "sweep");
+    w.key("benches");
+    w.begin_array();
+    for b in benches {
+        w.str_val(b);
+    }
+    w.end_array();
+    w.field_u64("corners", corners);
     w.end_object();
     w.finish()
 }
@@ -259,6 +302,35 @@ pub fn suite_done_response(completed: u64, failed: u64) -> String {
     w.begin_object();
     w.field_bool("ok", true);
     w.field_u64("done", completed);
+    w.field_u64("failed", failed);
+    w.end_object();
+    w.finish()
+}
+
+/// One streamed `sweep` result line: the canonical
+/// `{"name": ..., "bounds": ...}` payload of [`suite_result_response`]
+/// plus a trailing `"corner"` label, so stripping the corner recovers a
+/// byte-identical single-corner bounds record.
+pub fn sweep_result_response(name: &str, corner: &str, bounds: &BoundsReport) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_bool("ok", true);
+    w.field_str("name", name);
+    w.key("bounds");
+    bounds.write(&mut w);
+    w.field_str("corner", corner);
+    w.end_object();
+    w.finish()
+}
+
+/// The final `sweep` line: completed benchmarks, total corner lines
+/// streamed, and failed benchmarks.
+pub fn sweep_done_response(completed: u64, corners: u64, failed: u64) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_bool("ok", true);
+    w.field_u64("done", completed);
+    w.field_u64("corners", corners);
     w.field_u64("failed", failed);
     w.end_object();
     w.finish()
@@ -360,6 +432,27 @@ mod tests {
             parse_request(&op_request("shutdown")).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn sweep_round_trips_and_validates() {
+        assert_eq!(
+            parse_request(&sweep_request(&["mult".to_string()], 4)).unwrap(),
+            Request::Sweep {
+                benches: vec!["mult".to_string()],
+                corners: 4
+            }
+        );
+        // Absent knobs default to the whole suite over the full grid.
+        assert_eq!(
+            parse_request(r#"{"op": "sweep"}"#).unwrap(),
+            Request::Sweep {
+                benches: Vec::new(),
+                corners: 0
+            }
+        );
+        assert!(parse_request(r#"{"op": "sweep", "corners": -2}"#).is_err());
+        assert!(parse_request(r#"{"op": "sweep", "benches": "mult"}"#).is_err());
     }
 
     #[test]

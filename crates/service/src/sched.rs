@@ -25,6 +25,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use xbound_core::memo::{MemoStats, SubtreeMemo};
+use xbound_core::sweep::{run_sweep, Corner, SweepSpec};
 use xbound_core::{par, BoundsReport, CoAnalysis, ExploreConfig, UlpSystem};
 use xbound_msp430::Program;
 
@@ -55,13 +56,37 @@ pub enum Served {
     Coalesced,
 }
 
-/// One queued analysis.
+/// One sweep-corner result: the corner label and its canonical bounds
+/// (byte-identical to a direct single-corner analysis of that operating
+/// point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCornerOutcome {
+    /// The corner label ([`Corner::label`]), e.g. `ulp65@0.9v@50MHz`.
+    pub label: String,
+    /// The canonical analysis result for this corner.
+    pub report: BoundsReport,
+    /// How this corner was satisfied (telemetry only).
+    pub served: Served,
+}
+
+/// One queued unit of work.
 struct Job {
-    key: KeyMaterial,
     program: Program,
     config: ExploreConfig,
     energy_rounds: u64,
-    slot: Arc<Slot>,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// One single-corner analysis.
+    Analyze { key: KeyMaterial, slot: Arc<Slot> },
+    /// One shared exploration fanning Algorithm 2 + peak-energy over the
+    /// listed corners (only the corners that missed cache and had no
+    /// identical in-flight work — each entry is content-addressed
+    /// independently, so cache hits compose per corner).
+    Sweep {
+        corners: Vec<(KeyMaterial, Corner, Arc<Slot>)>,
+    },
 }
 
 /// A completion slot shared by every request waiting on one analysis.
@@ -115,6 +140,13 @@ struct Shared {
     memo: Option<Arc<SubtreeMemo>>,
     analyses_run: AtomicU64,
     coalesced: AtomicU64,
+    /// Sweep jobs executed (each = one shared exploration).
+    sweeps_run: AtomicU64,
+    /// Corners bounded fresh inside sweep jobs.
+    sweep_corners: AtomicU64,
+    /// Corners that reused a sweep job's shared execution tree instead
+    /// of exploring again (corners − 1 per sweep job).
+    sweep_tree_reuse: AtomicU64,
     /// Work-stealing explorer telemetry accumulated across every fresh
     /// analysis (scheduling-dependent; surfaced by `stats`, never part of
     /// any analyze response).
@@ -186,6 +218,9 @@ impl Scheduler {
             memo,
             analyses_run: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            sweeps_run: AtomicU64::new(0),
+            sweep_corners: AtomicU64::new(0),
+            sweep_tree_reuse: AtomicU64::new(0),
             explore_steals: AtomicU64::new(0),
             explore_steal_failures: AtomicU64::new(0),
             explore_idle_wakeups: AtomicU64::new(0),
@@ -231,6 +266,22 @@ impl Scheduler {
     /// Requests that joined an identical in-flight analysis.
     pub fn coalesced(&self) -> u64 {
         self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Sweep jobs executed (each = one shared exploration).
+    pub fn sweeps_run(&self) -> u64 {
+        self.shared.sweeps_run.load(Ordering::Relaxed)
+    }
+
+    /// Corners bounded fresh inside sweep jobs.
+    pub fn sweep_corners(&self) -> u64 {
+        self.shared.sweep_corners.load(Ordering::Relaxed)
+    }
+
+    /// Corners that reused a sweep's shared execution tree instead of
+    /// exploring again.
+    pub fn sweep_tree_reuse(&self) -> u64 {
+        self.shared.sweep_tree_reuse.load(Ordering::Relaxed)
     }
 
     /// Work-stealing explorer telemetry accumulated across every fresh
@@ -330,17 +381,138 @@ impl Scheduler {
                 return Err("server is shutting down".to_string());
             }
             state.queue.push_back(Job {
-                key,
                 program: program.clone(),
                 config,
                 energy_rounds,
-                slot: Arc::clone(&slot),
+                kind: JobKind::Analyze {
+                    key,
+                    slot: Arc::clone(&slot),
+                },
             });
             self.shared.job_ready.notify_one();
             slot
         };
         let report = slot.wait()?;
         done(report, Served::Fresh)
+    }
+
+    /// Bounds `program` at every corner of `spec`, exploring **once**
+    /// for all the corners that need fresh work. Each corner is
+    /// content-addressed independently ([`KeyMaterial::for_corner`]):
+    /// cached corners answer from the cache, corners identical to
+    /// in-flight work coalesce onto it, and only the rest ride the
+    /// shared exploration — so sweep and single-corner requests compose
+    /// through one cache. Results come back in `spec` order,
+    /// byte-identical to direct single-corner analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing corner's error message (the shared
+    /// exploration failing fails every fresh corner identically).
+    pub fn sweep(
+        &self,
+        program: &Program,
+        spec: &SweepSpec,
+        config: ExploreConfig,
+        energy_rounds: u64,
+    ) -> Result<Vec<SweepCornerOutcome>, String> {
+        // Per-corner key material first (outside any lock).
+        let keyed: Vec<(KeyMaterial, &Corner)> = spec
+            .corners()
+            .iter()
+            .map(|c| {
+                (
+                    KeyMaterial::for_corner(
+                        program,
+                        c.library().name(),
+                        c.clock_hz(),
+                        &config,
+                        energy_rounds,
+                    ),
+                    c,
+                )
+            })
+            .collect();
+        // Unlocked cache probe per corner.
+        enum Pending {
+            Ready(BoundsReport, Served),
+            Wait(Arc<Slot>, Served),
+        }
+        let mut pending: Vec<Option<Pending>> = keyed
+            .iter()
+            .map(|(key, _)| {
+                self.shared.cache.get(key).map(|(report, hit)| {
+                    let served = match hit {
+                        CacheHit::Memory => Served::CacheMemory,
+                        CacheHit::Disk => Served::CacheDisk,
+                    };
+                    Pending::Ready(report, served)
+                })
+            })
+            .collect();
+        {
+            let mut state = self.shared.state.lock().expect("state lock");
+            let mut fresh: Vec<(KeyMaterial, Corner, Arc<Slot>)> = Vec::new();
+            for (i, (key, corner)) in keyed.iter().enumerate() {
+                if pending[i].is_some() {
+                    continue;
+                }
+                let hex = key.hex();
+                if let Some(slot) = state.inflight.get(&hex) {
+                    self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                    pending[i] = Some(Pending::Wait(Arc::clone(slot), Served::Coalesced));
+                    continue;
+                }
+                // Same under-lock re-probe as `analyze`: the corner may
+                // have been published between the unlocked probe and now.
+                if let Some((report, hit)) = self.shared.cache.recheck(key) {
+                    let served = match hit {
+                        CacheHit::Memory => Served::CacheMemory,
+                        CacheHit::Disk => Served::CacheDisk,
+                    };
+                    pending[i] = Some(Pending::Ready(report, served));
+                    continue;
+                }
+                let slot = Slot::new();
+                state.inflight.insert(hex, Arc::clone(&slot));
+                pending[i] = Some(Pending::Wait(Arc::clone(&slot), Served::Fresh));
+                fresh.push((key.clone(), (*corner).clone(), slot));
+            }
+            if !fresh.is_empty() {
+                while state.queue.len() >= self.shared.queue_capacity && !state.shutdown {
+                    state = self.shared.space.wait(state).expect("space wait");
+                }
+                if state.shutdown {
+                    for (key, _, slot) in &fresh {
+                        state.inflight.remove(&key.hex());
+                        slot.fill(Err("server is shutting down".to_string()));
+                    }
+                    return Err("server is shutting down".to_string());
+                }
+                state.queue.push_back(Job {
+                    program: program.clone(),
+                    config,
+                    energy_rounds,
+                    kind: JobKind::Sweep { corners: fresh },
+                });
+                self.shared.job_ready.notify_one();
+            }
+        }
+        keyed
+            .iter()
+            .zip(pending)
+            .map(|((_, corner), p)| {
+                let (report, served) = match p.expect("every corner resolved") {
+                    Pending::Ready(report, served) => (report, served),
+                    Pending::Wait(slot, served) => (slot.wait()?, served),
+                };
+                Ok(SweepCornerOutcome {
+                    label: corner.label(),
+                    report,
+                    served,
+                })
+            })
+            .collect()
     }
 
     /// Stops accepting jobs, drains the queue, and joins the workers.
@@ -390,35 +562,93 @@ fn worker_loop(shared: &Shared) {
             threads: explore_threads,
             ..job.config
         };
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            CoAnalysis::new(&shared.system)
-                .config(config)
-                .energy_rounds(job.energy_rounds)
-                .memo(shared.memo.clone())
-                .run(&job.program)
-                .map(|a| {
-                    shared.note_explore(&a.stats().batch);
-                    BoundsReport::from_analysis(&a)
-                })
-                .map_err(|e| e.to_string())
-        }))
-        .unwrap_or_else(|p| {
-            Err(format!(
-                "analysis panicked: {}",
-                par::payload_message(p.as_ref())
-            ))
-        });
-        if let Ok(report) = &result {
-            // Publish to the cache *before* retiring the in-flight entry
-            // so a request arriving in between finds one or the other —
-            // never a third analysis.
-            shared.cache.put(&job.key, report);
+        match job.kind {
+            JobKind::Analyze { key, slot } => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    CoAnalysis::new(&shared.system)
+                        .config(config)
+                        .energy_rounds(job.energy_rounds)
+                        .memo(shared.memo.clone())
+                        .run(&job.program)
+                        .map(|a| {
+                            shared.note_explore(&a.stats().batch);
+                            BoundsReport::from_analysis(&a)
+                        })
+                        .map_err(|e| e.to_string())
+                }))
+                .unwrap_or_else(|p| {
+                    Err(format!(
+                        "analysis panicked: {}",
+                        par::payload_message(p.as_ref())
+                    ))
+                });
+                if let Ok(report) = &result {
+                    // Publish to the cache *before* retiring the
+                    // in-flight entry so a request arriving in between
+                    // finds one or the other — never a third analysis.
+                    shared.cache.put(&key, report);
+                }
+                {
+                    let mut state = shared.state.lock().expect("state lock");
+                    state.inflight.remove(&key.hex());
+                }
+                slot.fill(result);
+            }
+            JobKind::Sweep { corners } => {
+                // One shared exploration for every fresh corner; the
+                // corner fan-out stays serial inside a worker ("one layer
+                // of parallelism at a time", like the explore threads).
+                let spec = SweepSpec::new(corners.iter().map(|(_, c, _)| c.clone()).collect());
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_sweep(
+                        shared.system.cpu(),
+                        &spec,
+                        &job.program,
+                        config,
+                        job.energy_rounds,
+                        explore_threads,
+                    )
+                    .map_err(|e| e.to_string())
+                }))
+                .unwrap_or_else(|p| {
+                    Err(format!(
+                        "sweep panicked: {}",
+                        par::payload_message(p.as_ref())
+                    ))
+                });
+                match result {
+                    Ok(sweep) => {
+                        shared.sweeps_run.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .sweep_corners
+                            .fetch_add(sweep.stats.corners, Ordering::Relaxed);
+                        shared
+                            .sweep_tree_reuse
+                            .fetch_add(sweep.stats.tree_reuse_hits, Ordering::Relaxed);
+                        shared.note_explore(&sweep.explore.batch);
+                        // `run_sweep` preserves corner order, so results
+                        // zip against the keyed corners positionally.
+                        for ((key, _, slot), cr) in corners.iter().zip(sweep.corners) {
+                            shared.cache.put(key, &cr.report);
+                            {
+                                let mut state = shared.state.lock().expect("state lock");
+                                state.inflight.remove(&key.hex());
+                            }
+                            slot.fill(Ok(cr.report));
+                        }
+                    }
+                    Err(e) => {
+                        for (key, _, slot) in &corners {
+                            {
+                                let mut state = shared.state.lock().expect("state lock");
+                                state.inflight.remove(&key.hex());
+                            }
+                            slot.fill(Err(e.clone()));
+                        }
+                    }
+                }
+            }
         }
-        {
-            let mut state = shared.state.lock().expect("state lock");
-            state.inflight.remove(&job.key.hex());
-        }
-        job.slot.fill(result);
     }
 }
 
@@ -495,6 +725,30 @@ mod tests {
         assert_eq!(sched.analyses_run(), 2);
         assert_ne!(a.key_hex, b.key_hex, "distinct programs, distinct keys");
         assert!(a.report.cycles > 0 && b.report.cycles > 0);
+    }
+
+    #[test]
+    fn sweep_and_single_corner_requests_compose_through_the_cache() {
+        let sched = scheduler(2);
+        let program = tiny_program(6);
+        let cfg = ExploreConfig::suite_default();
+        let spec = SweepSpec::suite_default().truncated(2);
+        let outcomes = sched.sweep(&program, &spec, cfg, 1000).expect("sweeps");
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.served == Served::Fresh));
+        assert_eq!(sched.sweeps_run(), 1);
+        assert_eq!(sched.sweep_corners(), 2);
+        assert_eq!(sched.sweep_tree_reuse(), 1);
+        // The nominal corner's cache entry answers a direct
+        // single-corner request byte-identically.
+        let direct = sched.analyze(&program, cfg, 1000).expect("analyzes");
+        assert_eq!(direct.served, Served::CacheMemory);
+        assert_eq!(direct.report.to_json(), outcomes[0].report.to_json());
+        // Re-sweeping is pure cache hits: no new exploration runs.
+        let again = sched.sweep(&program, &spec, cfg, 1000).expect("sweeps");
+        assert!(again.iter().all(|o| o.served == Served::CacheMemory));
+        assert_eq!(sched.sweeps_run(), 1);
+        assert_eq!(again[1].label, "ulp65@50MHz");
     }
 
     #[test]

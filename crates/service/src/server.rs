@@ -174,6 +174,9 @@ impl Service {
                 Ok(false)
             }
             Request::Suite { benches } => self.run_suite(&benches, out).map(|()| false),
+            Request::Sweep { benches, corners } => {
+                self.run_sweep(&benches, corners, out).map(|()| false)
+            }
             Request::Stats => {
                 writeln!(out, "{}", self.stats_response())?;
                 Ok(false)
@@ -192,34 +195,44 @@ impl Service {
         }
     }
 
-    /// Streams suite results per-completion, then the `done` line.
-    fn run_suite(&self, names: &[String], out: &mut impl Write) -> std::io::Result<()> {
+    /// Resolves request names to benchmarks (empty = the whole suite),
+    /// deduplicating and rejecting unknown names. `Ok(None)` means an
+    /// error response was already written.
+    fn resolve_benches(
+        names: &[String],
+        out: &mut impl Write,
+    ) -> std::io::Result<Option<Vec<&'static xbound_benchsuite::Benchmark>>> {
         // Duplicates are analyzed once (one result line per distinct
         // name) — this also bounds the per-request fan-out at the suite
         // size, since unknown names are rejected.
-        let list: Vec<&'static xbound_benchsuite::Benchmark> = if names.is_empty() {
-            xbound_benchsuite::all().iter().collect()
-        } else {
-            let mut list: Vec<&'static xbound_benchsuite::Benchmark> =
-                Vec::with_capacity(names.len());
-            for n in names {
-                match xbound_benchsuite::by_name(n) {
-                    Some(b) => {
-                        if !list.iter().any(|have| have.name() == b.name()) {
-                            list.push(b);
-                        }
-                    }
-                    None => {
-                        writeln!(
-                            out,
-                            "{}",
-                            protocol::error_response(&format!("unknown benchmark `{n}`"))
-                        )?;
-                        return Ok(());
+        if names.is_empty() {
+            return Ok(Some(xbound_benchsuite::all().iter().collect()));
+        }
+        let mut list: Vec<&'static xbound_benchsuite::Benchmark> = Vec::with_capacity(names.len());
+        for n in names {
+            match xbound_benchsuite::by_name(n) {
+                Some(b) => {
+                    if !list.iter().any(|have| have.name() == b.name()) {
+                        list.push(b);
                     }
                 }
+                None => {
+                    writeln!(
+                        out,
+                        "{}",
+                        protocol::error_response(&format!("unknown benchmark `{n}`"))
+                    )?;
+                    return Ok(None);
+                }
             }
-            list
+        }
+        Ok(Some(list))
+    }
+
+    /// Streams suite results per-completion, then the `done` line.
+    fn run_suite(&self, names: &[String], out: &mut impl Write) -> std::io::Result<()> {
+        let Some(list) = Self::resolve_benches(names, out)? else {
+            return Ok(());
         };
         let (tx, rx) = mpsc::channel();
         let mut completed = 0u64;
@@ -269,6 +282,79 @@ impl Service {
         writeln!(out, "{}", protocol::suite_done_response(completed, failed))
     }
 
+    /// Streams operating-point sweep results — one line per
+    /// `(benchmark, corner)`, corners in grid order within each
+    /// completed benchmark — then the `done` line. Each benchmark
+    /// explores once for all its fresh corners
+    /// ([`Scheduler::sweep`](crate::sched::Scheduler::sweep)).
+    fn run_sweep(
+        &self,
+        names: &[String],
+        corners: u64,
+        out: &mut impl Write,
+    ) -> std::io::Result<()> {
+        let Some(list) = Self::resolve_benches(names, out)? else {
+            return Ok(());
+        };
+        let spec = xbound_core::sweep::SweepSpec::suite_default().truncated(corners as usize);
+        let spec = &spec;
+        let (tx, rx) = mpsc::channel();
+        let mut completed = 0u64;
+        let mut corner_lines = 0u64;
+        let mut failed = 0u64;
+        // Same drain discipline as `run_suite`: a client that goes away
+        // mid-stream must not strand the workers' results.
+        let mut write_err: Option<std::io::Error> = None;
+        std::thread::scope(|s| {
+            for b in list {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let config = ExploreConfig {
+                        widen_threshold: b.widen_threshold(),
+                        ..ExploreConfig::suite_default()
+                    };
+                    let result = b
+                        .program()
+                        .map_err(|e| e.to_string())
+                        .and_then(|p| self.scheduler.sweep(&p, spec, config, b.energy_rounds()));
+                    let _ = tx.send((b.name(), result));
+                });
+            }
+            drop(tx);
+            for (name, result) in rx {
+                let lines: Vec<String> = match result {
+                    Ok(outcomes) => {
+                        completed += 1;
+                        corner_lines += outcomes.len() as u64;
+                        outcomes
+                            .iter()
+                            .map(|o| protocol::sweep_result_response(name, &o.label, &o.report))
+                            .collect()
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        vec![protocol::suite_error_response(name, &e)]
+                    }
+                };
+                for line in lines {
+                    if write_err.is_none() {
+                        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                            write_err = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(e) = write_err {
+            return Err(e);
+        }
+        writeln!(
+            out,
+            "{}",
+            protocol::sweep_done_response(completed, corner_lines, failed)
+        )
+    }
+
     fn stats_response(&self) -> String {
         let (hits_mem, hits_disk, misses) = self.cache.counters();
         let mut w = JsonWriter::compact();
@@ -287,6 +373,12 @@ impl Service {
         w.field_u64("cache_misses", misses);
         w.field_u64("coalesced", self.scheduler.coalesced());
         w.field_u64("analyses_run", self.scheduler.analyses_run());
+        // Operating-point sweep telemetry: sweep jobs executed, corners
+        // bounded fresh inside them, and corners that reused a shared
+        // execution tree instead of exploring again.
+        w.field_u64("sweeps_run", self.scheduler.sweeps_run());
+        w.field_u64("sweep_corners", self.scheduler.sweep_corners());
+        w.field_u64("sweep_tree_reuse", self.scheduler.sweep_tree_reuse());
         // Which gate-eval engine serves analyses (result-neutral: cached
         // and fresh answers are byte-identical across engines, so it is
         // telemetry, not key material).

@@ -224,3 +224,50 @@ fn malformed_and_unknown_requests_get_error_responses() {
     client.roundtrip(&protocol::op_request("shutdown"));
     server.join();
 }
+
+#[test]
+fn sweep_streams_corner_stamped_bounds_that_compose_with_the_cache() {
+    let server = memory_only_server();
+    let mut client = Client::connect(server.addr());
+    client.send(&protocol::sweep_request(&["mult".to_string()], 2));
+    let first = client.recv();
+    let second = client.recv();
+    let done = client.recv();
+    assert!(
+        done.contains("\"done\": 1") && done.contains("\"corners\": 2"),
+        "{done}"
+    );
+    for (line, label) in [(&first, "ulp65@100MHz"), (&second, "ulp65@50MHz")] {
+        let v = Json::parse(line).expect("parses");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("mult"), "{line}");
+        assert_eq!(
+            v.get("corner").and_then(Json::as_str),
+            Some(label),
+            "corners stream in grid order: {line}"
+        );
+    }
+    // The nominal corner seeded the cache: a plain suite request for the
+    // same benchmark is a pure cache hit with byte-identical bounds.
+    let v = Json::parse(&first).expect("parses");
+    let sweep_bounds =
+        xbound_service::cache::bounds_from_json(v.get("bounds").expect("bounds")).expect("valid");
+    client.send(&protocol::suite_request(&["mult".to_string()]));
+    let suite_line = client.recv();
+    let _done = client.recv();
+    let sv = Json::parse(&suite_line).expect("parses");
+    let suite_bounds =
+        xbound_service::cache::bounds_from_json(sv.get("bounds").expect("bounds")).expect("valid");
+    assert_eq!(
+        suite_bounds.to_json(),
+        sweep_bounds.to_json(),
+        "sweep corner and suite bounds must be byte-identical"
+    );
+    let stats = client.roundtrip(&protocol::op_request("stats"));
+    assert_eq!(stat(&stats, "sweeps_run"), 1, "{stats}");
+    assert_eq!(stat(&stats, "sweep_corners"), 2, "{stats}");
+    assert_eq!(stat(&stats, "sweep_tree_reuse"), 1, "{stats}");
+    assert!(stat(&stats, "cache_hits_memory") >= 1, "{stats}");
+    client.roundtrip(&protocol::op_request("shutdown"));
+    server.join();
+}
