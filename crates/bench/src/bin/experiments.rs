@@ -117,7 +117,7 @@ fn main() {
             "ga_smoke" => ga_smoke(&mut h),
             other => {
                 ran.pop();
-                eprintln!("unknown experiment id `{other}`");
+                xbound_obs::error!("experiments", "unknown experiment id `{other}`");
             }
         }
     }
@@ -146,10 +146,10 @@ fn write_manifest(ran: &[&str]) {
         Ok(dir) => {
             let path = dir.join("manifest.json");
             if let Err(e) = std::fs::write(&path, doc) {
-                eprintln!("experiments: could not write {}: {e}", path.display());
+                xbound_obs::warn!("experiments", "could not write {}: {e}", path.display());
             }
         }
-        Err(e) => eprintln!("experiments: could not create results dir: {e}"),
+        Err(e) => xbound_obs::warn!("experiments", "could not create results dir: {e}"),
     }
 }
 

@@ -151,7 +151,7 @@ fn main() {
         let mut doc = w.finish();
         doc.push('\n');
         std::fs::write(&path, doc).expect("write json");
-        eprintln!("wrote {path}");
+        xbound_obs::info!("replay", "wrote {path}");
     }
 }
 

@@ -52,6 +52,11 @@
 //!   smoke contract). Not combinable with `--validate`/`--incremental`.
 //! * `--sweep-corners N` — truncate the default 8-corner grid to its
 //!   first `N` corners (the CI smoke runs 4).
+//! * `--trace PATH` — record a Chrome-trace of the run (exploration,
+//!   power composition, sweep stages, per-worker scheduling events) and
+//!   write it to PATH at exit; load it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>. `XBOUND_TRACE=PATH` is the environment
+//!   spelling. Tracing never changes result bytes — only timings.
 //! * positional names — restrict the run to those benchmarks (the CI smoke
 //!   invocation runs a fast subset).
 use rand::rngs::StdRng;
@@ -82,6 +87,7 @@ fn name_salt(name: &str) -> u64 {
 }
 
 fn main() {
+    let mut trace_path = xbound_obs::trace::init_from_env();
     let mut names: Vec<String> = Vec::new();
     let mut threads = 0usize;
     let mut lanes = 0usize;
@@ -128,6 +134,11 @@ fn main() {
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             "--bounds" => bounds_path = Some(args.next().expect("--bounds PATH")),
+            "--trace" => {
+                let path = args.next().expect("--trace PATH");
+                xbound_obs::trace::enable();
+                trace_path = Some(path);
+            }
             other => names.push(other.to_string()),
         }
     }
@@ -158,6 +169,7 @@ fn main() {
             explore_lanes,
             bounds_path.as_deref(),
         );
+        write_trace(trace_path);
         return;
     }
     let memo = xbound_core::memo::from_env(incremental);
@@ -336,7 +348,7 @@ fn main() {
         let mut doc = w.finish();
         doc.push('\n');
         std::fs::write(&path, doc).expect("write json");
-        eprintln!("wrote {path}");
+        xbound_obs::info!("suite", "wrote {path}");
     }
 
     if let Some(path) = bounds_path {
@@ -358,7 +370,22 @@ fn main() {
             out.push('\n');
         }
         std::fs::write(&path, out).expect("write bounds");
-        eprintln!("wrote {path}");
+        xbound_obs::info!("suite", "wrote {path}");
+    }
+    write_trace(trace_path);
+}
+
+/// Writes the Chrome trace collected this run (no-op when tracing was
+/// never enabled).
+fn write_trace(path: Option<String>) {
+    if let Some(path) = path {
+        match xbound_obs::trace::write_chrome_trace(&path) {
+            Ok(()) => xbound_obs::info!("suite", "wrote trace {path}"),
+            Err(e) => {
+                xbound_obs::error!("suite", "trace write {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -509,7 +536,7 @@ fn sweep_mode(
     let mut doc = w.finish();
     doc.push('\n');
     std::fs::write(curve_path, doc).expect("write sweep curves");
-    eprintln!("wrote {curve_path}");
+    xbound_obs::info!("suite", "wrote {curve_path}");
 
     if let Some(path) = bounds_path {
         // Corner-stamped canonical bound lines: drop the trailing
@@ -544,6 +571,6 @@ fn sweep_mode(
             }
         }
         std::fs::write(path, out).expect("write bounds");
-        eprintln!("wrote {path}");
+        xbound_obs::info!("suite", "wrote {path}");
     }
 }

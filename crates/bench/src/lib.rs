@@ -253,10 +253,10 @@ pub fn emit(id: &str, title: &str, body: &str) {
         Ok(dir) => {
             let path = dir.join(format!("{id}.txt"));
             if let Err(e) = std::fs::write(&path, &text) {
-                eprintln!("experiments: could not write {}: {e}", path.display());
+                xbound_obs::warn!("experiments", "could not write {}: {e}", path.display());
             }
         }
-        Err(e) => eprintln!("experiments: could not create results dir: {e}"),
+        Err(e) => xbound_obs::warn!("experiments", "could not create results dir: {e}"),
     }
 }
 

@@ -82,7 +82,38 @@ use std::sync::{Arc, Condvar, Mutex};
 use xbound_cpu::Cpu;
 use xbound_logic::{BatchFrame, Frame, LaneVal, Lv, XWord};
 use xbound_msp430::Program;
+use xbound_obs::{metrics, trace};
 use xbound_sim::{BatchSimulator, MachineState, MemRead, MemWrite, SimError};
+
+/// Global observability mirrors of the explorer's scheduling telemetry.
+///
+/// The deterministic stats pipeline ([`ExploreStats`]) stays the source
+/// of truth; these registry counters are fed once per exploration from
+/// the aggregated [`BatchExploreStats`] (never from the hot loop), so
+/// the metrics layer costs nothing per gate pass and cannot perturb the
+/// byte-identity contract.
+struct ExploreMetrics {
+    explorations: metrics::Counter,
+    gate_passes: metrics::Counter,
+    committed_cycles: metrics::Counter,
+    steals: metrics::Counter,
+    steal_failures: metrics::Counter,
+    idle_wakeups: metrics::Counter,
+    explore_us: metrics::Histogram,
+}
+
+fn explore_metrics() -> &'static ExploreMetrics {
+    static M: std::sync::OnceLock<ExploreMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| ExploreMetrics {
+        explorations: metrics::counter("xbound_explore_runs_total"),
+        gate_passes: metrics::counter("xbound_explore_gate_passes_total"),
+        committed_cycles: metrics::counter("xbound_explore_committed_cycles_total"),
+        steals: metrics::counter("xbound_explore_steals_total"),
+        steal_failures: metrics::counter("xbound_explore_steal_failures_total"),
+        idle_wakeups: metrics::counter("xbound_explore_idle_wakeups_total"),
+        explore_us: metrics::histogram("xbound_explore_duration_us"),
+    })
+}
 
 /// Tunables for the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1158,8 +1189,28 @@ impl<'c> SymbolicExplorer<'c> {
         &self,
         program: &Program,
     ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
+        let m = explore_metrics();
+        m.explorations.inc();
+        let t0 = std::time::Instant::now();
+        let r = self.explore_pooled(program);
+        m.explore_us.observe_us(t0.elapsed().as_micros() as u64);
+        r
+    }
+
+    /// [`Self::explore`] behind the metrics funnel: resolves the pool
+    /// shape and runs the commit loop, inline or against a worker pool.
+    fn explore_pooled(
+        &self,
+        program: &Program,
+    ) -> Result<(ExecutionTree, ExploreStats), AnalysisError> {
         let threads = crate::par::resolve_threads(self.config.threads);
         let lanes = crate::par::resolve_explore_lanes(self.config.lanes);
+        let _span = trace::span_args("explore", || {
+            vec![
+                ("threads".to_string(), threads.to_string()),
+                ("lanes".to_string(), lanes.to_string()),
+            ]
+        });
         if threads <= 1 {
             return self.explore_driver(program, None, lanes);
         }
@@ -1203,6 +1254,9 @@ impl<'c> SymbolicExplorer<'c> {
     /// batch, buffers the results, and immediately self-expands any forks
     /// into new local work without waiting for a commit.
     fn ws_worker_loop(&self, program: &Program, pool: &WsPool, lanes: usize, me: usize) {
+        if trace::enabled() {
+            trace::set_thread_label(&format!("explore-worker-{me}"));
+        }
         let log_mem = self.memo.is_some();
         let mut runner = PathRunner::new(self.cpu, program, lanes, 0, log_mem);
         let mut round: u64 = 0;
@@ -1234,6 +1288,12 @@ impl<'c> SymbolicExplorer<'c> {
                         continue;
                     }
                     pool.steals.fetch_add(1, Ordering::Relaxed);
+                    trace::instant_args("steal", || {
+                        vec![
+                            ("victim".to_string(), v.to_string()),
+                            ("branches".to_string(), got.len().to_string()),
+                        ]
+                    });
                     victim = v;
                     batch = got;
                     break;
@@ -1301,6 +1361,12 @@ impl<'c> SymbolicExplorer<'c> {
                 // commit loop never needs the branch, the panic dies with
                 // the discarded speculation — a single-threaded run would
                 // never have simulated that branch at all.
+                let batch_span = trace::span_args("explore_batch", || {
+                    vec![
+                        ("branches".to_string(), misses.len().to_string()),
+                        ("victim".to_string(), victim.to_string()),
+                    ]
+                });
                 let results = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     self.ws_test_panic(misses.iter().map(|t| t.depth));
                     runner.run_batch(self, batch_tasks)
@@ -1324,6 +1390,7 @@ impl<'c> SymbolicExplorer<'c> {
                             .collect()
                     }
                 };
+                drop(batch_span);
                 pool.absorb(&runner.stats);
                 runner.stats = BatchExploreStats::default();
                 done.extend(misses.into_iter().zip(results));
@@ -1621,6 +1688,15 @@ impl<'c> SymbolicExplorer<'c> {
                 stats.batch.absorb(&pool.drain_stats());
             }
             stats.batch.committed_cycles_per_worker = per_worker;
+            // Mirror the run's scheduling telemetry into the global
+            // registry — one batched add per exploration, off the hot
+            // path, after the deterministic stats are final.
+            let m = explore_metrics();
+            m.gate_passes.add(stats.batch.gate_passes);
+            m.committed_cycles.add(stats.cycles);
+            m.steals.add(stats.batch.steals);
+            m.steal_failures.add(stats.batch.steal_failures);
+            m.idle_wakeups.add(stats.batch.idle_wakeups);
             stats
         };
 
@@ -1631,6 +1707,13 @@ impl<'c> SymbolicExplorer<'c> {
                 self.memo_record(cur_pre, start, &result);
             }
             // Commit `result` into segment `current`.
+            trace::instant_args("commit", || {
+                vec![
+                    ("segment".to_string(), current.index().to_string()),
+                    ("worker".to_string(), cur_src.to_string()),
+                    ("cycles".to_string(), result.frames.len().to_string()),
+                ]
+            });
             stats.cycles += result.frames.len() as u64;
             per_worker[cur_src] += result.frames.len() as u64;
             tree.get_mut(current).frames.append(&mut result.frames);
@@ -1654,6 +1737,12 @@ impl<'c> SymbolicExplorer<'c> {
                 }
                 PathEnd::Fork { branch_pc, dirs } => {
                     stats.forks += 1;
+                    trace::instant_args("fork", || {
+                        vec![
+                            ("branch_pc".to_string(), format!("{branch_pc:#06x}")),
+                            ("depth".to_string(), cur_depth.to_string()),
+                        ]
+                    });
                     let mut spec_orphaned = false;
                     let branch_frame_cycle = {
                         let seg = tree.segment(current);

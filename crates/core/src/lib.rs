@@ -42,8 +42,6 @@
 
 pub mod activity;
 pub mod coi;
-pub mod jsonin;
-pub mod jsonout;
 pub mod memo;
 pub mod optimize;
 pub mod outdirs;
@@ -53,6 +51,13 @@ pub mod summary;
 pub mod sweep;
 pub mod tree;
 pub mod validate;
+
+// The canonical JSON reader/writer moved down into the observability
+// layer (the workspace's new bottom crate) so instrumented crates can
+// serialize metrics without depending on `xbound_core`. Re-exported here
+// because every producer of canonical artifacts historically reached
+// them as `xbound_core::jsonout` / `xbound_core::jsonin`.
+pub use xbound_obs::{jsonin, jsonout};
 
 use std::fmt;
 use xbound_cells::CellLibrary;
@@ -428,6 +433,8 @@ impl<'s> CoAnalysis<'s> {
     ///
     /// See [`AnalysisError`].
     pub fn run(self, program: &Program) -> Result<Analysis<'s>, AnalysisError> {
+        let _span = xbound_obs::trace::span("co_analysis");
+        xbound_obs::metrics::counter("xbound_analyses_total").inc();
         let mut explorer = SymbolicExplorer::new(self.system.cpu(), self.config);
         let ctx = memo::context_hash(
             &self.config,

@@ -75,6 +75,28 @@ use xbound_sim::MachineState;
 use crate::activity::ExploreConfig;
 use crate::jsonin::Json;
 use crate::jsonout::JsonWriter;
+use xbound_obs::{metrics, trace};
+
+/// Registry mirrors of the memo's hit/miss telemetry. Unlike the
+/// explorer (which mirrors once per run), these increment at the lookup
+/// sites — a lookup already pays a map lock, so one relaxed add is
+/// noise — which keeps the counters live for a shared daemon memo.
+struct MemoMetrics {
+    hits: metrics::Counter,
+    misses: metrics::Counter,
+    power_hits: metrics::Counter,
+    power_misses: metrics::Counter,
+}
+
+fn memo_metrics() -> &'static MemoMetrics {
+    static M: std::sync::OnceLock<MemoMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| MemoMetrics {
+        hits: metrics::counter("xbound_memo_hits_total"),
+        misses: metrics::counter("xbound_memo_misses_total"),
+        power_hits: metrics::counter("xbound_memo_power_hits_total"),
+        power_misses: metrics::counter("xbound_memo_power_misses_total"),
+    })
+}
 
 /// Bumped whenever the on-disk entry layout or the key material changes;
 /// folded into [`context_hash`] so stale files can never verify.
@@ -422,6 +444,7 @@ impl SubtreeMemo {
     /// replayed over `start`'s memories; anything else (absent key, hash
     /// collision, footprint mismatch, stale disk file) is a miss.
     pub fn lookup(&self, ctx: u64, pre_frames: u64, start: &MachineState) -> Option<ReplayedPath> {
+        let _span = trace::span("memo_lookup");
         let key = key_hash(ctx, pre_frames, start.ffs());
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         {
@@ -433,7 +456,7 @@ impl SubtreeMemo {
                     self.count_hit(&e.end);
                     return Some(replayed);
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.count_miss();
                 return None;
             }
         }
@@ -445,17 +468,23 @@ impl SubtreeMemo {
             self.insert(key, e);
             return Some(replayed);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_miss();
         None
     }
 
     fn count_hit(&self, end: &StoredEnd) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        memo_metrics().hits.inc();
         let stitched = match end {
             StoredEnd::Halt => 1,
             StoredEnd::Fork { dirs, .. } => 1 + dirs.len() as u64,
         };
         self.stitched.fetch_add(stitched, Ordering::Relaxed);
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        memo_metrics().misses.inc();
     }
 
     /// Records one committed path. `reads` is the path's read footprint;
@@ -687,10 +716,12 @@ impl SegmentPowerCache {
             {
                 e.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                memo_metrics().power_hits.inc();
                 return Some((e.even.clone(), e.odd.clone()));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        memo_metrics().power_misses.inc();
         None
     }
 

@@ -347,21 +347,26 @@ where
     let failed = AtomicBool::new(false);
     let panics: Mutex<Vec<(usize, String, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break; // abandon remaining jobs after a failure
-                }
-                let job = queue.lock().expect("queue lock").pop_front();
-                let Some((i, x)) = job else { break };
-                match run_caught(i, x) {
-                    Ok(r) => results.lock().expect("results lock")[i] = Some(r),
-                    Err(ctx) => {
-                        failed.store(true, Ordering::Relaxed);
-                        panics.lock().expect("panic lock").push(ctx);
+        for w in 0..threads {
+            // Named so observability tooling (trace thread tracks, OS
+            // profilers) can tell pool workers apart.
+            std::thread::Builder::new()
+                .name(format!("xbound-par-{w}"))
+                .spawn_scoped(s, || loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break; // abandon remaining jobs after a failure
                     }
-                }
-            });
+                    let job = queue.lock().expect("queue lock").pop_front();
+                    let Some((i, x)) = job else { break };
+                    match run_caught(i, x) {
+                        Ok(r) => results.lock().expect("results lock")[i] = Some(r),
+                        Err(ctx) => {
+                            failed.store(true, Ordering::Relaxed);
+                            panics.lock().expect("panic lock").push(ctx);
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
         }
     });
     let mut panics = panics.into_inner().expect("pool joined");

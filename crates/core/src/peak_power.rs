@@ -534,6 +534,13 @@ pub fn compute_peak_power_shared(
     adjusted: &[Vec<Frame>],
     cache: Option<(&crate::memo::SegmentPowerCache, u64)>,
 ) -> PeakPowerResult {
+    let _span = xbound_obs::trace::span_args("peak_power_compose", || {
+        vec![
+            ("library".to_string(), lib.name().to_string()),
+            ("clock_hz".to_string(), format!("{clock_hz}")),
+            ("segments".to_string(), tree.segments().len().to_string()),
+        ]
+    });
     let analyzer = PowerAnalyzer::new(nl, lib, clock_hz);
     let mut scratch = AssignScratch::new(nl);
     // `use_stability` is result-relevant: fold it into the cache context so
@@ -658,6 +665,7 @@ pub fn compute_peak_energy(
     clock_hz: f64,
     max_rounds: u64,
 ) -> PeakEnergyResult {
+    let _span = xbound_obs::trace::span("peak_energy");
     let period = 1.0 / clock_hz;
     let n = tree.segments().len();
     // Per-segment local energy (J) and cycle count.

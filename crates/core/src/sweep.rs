@@ -46,7 +46,31 @@ use std::time::Instant;
 use xbound_cells::CellLibrary;
 use xbound_cpu::Cpu;
 use xbound_msp430::Program;
+use xbound_obs::{metrics, trace};
 use xbound_power::PowerAnalyzer;
+
+/// Registry mirrors of the sweep's reuse-tier telemetry, fed once per
+/// [`run_sweep`] after the deterministic [`SweepStats`] are final.
+struct SweepMetrics {
+    sweeps: metrics::Counter,
+    corners: metrics::Counter,
+    tree_reuse_hits: metrics::Counter,
+    tables_built: metrics::Counter,
+    trace_sets_built: metrics::Counter,
+    trace_reuse_hits: metrics::Counter,
+}
+
+fn sweep_metrics() -> &'static SweepMetrics {
+    static M: std::sync::OnceLock<SweepMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| SweepMetrics {
+        sweeps: metrics::counter("xbound_sweep_runs_total"),
+        corners: metrics::counter("xbound_sweep_corners_total"),
+        tree_reuse_hits: metrics::counter("xbound_sweep_tree_reuse_hits_total"),
+        tables_built: metrics::counter("xbound_sweep_tables_built_total"),
+        trace_sets_built: metrics::counter("xbound_sweep_trace_sets_built_total"),
+        trace_reuse_hits: metrics::counter("xbound_sweep_trace_reuse_hits_total"),
+    })
+}
 
 /// One operating point: a base library, a supply voltage, and a clock.
 ///
@@ -233,6 +257,9 @@ pub fn run_sweep(
     energy_rounds: u64,
     threads: usize,
 ) -> Result<SweepAnalysis, AnalysisError> {
+    let _span = trace::span_args("sweep", || {
+        vec![("corners".to_string(), spec.corners().len().to_string())]
+    });
     let t_explore = Instant::now();
     let (tree, explore) = SymbolicExplorer::new(cpu, config).explore(program)?;
     let explore_seconds = t_explore.elapsed().as_secs_f64();
@@ -275,6 +302,9 @@ pub fn run_sweep(
         |_, i| {
             let base =
                 spec.corners()[base_of.iter().position(|&b| b == i).expect("base in use")].base();
+            let _span = trace::span_args("sweep_assign", || {
+                vec![("base".to_string(), base.name().to_string())]
+            });
             let tr = MaxTransitions::build(nl, base);
             let asg = peak_power::assign_tree(nl, &tree, &adjusted, true, &tr);
             (tr, asg)
@@ -287,6 +317,9 @@ pub fn run_sweep(
         |_, i| format!("analyze:{}", libs[*i].0.name()),
         |_, i| {
             let (lib, base) = &libs[i];
+            let _span = trace::span_args("sweep_energy_traces", || {
+                vec![("library".to_string(), lib.name().to_string())]
+            });
             // Any positive clock works: the energy stage never reads it.
             let analyzer = PowerAnalyzer::new(nl, lib, 1.0);
             peak_power::analyze_tree_energy(&analyzer, &assignments[*base].1)
@@ -300,6 +333,9 @@ pub fn run_sweep(
         |_, i| spec.corners()[*i].label(),
         |_, i| {
             let corner = &spec.corners()[i];
+            let _span = trace::span_args("sweep_corner", || {
+                vec![("corner".to_string(), corner.label())]
+            });
             let t0 = Instant::now();
             let analyzer = PowerAnalyzer::new(nl, &libs[lib_of[i]].0, corner.clock_hz());
             let peak = peak_power::compose_peak_power(&tree, &analyzer, &trace_sets[lib_of[i]]);
@@ -320,6 +356,14 @@ pub fn run_sweep(
         trace_reuse_hits: (corners.len() - trace_sets.len()) as u64,
         explore_seconds,
     };
+    // Mirror the reuse tiers into the global registry (once per sweep).
+    let sm = sweep_metrics();
+    sm.sweeps.inc();
+    sm.corners.add(stats.corners);
+    sm.tree_reuse_hits.add(stats.tree_reuse_hits);
+    sm.tables_built.add(stats.tables_built);
+    sm.trace_sets_built.add(stats.trace_sets_built);
+    sm.trace_reuse_hits.add(stats.trace_reuse_hits);
     Ok(SweepAnalysis {
         corners,
         explore,

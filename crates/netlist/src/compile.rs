@@ -281,6 +281,9 @@ fn ab_commutes(kind: CellKind) -> bool {
 /// Panics if the netlist has not been finalized.
 pub fn compile(nl: &Netlist, cuts: &BTreeSet<NetId>) -> CompiledNetlist {
     assert!(nl.is_finalized(), "netlist not finalized");
+    let _span = xbound_obs::trace::span_args("compile_netlist", || {
+        vec![("comb_gates".to_string(), nl.topo_order().len().to_string())]
+    });
     let mut stats = CompileStats {
         comb_gates: nl.topo_order().len(),
         ..CompileStats::default()

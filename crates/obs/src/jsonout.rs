@@ -72,7 +72,7 @@ enum Frame {
 /// compact writers emit a single line (the protocol / cache style).
 ///
 /// ```
-/// use xbound_core::jsonout::JsonWriter;
+/// use xbound_obs::jsonout::JsonWriter;
 /// let mut w = JsonWriter::compact();
 /// w.begin_object();
 /// w.field_str("name", "mult");

@@ -1,0 +1,170 @@
+//! Leveled, structured stderr logging behind `XBOUND_LOG`.
+//!
+//! The workspace's progress and warning output used to be scattered
+//! `eprintln!` calls with per-binary prefixes. This module funnels them
+//! through one grep-able key=value line format:
+//!
+//! ```text
+//! ts=12.042 level=warn component=serve msg="accept failed: ..."
+//! ```
+//!
+//! The level comes from `XBOUND_LOG` (`error`, `warn`, `info`, `debug`;
+//! default `info`), resolved once per process. `info` keeps the
+//! historical behavior — progress notes like `wrote PATH` still print —
+//! while `XBOUND_LOG=error` silences everything but hard failures and
+//! `XBOUND_LOG=debug` opens the verbose taps. Use the [`crate::error!`],
+//! [`crate::warn!`], [`crate::info!`], [`crate::debug!`] macros: the
+//! format arguments are not evaluated when the level is filtered out.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Unrecoverable or dropped-work failures.
+    Error,
+    /// Degraded but continuing (cache write failed, spawn failed).
+    Warn,
+    /// Progress notes (`wrote PATH`, daemon startup). The default.
+    Info,
+    /// Verbose internals.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses an `XBOUND_LOG` value; unknown strings fall back to the
+/// default ([`Level::Info`]).
+pub fn parse_level(v: &str) -> Level {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "error" | "e" | "0" => Level::Error,
+        "warn" | "warning" | "w" | "1" => Level::Warn,
+        "debug" | "d" | "3" => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+fn max_level() -> Level {
+    static LEVEL: OnceLock<Level> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("XBOUND_LOG")
+            .map(|v| parse_level(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// True when `level` messages pass the process filter. The macros call
+/// this before evaluating their format arguments.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+fn start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Emits one structured line to stderr. Prefer the level macros; this is
+/// their single funnel (and the place a future sink redirect would go).
+pub fn log(level: Level, component: &str, msg: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = start().elapsed().as_secs_f64();
+    let msg = msg.to_string();
+    // Quote-escape so the line stays one parseable key=value record even
+    // when the message itself contains quotes.
+    let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+    eprintln!(
+        "ts={ts:.3} level={} component={component} msg=\"{escaped}\"",
+        level.as_str()
+    );
+}
+
+/// Logs at [`Level::Error`]: `error!("serve", "startup failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(parse_level("error"), Level::Error);
+        assert_eq!(parse_level("WARN"), Level::Warn);
+        assert_eq!(parse_level("debug"), Level::Debug);
+        assert_eq!(parse_level("info"), Level::Info);
+        assert_eq!(parse_level("garbage"), Level::Info);
+    }
+
+    #[test]
+    fn macros_compile_and_filter() {
+        // `enabled` gates argument evaluation: at the default level a
+        // debug message must not evaluate its arguments.
+        let mut evaluated = false;
+        if enabled(Level::Debug) {
+            evaluated = true;
+        }
+        crate::debug!("test", "never at default level {}", {
+            evaluated = true;
+            1
+        });
+        if std::env::var("XBOUND_LOG").map(|v| parse_level(&v)) != Ok(Level::Debug) {
+            assert!(!evaluated || enabled(Level::Debug));
+        }
+        crate::info!("test", "info line {}", 42);
+        crate::warn!("test", "warn line");
+        crate::error!("test", "error line");
+    }
+}

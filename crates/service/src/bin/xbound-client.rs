@@ -21,10 +21,19 @@
 //!   (byte-identical to `suite_summary --sweep --bounds` output) and
 //!   writes one bound-vs-corner curve JSON per benchmark under
 //!   `<results dir>/sweeps/`;
-//! * `stats` — print the daemon's telemetry line;
+//! * `stats [--watch SECS]` — print the daemon's telemetry line;
+//!   `--watch` re-polls every SECS seconds and prints a delta view
+//!   (requests/s, cache hits/s, queue depth, in-flight) until killed;
+//! * `metrics [--prometheus]` — print the daemon's metrics-registry
+//!   snapshot (canonical JSON, or Prometheus text exposition with
+//!   `--prometheus`);
 //! * `wait` — block until the daemon answers a `stats` request (CI
 //!   readiness probe);
 //! * `shutdown` — ask the daemon to shut down cleanly.
+//!
+//! `stats` and `metrics` responses carry the daemon's `version`
+//! (`<crate>+p<protocol rev>`); the client warns on stderr when it
+//! differs from its own.
 //!
 //! Options: `--port N` (default 4517), `--addr HOST:PORT`,
 //! `--timeout S` (overall deadline for `wait`, default 30 s; polls with
@@ -74,8 +83,24 @@ impl Conn {
 }
 
 fn fail(msg: &str) -> ! {
-    eprintln!("xbound-client: {msg}");
+    xbound_obs::error!("client", "{msg}");
     std::process::exit(1);
+}
+
+/// Warns (once per invocation is enough — the client is one-shot) when
+/// the daemon's `version` differs from this binary's: mixed builds still
+/// interoperate over the line protocol, but telemetry fields may differ.
+fn check_version(response: &Json) {
+    let local = protocol::version_string();
+    if let Some(remote) = response.get("version").and_then(Json::as_str) {
+        if remote != local {
+            xbound_obs::warn!(
+                "client",
+                "daemon version {remote} != client version {local}; \
+                 telemetry fields may differ"
+            );
+        }
+    }
 }
 
 fn main() {
@@ -104,7 +129,7 @@ fn main() {
     }
     let addr = addr.unwrap_or_else(|| format!("127.0.0.1:{port}"));
     let Some((command, cmd_args)) = rest.split_first() else {
-        fail("usage: xbound-client [--port N | --addr HOST:PORT] analyze|suite|sweep|stats|wait|shutdown [ARGS]");
+        fail("usage: xbound-client [--port N | --addr HOST:PORT] analyze|suite|sweep|stats|metrics|wait|shutdown [ARGS]");
     };
     match command.as_str() {
         "analyze" => {
@@ -119,11 +144,8 @@ fn main() {
         }
         "suite" => suite(&addr, cmd_args),
         "sweep" => sweep(&addr, cmd_args),
-        "stats" => {
-            let response = roundtrip(&addr, &protocol::op_request("stats"));
-            check_ok(&response);
-            println!("{response}");
-        }
+        "stats" => stats(&addr, cmd_args),
+        "metrics" => metrics(&addr, cmd_args),
         "wait" => wait_ready(&addr, timeout_secs),
         "shutdown" => {
             let response = roundtrip(&addr, &protocol::op_request("shutdown"));
@@ -131,6 +153,99 @@ fn main() {
             println!("{response}");
         }
         other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+/// `stats` / `stats --watch SECS`: one-shot prints the daemon's raw
+/// telemetry line; watch mode re-polls and prints a delta view
+/// (per-second rates over the interval) until the process is killed or
+/// the daemon goes away.
+fn stats(addr: &str, cmd_args: &[String]) {
+    let mut watch: Option<u64> = None;
+    let mut it = cmd_args.iter();
+    while let Some(a) = it.next() {
+        if a == "--watch" {
+            let secs: u64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail("--watch needs a positive number of seconds"));
+            if secs == 0 {
+                fail("--watch needs a positive number of seconds");
+            }
+            watch = Some(secs);
+        } else {
+            fail(&format!("unknown stats option `{a}`"));
+        }
+    }
+    let Some(secs) = watch else {
+        let response = roundtrip(addr, &protocol::op_request("stats"));
+        check_ok(&response);
+        check_version(
+            &Json::parse(&response).unwrap_or_else(|e| fail(&format!("bad response: {e}"))),
+        );
+        println!("{response}");
+        return;
+    };
+    let field = |v: &Json, name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let mut prev: Option<(Instant, u64, u64, u64)> = None;
+    loop {
+        let response = roundtrip(addr, &protocol::op_request("stats"));
+        check_ok(&response);
+        let v = Json::parse(&response).unwrap_or_else(|e| fail(&format!("bad response: {e}")));
+        if prev.is_none() {
+            check_version(&v);
+        }
+        let now = Instant::now();
+        let requests = field(&v, "requests");
+        let hits = field(&v, "cache_hits_memory") + field(&v, "cache_hits_disk");
+        let analyses = field(&v, "analyses_run");
+        let line = match prev {
+            None => format!("requests={requests} cache_hits={hits} analyses={analyses}"),
+            Some((t0, req0, hits0, an0)) => {
+                let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+                let rate = |cur: u64, old: u64| (cur.saturating_sub(old)) as f64 / dt;
+                format!(
+                    "requests={requests} ({:+.1}/s) cache_hits={hits} ({:+.1}/s) analyses={analyses} ({:+.1}/s)",
+                    rate(requests, req0),
+                    rate(hits, hits0),
+                    rate(analyses, an0),
+                )
+            }
+        };
+        println!(
+            "{line} queue={} inflight={} memo_hits={}",
+            field(&v, "queue_depth"),
+            field(&v, "inflight"),
+            field(&v, "memo_hits"),
+        );
+        prev = Some((now, requests, hits, analyses));
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+}
+
+/// `metrics [--prometheus]`: print the daemon's metrics-registry
+/// snapshot (the canonical JSON response line, or the unescaped
+/// Prometheus text with `--prometheus`).
+fn metrics(addr: &str, cmd_args: &[String]) {
+    let mut prometheus = false;
+    for a in cmd_args {
+        match a.as_str() {
+            "--prometheus" => prometheus = true,
+            other => fail(&format!("unknown metrics option `{other}`")),
+        }
+    }
+    let response = roundtrip(addr, &protocol::metrics_request(prometheus));
+    check_ok(&response);
+    let v = Json::parse(&response).unwrap_or_else(|e| fail(&format!("bad response: {e}")));
+    check_version(&v);
+    if prometheus {
+        let text = v
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("response without prometheus text: {response}")));
+        print!("{text}");
+    } else {
+        println!("{response}");
     }
 }
 
@@ -227,7 +342,7 @@ fn suite(addr: &str, names: &[String]) {
     }
     if !errors.is_empty() {
         for e in &errors {
-            eprintln!("xbound-client: {e}");
+            xbound_obs::error!("client", "{e}");
         }
         std::process::exit(1);
     }
@@ -336,7 +451,7 @@ fn sweep(addr: &str, cmd_args: &[String]) {
                 doc.push('\n');
                 let path = dir.join(format!("{}.json", order[i]));
                 match xbound_core::outdirs::write_atomic(&path, doc.as_bytes()) {
-                    Ok(()) => eprintln!("xbound-client: wrote {}", path.display()),
+                    Ok(()) => xbound_obs::info!("client", "wrote {}", path.display()),
                     Err(e) => errors.push(format!("write {}: {e}", path.display())),
                 }
             }
@@ -345,7 +460,7 @@ fn sweep(addr: &str, cmd_args: &[String]) {
     }
     if !errors.is_empty() {
         for e in &errors {
-            eprintln!("xbound-client: {e}");
+            xbound_obs::error!("client", "{e}");
         }
         std::process::exit(1);
     }

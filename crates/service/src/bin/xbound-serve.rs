@@ -23,6 +23,10 @@
 //! The daemon prints one readiness line to stdout
 //! (`xbound-serve listening on HOST:PORT ...`) and then serves until an
 //! `xbound-client shutdown` request.
+//!
+//! Environment: `XBOUND_TRACE=out.json` traces the daemon (request
+//! lifecycle, scheduler, exploration spans) and writes a Chrome-trace
+//! JSON file on clean shutdown; `XBOUND_LOG` sets the stderr log level.
 
 use std::io::Write as _;
 use xbound_service::{Server, ServiceConfig};
@@ -31,6 +35,7 @@ use xbound_service::{Server, ServiceConfig};
 const DEFAULT_PORT: u16 = 4517;
 
 fn main() {
+    let trace_out = xbound_obs::trace::init_from_env();
     let mut config = ServiceConfig {
         port: DEFAULT_PORT,
         ..ServiceConfig::default()
@@ -39,7 +44,7 @@ fn main() {
     while let Some(a) = args.next() {
         let mut value = |flag: &str| -> String {
             args.next().unwrap_or_else(|| {
-                eprintln!("xbound-serve: {flag} needs a value");
+                xbound_obs::error!("serve", "{flag} needs a value");
                 std::process::exit(2);
             })
         };
@@ -55,7 +60,7 @@ fn main() {
             }
             "--queue" => config.queue_capacity = parse(&value("--queue"), "--queue"),
             other => {
-                eprintln!("xbound-serve: unknown option `{other}`");
+                xbound_obs::error!("serve", "unknown option `{other}`");
                 std::process::exit(2);
             }
         }
@@ -63,7 +68,7 @@ fn main() {
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("xbound-serve: startup failed: {e}");
+            xbound_obs::error!("serve", "startup failed: {e}");
             std::process::exit(1);
         }
     };
@@ -80,12 +85,18 @@ fn main() {
     );
     let _ = std::io::stdout().flush();
     server.join();
+    if let Some(path) = trace_out {
+        match xbound_obs::trace::write_chrome_trace(&path) {
+            Ok(()) => xbound_obs::info!("serve", "wrote trace {path}"),
+            Err(e) => xbound_obs::warn!("serve", "trace write {path} failed: {e}"),
+        }
+    }
     println!("xbound-serve: shut down cleanly");
 }
 
 fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> T {
     v.parse().unwrap_or_else(|_| {
-        eprintln!("xbound-serve: bad value `{v}` for {flag}");
+        xbound_obs::error!("serve", "bad value `{v}` for {flag}");
         std::process::exit(2);
     })
 }

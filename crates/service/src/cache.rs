@@ -351,7 +351,7 @@ impl BoundCache {
             // directory from interleaving writes into each other's
             // scratch file before the rename.
             if let Err(e) = xbound_core::outdirs::write_atomic(&path, doc.as_bytes()) {
-                eprintln!("xbound-serve: cache write {} failed: {e}", path.display());
+                xbound_obs::warn!("cache", "write {} failed: {e}", path.display());
             }
         }
     }
@@ -382,8 +382,9 @@ impl BoundCache {
         let doc = match Json::parse(&text) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!(
-                    "xbound-serve: ignoring corrupt cache entry {}: {e}",
+                xbound_obs::warn!(
+                    "cache",
+                    "ignoring corrupt cache entry {}: {e}",
                     path.display()
                 );
                 return None;

@@ -37,6 +37,18 @@ use xbound_msp430::Program;
 /// (the [`xbound_core::CoAnalysis`] builder default).
 pub const DEFAULT_ENERGY_ROUNDS: u64 = 10_000;
 
+/// Protocol revision, bumped whenever the wire format gains or changes
+/// an op or response field. Carried (with the crate version) in the
+/// `version` field of `stats`/`metrics` responses so clients can warn on
+/// daemon/client drift.
+pub const PROTOCOL_REV: u32 = 2;
+
+/// The `version` string stamped into `stats`/`metrics` responses and
+/// compared by `xbound-client`: `<crate-version>+p<protocol-rev>`.
+pub fn version_string() -> String {
+    format!("{}+p{PROTOCOL_REV}", env!("CARGO_PKG_VERSION"))
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -69,6 +81,12 @@ pub enum Request {
     },
     /// Service telemetry.
     Stats,
+    /// Global metrics-registry dump (`format`: `"json"` or
+    /// `"prometheus"`).
+    Metrics {
+        /// `true` = Prometheus text exposition, `false` = canonical JSON.
+        prometheus: bool,
+    },
     /// Clean shutdown.
     Shutdown,
 }
@@ -169,6 +187,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => match v.get("format") {
+            None => Ok(Request::Metrics { prometheus: false }),
+            Some(f) => match f.as_str() {
+                Some("json") => Ok(Request::Metrics { prometheus: false }),
+                Some("prometheus") => Ok(Request::Metrics { prometheus: true }),
+                _ => Err("`format` must be \"json\" or \"prometheus\"".to_string()),
+            },
+        },
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -260,6 +286,32 @@ pub fn op_request(op: &str) -> String {
     let mut w = JsonWriter::compact();
     w.begin_object();
     w.field_str("op", op);
+    w.end_object();
+    w.finish()
+}
+
+/// Serializes a `metrics` request (client side).
+pub fn metrics_request(prometheus: bool) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_str("op", "metrics");
+    w.field_str("format", if prometheus { "prometheus" } else { "json" });
+    w.end_object();
+    w.finish()
+}
+
+/// The `metrics` response: the registry snapshot as a nested object
+/// (JSON format) or one escaped string (Prometheus text).
+pub fn metrics_response(prometheus: bool) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.field_bool("ok", true);
+    w.field_str("version", &version_string());
+    if prometheus {
+        w.field_str("prometheus", &xbound_obs::metrics::snapshot_prometheus());
+    } else {
+        w.field_raw("metrics", &xbound_obs::metrics::snapshot_json());
+    }
     w.end_object();
     w.finish()
 }
@@ -453,6 +505,45 @@ mod tests {
         );
         assert!(parse_request(r#"{"op": "sweep", "corners": -2}"#).is_err());
         assert!(parse_request(r#"{"op": "sweep", "benches": "mult"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_round_trips_and_validates() {
+        assert_eq!(
+            parse_request(&metrics_request(false)).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            parse_request(&metrics_request(true)).unwrap(),
+            Request::Metrics { prometheus: true }
+        );
+        // Absent format defaults to JSON; junk is rejected.
+        assert_eq!(
+            parse_request(r#"{"op": "metrics"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert!(parse_request(r#"{"op": "metrics", "format": "xml"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_response_carries_version_and_snapshot() {
+        xbound_obs::metrics::counter("xbound_test_proto_total").inc();
+        let json = Json::parse(&metrics_response(false)).unwrap();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            json.get("version").and_then(Json::as_str),
+            Some(version_string().as_str())
+        );
+        assert!(json
+            .get("metrics")
+            .and_then(|m| m.get("xbound_test_proto_total"))
+            .is_some());
+        let prom = Json::parse(&metrics_response(true)).unwrap();
+        assert!(prom
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("xbound_test_proto_total"));
     }
 
     #[test]

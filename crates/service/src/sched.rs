@@ -28,6 +28,7 @@ use xbound_core::memo::{MemoStats, SubtreeMemo};
 use xbound_core::sweep::{run_sweep, Corner, SweepSpec};
 use xbound_core::{par, BoundsReport, CoAnalysis, ExploreConfig, UlpSystem};
 use xbound_msp430::Program;
+use xbound_obs::trace;
 
 /// A successful [`Scheduler::analyze`]: the bounds, how they were
 /// served, and the content address they live under.
@@ -353,6 +354,7 @@ impl Scheduler {
                 let slot = Arc::clone(slot);
                 drop(state);
                 self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                let _span = trace::span("coalesce_wait");
                 let report = slot.wait()?;
                 return done(report, Served::Coalesced);
             }
@@ -392,7 +394,10 @@ impl Scheduler {
             self.shared.job_ready.notify_one();
             slot
         };
-        let report = slot.wait()?;
+        let report = {
+            let _span = trace::span("queue_wait");
+            slot.wait()?
+        };
         done(report, Served::Fresh)
     }
 
@@ -564,6 +569,8 @@ fn worker_loop(shared: &Shared) {
         };
         match job.kind {
             JobKind::Analyze { key, slot } => {
+                let _span =
+                    trace::span_args("analyze_job", || vec![("key".to_string(), key.hex())]);
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     CoAnalysis::new(&shared.system)
                         .config(config)
@@ -595,6 +602,9 @@ fn worker_loop(shared: &Shared) {
                 slot.fill(result);
             }
             JobKind::Sweep { corners } => {
+                let _span = trace::span_args("sweep_job", || {
+                    vec![("corners".to_string(), corners.len().to_string())]
+                });
                 // One shared exploration for every fresh corner; the
                 // corner fan-out stays serial inside a worker ("one layer
                 // of parallelism at a time", like the explore threads).

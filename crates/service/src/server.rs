@@ -28,6 +28,33 @@ use std::time::Instant;
 use xbound_core::jsonout::JsonWriter;
 use xbound_core::{par, ExploreConfig, UlpSystem};
 use xbound_msp430::{assemble, Program};
+use xbound_obs::{metrics, trace};
+
+/// Registry instruments for the daemon's serving layer. Counters are
+/// incremented at their event sites; the gauges are refreshed from the
+/// scheduler whenever a snapshot is about to be taken (`stats` /
+/// `metrics` requests), which keeps the hot request path free of any
+/// extra bookkeeping beyond one relaxed add.
+struct ServiceMetrics {
+    requests: metrics::Counter,
+    connections: metrics::Counter,
+    queue_depth: metrics::Gauge,
+    inflight: metrics::Gauge,
+    cache_entries: metrics::Gauge,
+    request_us: metrics::Histogram,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static M: std::sync::OnceLock<ServiceMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| ServiceMetrics {
+        requests: metrics::counter("xbound_service_requests_total"),
+        connections: metrics::counter("xbound_service_connections_total"),
+        queue_depth: metrics::gauge("xbound_service_queue_depth"),
+        inflight: metrics::gauge("xbound_service_inflight"),
+        cache_entries: metrics::gauge("xbound_service_cache_entries"),
+        request_us: metrics::histogram("xbound_service_request_duration_us"),
+    })
+}
 
 /// Daemon configuration (the `xbound-serve` flags).
 #[derive(Debug, Clone)]
@@ -150,6 +177,28 @@ impl Service {
                 return Ok(false);
             }
         };
+        let _span = trace::span_args("request", || {
+            let op = match &request {
+                Request::Analyze { .. } => "analyze",
+                Request::Suite { .. } => "suite",
+                Request::Sweep { .. } => "sweep",
+                Request::Stats => "stats",
+                Request::Metrics { .. } => "metrics",
+                Request::Shutdown => "shutdown",
+            };
+            vec![("op".to_string(), op.to_string())]
+        });
+        let t0 = Instant::now();
+        let done = self.dispatch_parsed(request, out);
+        service_metrics()
+            .request_us
+            .observe_us(t0.elapsed().as_micros() as u64);
+        done
+    }
+
+    /// [`Self::dispatch`] after parsing, behind the request span and
+    /// duration histogram.
+    fn dispatch_parsed(&self, request: Request, out: &mut impl Write) -> std::io::Result<bool> {
         match request {
             Request::Analyze {
                 source,
@@ -179,6 +228,11 @@ impl Service {
             }
             Request::Stats => {
                 writeln!(out, "{}", self.stats_response())?;
+                Ok(false)
+            }
+            Request::Metrics { prometheus } => {
+                self.refresh_gauges();
+                writeln!(out, "{}", protocol::metrics_response(prometheus))?;
                 Ok(false)
             }
             Request::Shutdown => {
@@ -355,11 +409,21 @@ impl Service {
         )
     }
 
+    /// Refreshes the sampled gauges from the scheduler/cache (called
+    /// right before a registry snapshot is served).
+    fn refresh_gauges(&self) {
+        let m = service_metrics();
+        m.queue_depth.set(self.scheduler.queue_depth() as u64);
+        m.inflight.set(self.scheduler.inflight() as u64);
+        m.cache_entries.set(self.cache.len() as u64);
+    }
+
     fn stats_response(&self) -> String {
         let (hits_mem, hits_disk, misses) = self.cache.counters();
         let mut w = JsonWriter::compact();
         w.begin_object();
         w.field_bool("ok", true);
+        w.field_str("version", &protocol::version_string());
         w.field_raw(
             "uptime_seconds",
             &format!("{:.3}", self.started.elapsed().as_secs_f64()),
@@ -529,7 +593,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, gate: &Arc<ConnGa
                 if service.shutting_down() {
                     break;
                 }
-                eprintln!("xbound-serve: accept failed: {e}");
+                xbound_obs::warn!("serve", "accept failed: {e}");
                 continue;
             }
         };
@@ -539,6 +603,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, gate: &Arc<ConnGa
             break;
         }
         gate.acquire();
+        service_metrics().connections.inc();
         let service = Arc::clone(service);
         // The guard releases the slot even if the handler panics — a
         // leaked slot would shrink the pool for the daemon's lifetime
@@ -556,7 +621,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, gate: &Arc<ConnGa
             // The closure (and its guard) never ran; `guard` was moved
             // into the dead closure and dropped with it, releasing the
             // slot.
-            eprintln!("xbound-serve: spawn failed: {e}");
+            xbound_obs::warn!("serve", "spawn failed: {e}");
         }
     }
     // Drain live connections, then the job queue + workers.
@@ -613,6 +678,7 @@ fn handle_conn(service: &Arc<Service>, stream: TcpStream) {
             continue;
         }
         service.requests.fetch_add(1, Ordering::Relaxed);
+        service_metrics().requests.inc();
         match service.dispatch(line.trim_end_matches(['\r', '\n']), &mut writer) {
             Ok(stop) => {
                 if writer.flush().is_err() || stop {
